@@ -1,0 +1,82 @@
+// Command wocbuild generates the synthetic web, runs the full
+// web-of-concepts construction pipeline over it, and prints build
+// statistics. With -out it also persists the concept store durably.
+//
+// Usage:
+//
+//	wocbuild [-seed 1] [-restaurants 120] [-out dir] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"conceptweb/internal/core"
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/webgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 1, "world generation seed")
+	restaurants := flag.Int("restaurants", 120, "number of restaurants in the world")
+	out := flag.String("out", "", "directory to persist the concept store (optional)")
+	verbose := flag.Bool("v", false, "print per-concept record counts")
+	flag.Parse()
+
+	cfg := webgen.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Restaurants = *restaurants
+	w := webgen.Generate(cfg)
+	fmt.Printf("world: %d pages across %d sites (%d restaurants, %d papers, %d products)\n",
+		len(w.Pages()), len(w.Sites), len(w.Restaurants), len(w.Papers), len(w.Products))
+
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	b := &core.Builder{Fetcher: w, Cfg: core.StandardConfig(reg, w.Cities(), webgen.Cuisines())}
+	woc, stats, err := b.Build(w.SeedURLs())
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	changed := woc.Reconcile("restaurant", core.PreferSupport)
+
+	fmt.Printf("crawl:   %d pages fetched, %d failures\n", stats.PagesFetched, stats.FetchFailures)
+	fmt.Printf("extract: %d candidates\n", stats.Candidates)
+	fmt.Printf("resolve: %d records stored, %d candidates merged away\n",
+		stats.RecordsStored, stats.ClustersMerged)
+	fmt.Printf("link:    %d pages semantically linked, %d review records\n",
+		stats.PagesLinked, stats.ReviewRecords)
+	fmt.Printf("reconcile: %d records trimmed to constraints\n", changed)
+
+	if *verbose {
+		for _, c := range woc.Records.Concepts() {
+			fmt.Printf("  %-12s %d records\n", c, woc.Records.CountByConcept(c))
+		}
+	}
+
+	if *out != "" {
+		durable, err := lrec.Open(*out, lrec.WithRegistry(reg))
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
+		n := 0
+		woc.Records.Scan(func(r *lrec.Record) bool {
+			if err := durable.Put(r); err != nil {
+				log.Printf("put %s: %v", r.ID, err)
+				return true
+			}
+			n++
+			return true
+		})
+		if err := durable.Compact(); err != nil {
+			log.Fatalf("compact: %v", err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+		fmt.Printf("persisted %d records to %s\n", n, *out)
+	}
+	os.Exit(0)
+}

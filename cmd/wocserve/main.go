@@ -1,0 +1,124 @@
+// Command wocserve builds the system over the synthetic web and serves it
+// over HTTP as JSON — the "next generation of search engines" surface:
+//
+//	GET /search?q=...&k=8        web search with concept box
+//	GET /concepts?q=...&k=8      concept search
+//	GET /record?id=...           one record
+//	GET /aggregate?id=...        aggregation page
+//	GET /alternatives?id=...     substitute recommendations
+//	GET /augmentations?id=...    complement recommendations
+//	GET /lineage?id=...          provenance explanation
+//	GET /healthz                 liveness
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"conceptweb/internal/webgen"
+	"conceptweb/woc"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:8639", "listen address")
+	seed := flag.Int64("seed", 1, "world seed")
+	flag.Parse()
+
+	cfg := webgen.DefaultConfig()
+	cfg.Seed = *seed
+	w := webgen.Generate(cfg)
+	sys, err := woc.Build(w.Fetch, w.SeedURLs(), woc.WithLocalDomain(w.Cities(), webgen.Cuisines()))
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	log.Printf("built: %+v", sys.Stats())
+	mux := newMux(sys)
+	log.Printf("serving on http://%s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// newMux wires the JSON API over a built system.
+func newMux(sys *woc.System) *http.ServeMux {
+	writeJSON := func(rw http.ResponseWriter, v any) {
+		rw.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(rw).Encode(v); err != nil {
+			log.Printf("encode: %v", err)
+		}
+	}
+	fail := func(rw http.ResponseWriter, code int, err error) {
+		http.Error(rw, fmt.Sprintf(`{"error":%q}`, err.Error()), code)
+	}
+	kOf := func(r *http.Request) int {
+		if k, err := strconv.Atoi(r.URL.Query().Get("k")); err == nil && k > 0 {
+			return k
+		}
+		return 8
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, map[string]any{"ok": true, "stats": sys.Stats()})
+	})
+	mux.HandleFunc("/search", func(rw http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			fail(rw, http.StatusBadRequest, fmt.Errorf("missing q"))
+			return
+		}
+		writeJSON(rw, sys.Search(q, kOf(r)))
+	})
+	mux.HandleFunc("/concepts", func(rw http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			fail(rw, http.StatusBadRequest, fmt.Errorf("missing q"))
+			return
+		}
+		writeJSON(rw, sys.ConceptSearch(q, kOf(r)))
+	})
+	mux.HandleFunc("/record", func(rw http.ResponseWriter, r *http.Request) {
+		rec, err := sys.Record(r.URL.Query().Get("id"))
+		if err != nil {
+			fail(rw, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(rw, rec)
+	})
+	mux.HandleFunc("/aggregate", func(rw http.ResponseWriter, r *http.Request) {
+		page, err := sys.Aggregate(r.URL.Query().Get("id"))
+		if err != nil {
+			fail(rw, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(rw, page)
+	})
+	mux.HandleFunc("/alternatives", func(rw http.ResponseWriter, r *http.Request) {
+		recs, err := sys.Alternatives(r.URL.Query().Get("id"), kOf(r))
+		if err != nil {
+			fail(rw, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(rw, recs)
+	})
+	mux.HandleFunc("/augmentations", func(rw http.ResponseWriter, r *http.Request) {
+		recs, err := sys.Augmentations(r.URL.Query().Get("id"), kOf(r))
+		if err != nil {
+			fail(rw, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(rw, recs)
+	})
+	mux.HandleFunc("/lineage", func(rw http.ResponseWriter, r *http.Request) {
+		lines, err := sys.Lineage(r.URL.Query().Get("id"))
+		if err != nil {
+			fail(rw, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(rw, lines)
+	})
+	return mux
+}

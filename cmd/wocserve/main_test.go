@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"conceptweb/internal/webgen"
+	"conceptweb/woc"
+)
+
+var (
+	once sync.Once
+	tsys *woc.System
+	tw   *webgen.World
+)
+
+func server(t *testing.T) (*webgen.World, *httptest.Server) {
+	t.Helper()
+	once.Do(func() {
+		cfg := webgen.DefaultConfig()
+		cfg.Restaurants = 30
+		cfg.ReviewArticles = 10
+		cfg.TVArticles = 2
+		tw = webgen.Generate(cfg)
+		sys, err := woc.Build(tw.Fetch, tw.SeedURLs(),
+			woc.WithLocalDomain(tw.Cities(), webgen.Cuisines()))
+		if err != nil {
+			panic(err)
+		}
+		tsys = sys
+	})
+	srv := httptest.NewServer(newMux(tsys))
+	t.Cleanup(srv.Close)
+	return tw, srv
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	_, srv := server(t)
+	var body struct {
+		OK    bool `json:"ok"`
+		Stats struct {
+			RecordsStored int
+		} `json:"stats"`
+	}
+	if code := getJSON(t, srv, "/healthz", &body); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !body.OK || body.Stats.RecordsStored == 0 {
+		t.Errorf("body = %+v", body)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	w, srv := server(t)
+	var r *webgen.Restaurant
+	for _, cand := range w.Restaurants {
+		if cand.Homepage != "" {
+			r = cand
+			break
+		}
+	}
+	var page woc.Page
+	q := url.QueryEscape(r.Name + " " + r.City)
+	if code := getJSON(t, srv, "/search?q="+q, &page); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if page.Box == nil {
+		t.Fatalf("no box for %q", r.Name)
+	}
+	if page.Box.Phone == "" || len(page.Results) == 0 {
+		t.Errorf("page = %+v", page)
+	}
+	if code := getJSON(t, srv, "/search", nil); code != http.StatusBadRequest {
+		t.Errorf("missing q status = %d", code)
+	}
+}
+
+func TestConceptAndRecordEndpoints(t *testing.T) {
+	w, srv := server(t)
+	var hits []woc.Hit
+	q := url.QueryEscape(w.Restaurants[0].Cuisine + " restaurants")
+	if code := getJSON(t, srv, "/concepts?q="+q+"&k=5", &hits); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(hits) == 0 {
+		t.Skip("no concept hits for this cuisine")
+	}
+	id := url.QueryEscape(hits[0].Record.ID)
+	var rec woc.Record
+	if code := getJSON(t, srv, "/record?id="+id, &rec); code != 200 {
+		t.Fatalf("record status = %d", code)
+	}
+	if rec.Concept != "restaurant" {
+		t.Errorf("record = %+v", rec)
+	}
+	var agg woc.Aggregation
+	if code := getJSON(t, srv, "/aggregate?id="+id, &agg); code != 200 || agg.Title == "" {
+		t.Errorf("aggregate status=%d agg=%+v", code, agg)
+	}
+	var lines []string
+	if code := getJSON(t, srv, "/lineage?id="+id, &lines); code != 200 || len(lines) == 0 {
+		t.Errorf("lineage status=%d lines=%d", code, len(lines))
+	}
+	var alts []woc.Suggestion
+	if code := getJSON(t, srv, "/alternatives?id="+id, &alts); code != 200 {
+		t.Errorf("alternatives status=%d", code)
+	}
+}
+
+func TestNotFoundEndpoints(t *testing.T) {
+	_, srv := server(t)
+	for _, path := range []string{"/record?id=nope", "/aggregate?id=nope",
+		"/lineage?id=nope", "/alternatives?id=nope", "/augmentations?id=nope"} {
+		if code := getJSON(t, srv, path, nil); code != http.StatusNotFound {
+			t.Errorf("%s status = %d, want 404", path, code)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command wocstudy reproduces the paper's §3 usage studies (E1–E4) by
+// simulating user behaviour over the synthetic web and running the same
+// log analyses the paper ran over Yahoo! Search and Toolbar logs. Each
+// study prints the paper's reported numbers next to the measured ones.
+//
+// Usage:
+//
+//	wocstudy                 # all studies
+//	wocstudy -study e1       # one study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"conceptweb/internal/logsim"
+	"conceptweb/internal/webgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	study := flag.String("study", "all", "which study: e1|e2|e3|e4|all")
+	seed := flag.Int64("seed", 1, "world seed")
+	users := flag.Int("users", 200, "simulated users")
+	flag.Parse()
+
+	wcfg := webgen.DefaultConfig()
+	wcfg.Seed = *seed
+	w := webgen.Generate(wcfg)
+	lcfg := logsim.DefaultConfig()
+	lcfg.Users = *users
+	logs := logsim.NewSimulator(w, lcfg).Run()
+	fmt.Printf("simulated %d queries, %d trails over %d pages\n\n",
+		len(logs.Queries), len(logs.Trails), len(w.Pages()))
+
+	if *study == "e1" || *study == "all" {
+		r := logsim.AnalyzeE1(logs, webgen.PrimaryAggregator)
+		fmt.Println("E1 — Concepts vs. Search (clicked aggregator URLs)")
+		fmt.Printf("  %-22s %8s %8s\n", "", "paper", "measured")
+		fmt.Printf("  %-22s %7d%% %7.0f%%\n", "biz URLs", 59, 100*r.BizFrac)
+		fmt.Printf("  %-22s %7d%% %7.0f%%\n", "search URLs", 19, 100*r.SearchFrac)
+		fmt.Printf("  %-22s %7d%% %7.0f%%\n", "category URLs", 11, 100*r.CatFrac)
+		fmt.Printf("  instance searches: paper 60–70%%, measured %.0f–%.0f%%\n",
+			100*r.InstanceLow, 100*r.InstanceHigh)
+		fmt.Printf("  set searches:      paper 10–20%%, measured %.0f–%.0f%%\n\n",
+			100*r.SetLow, 100*r.SetHigh)
+	}
+	if *study == "e2" || *study == "all" {
+		r := logsim.AnalyzeE2(logs, w)
+		fmt.Println("E2 — Searching for Attributes of a Concept")
+		fmt.Printf("  %d homepage-click queries; residual tokens:\n", r.HomepageQueries)
+		paper := map[string]string{"menu": "3%", "coupons": "1.8%", "locations": "1.5%"}
+		fmt.Printf("  %-12s %8s %9s\n", "token", "paper", "measured")
+		for i, tf := range r.Tokens {
+			if i >= 8 {
+				break
+			}
+			p := paper[tf.Token]
+			if p == "" {
+				p = "—"
+			}
+			fmt.Printf("  %-12s %8s %8.1f%%\n", tf.Token, p, 100*tf.Frac)
+		}
+		fmt.Println()
+	}
+	if *study == "e3" || *study == "all" {
+		r := logsim.AnalyzeE3(logs, webgen.PrimaryAggregator)
+		fmt.Println("E3 — Value in Aggregation (biz-click queries)")
+		fmt.Printf("  %-28s %8s %9s\n", "", "paper", "measured")
+		fmt.Printf("  %-28s %7d%% %8.0f%%\n", "clicked >=1 other URL", 59, 100*r.AtLeast1Other)
+		fmt.Printf("  %-28s %7d%% %8.0f%%\n\n", "clicked >=2 other URLs", 35, 100*r.AtLeast2Other)
+	}
+	if *study == "e4" || *study == "all" {
+		r := logsim.AnalyzeE4(logs, w)
+		fmt.Println("E4 — Concepts vs. Browsing (toolbar trails)")
+		fmt.Printf("  %-30s %8s %9s\n", "", "paper", "measured")
+		fmt.Printf("  %-30s %7s%% %8.1f%%\n", "visit preceded by search", "42", 100*r.SearchPreceded)
+		fmt.Printf("  %-30s %7s%% %8.1f%%\n", "next page: location", "11.5", 100*r.NextLocationFrac)
+		fmt.Printf("  %-30s %7s%% %8.1f%%\n", "next page: menu", "9", 100*r.NextMenuFrac)
+		fmt.Printf("  %-30s %7s%% %8.1f%%\n", "next page: coupons", "1", 100*r.NextCouponsFrac)
+		fmt.Printf("  %-30s %7s%% %8.1f%%\n", "trails with >1 restaurant", "10.5", 100*r.MultiInstance)
+	}
+}

@@ -1,0 +1,10 @@
+// Package conceptweb is a from-scratch Go reproduction of "A Web of
+// Concepts" (Dalvi et al., PODS 2009): the lrec concept store, the
+// domain-centric extraction stack, entity matching, concept-aware search,
+// session/browse optimization, advertising, and a synthetic web plus log
+// simulator that stand in for the paper's proprietary evaluation substrate.
+//
+// The public API lives in conceptweb/woc; the experiment harness is the
+// benchmark suite in bench_test.go (see EXPERIMENTS.md for the experiment
+// index and DESIGN.md for the system inventory).
+package conceptweb

@@ -1,0 +1,3 @@
+module conceptweb
+
+go 1.22

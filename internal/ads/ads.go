@@ -1,0 +1,167 @@
+// Package ads implements the §5.5 advertising applications: matching ads to
+// users through the lens of the web of concepts, and a marketplace where
+// advertisers bid on concepts instead of keywords — "the proprietor of Birks
+// Steakhouse might place a bid on any query that hits on a restaurant in
+// zipcode 95054".
+package ads
+
+import (
+	"sort"
+
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/textproc"
+)
+
+// Target is a concept predicate an ad bids on: records of Concept whose
+// attribute Key has value Value (Key=="" means any record of the concept).
+type Target struct {
+	Concept string
+	Key     string
+	Value   string
+}
+
+// Matches reports whether the record satisfies the target.
+func (t Target) Matches(rec *lrec.Record) bool {
+	if rec == nil || rec.Concept != t.Concept {
+		return false
+	}
+	if t.Key == "" {
+		return true
+	}
+	for _, v := range rec.All(t.Key) {
+		if textproc.Normalize(v.Value) == textproc.Normalize(t.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+// Ad is one advertisement with its bid and its targeting: keywords
+// (traditional) and/or concept targets (the marketplace extension).
+type Ad struct {
+	ID         string
+	Advertiser string
+	Creative   string
+	Bid        float64 // cost-per-click bid
+	Keywords   []string
+	Targets    []Target
+	// InterestKeys target user-model interests ("concept:restaurant",
+	// "cuisine:thai", "zip:95054") for §5.5 matching beyond the query.
+	InterestKeys []string
+}
+
+// Context is what the ad system knows at serve time: the query, the record
+// the query triggered (if any), and the user's interest weights.
+type Context struct {
+	Query     string
+	Record    *lrec.Record
+	Interests map[string]float64
+}
+
+// Inventory holds the ad corpus.
+type Inventory struct {
+	ads []Ad
+}
+
+// NewInventory returns an empty inventory.
+func NewInventory() *Inventory { return &Inventory{} }
+
+// Add registers an ad.
+func (inv *Inventory) Add(ad Ad) { inv.ads = append(inv.ads, ad) }
+
+// Len returns the number of ads.
+func (inv *Inventory) Len() int { return len(inv.ads) }
+
+// Relevance scores how well an ad matches the context, in [0, ~3]:
+// keyword/query overlap, concept-target hits, and interest-key hits.
+func Relevance(ad Ad, ctx Context) float64 {
+	var score float64
+	if ctx.Query != "" && len(ad.Keywords) > 0 {
+		q := textproc.TokenSet(textproc.StemAll(textproc.Tokenize(ctx.Query)))
+		hit := 0
+		for _, kw := range ad.Keywords {
+			for _, t := range textproc.StemAll(textproc.Tokenize(kw)) {
+				if q[t] {
+					hit++
+					break
+				}
+			}
+		}
+		score += float64(hit) / float64(len(ad.Keywords))
+	}
+	for _, tgt := range ad.Targets {
+		if tgt.Matches(ctx.Record) {
+			score += 1
+			break
+		}
+	}
+	if len(ad.InterestKeys) > 0 && len(ctx.Interests) > 0 {
+		var s float64
+		for _, k := range ad.InterestKeys {
+			s += ctx.Interests[k]
+		}
+		if s > 1 {
+			s = 1
+		}
+		score += s
+	}
+	return score
+}
+
+// Placement is one auction outcome.
+type Placement struct {
+	Ad        Ad
+	Relevance float64
+	// Price is what the advertiser pays per click (second-price logic).
+	Price float64
+}
+
+// Auction runs a quality-weighted generalized second-price auction for k
+// slots: ads rank by bid × relevance; each winner pays the minimum bid that
+// would have kept its slot (the classic GSP price), floored at 0.01.
+func Auction(inv *Inventory, ctx Context, k int) []Placement {
+	type scored struct {
+		ad  Ad
+		rel float64
+		rs  float64 // rank score = bid * relevance
+	}
+	var elig []scored
+	for _, ad := range inv.ads {
+		rel := Relevance(ad, ctx)
+		if rel <= 0 {
+			continue
+		}
+		elig = append(elig, scored{ad: ad, rel: rel, rs: ad.Bid * rel})
+	}
+	sort.SliceStable(elig, func(i, j int) bool {
+		if elig[i].rs != elig[j].rs {
+			return elig[i].rs > elig[j].rs
+		}
+		return elig[i].ad.ID < elig[j].ad.ID
+	})
+	if k <= 0 {
+		k = 1
+	}
+	if len(elig) > k {
+		elig = elig[:k+min(1, len(elig)-k)] // keep one extra for pricing
+	}
+	out := make([]Placement, 0, k)
+	for i := 0; i < len(elig) && i < k; i++ {
+		price := 0.01
+		if i+1 < len(elig) && elig[i].rel > 0 {
+			price = elig[i+1].rs/elig[i].rel + 0.01
+			if price > elig[i].ad.Bid {
+				price = elig[i].ad.Bid
+			}
+		}
+		out = append(out, Placement{Ad: elig[i].ad, Relevance: elig[i].rel, Price: price})
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+package ads
+
+import (
+	"math"
+	"testing"
+
+	"conceptweb/internal/lrec"
+)
+
+func steakhouse() *lrec.Record {
+	return lrec.NewRecord("rest:birks", "restaurant").
+		Set("name", "Birk's Steakhouse").Set("city", "Santa Clara").
+		Set("zip", "95054").Set("cuisine", "american")
+}
+
+func TestTargetMatches(t *testing.T) {
+	rec := steakhouse()
+	cases := []struct {
+		tgt  Target
+		want bool
+	}{
+		{Target{Concept: "restaurant", Key: "zip", Value: "95054"}, true},
+		{Target{Concept: "restaurant", Key: "zip", Value: "99999"}, false},
+		{Target{Concept: "restaurant"}, true},
+		{Target{Concept: "hotel"}, false},
+		{Target{Concept: "restaurant", Key: "cuisine", Value: "AMERICAN"}, true},
+	}
+	for _, c := range cases {
+		if got := c.tgt.Matches(rec); got != c.want {
+			t.Errorf("%+v.Matches = %v", c.tgt, got)
+		}
+	}
+	if (Target{Concept: "restaurant"}).Matches(nil) {
+		t.Error("nil record matched")
+	}
+}
+
+func TestRelevanceComponents(t *testing.T) {
+	rec := steakhouse()
+	kw := Ad{ID: "kw", Keywords: []string{"steak dinner", "steakhouse"}}
+	if r := Relevance(kw, Context{Query: "best steakhouse santa clara"}); r <= 0 {
+		t.Errorf("keyword relevance = %f", r)
+	}
+	if r := Relevance(kw, Context{Query: "flower delivery"}); r != 0 {
+		t.Errorf("irrelevant keyword relevance = %f", r)
+	}
+	ct := Ad{ID: "ct", Targets: []Target{{Concept: "restaurant", Key: "zip", Value: "95054"}}}
+	if r := Relevance(ct, Context{Record: rec}); r != 1 {
+		t.Errorf("concept relevance = %f", r)
+	}
+	ik := Ad{ID: "ik", InterestKeys: []string{"cuisine:american"}}
+	if r := Relevance(ik, Context{Interests: map[string]float64{"cuisine:american": 0.8}}); math.Abs(r-0.8) > 1e-9 {
+		t.Errorf("interest relevance = %f", r)
+	}
+	// Interest contribution caps at 1.
+	if r := Relevance(ik, Context{Interests: map[string]float64{"cuisine:american": 5}}); r != 1 {
+		t.Errorf("capped interest relevance = %f", r)
+	}
+}
+
+func TestConceptBiddingBeatsKeywordOnConceptQueries(t *testing.T) {
+	// The §5.5 scenario: the steakhouse owner bids on "any query that hits
+	// on a restaurant in zipcode 95054". A competitor bids the same amount
+	// on the keyword "restaurant". For a navigational query that triggers
+	// the record but shares no keyword with the ad, only concept targeting
+	// fires.
+	inv := NewInventory()
+	inv.Add(Ad{ID: "concept-bid", Bid: 1.0,
+		Targets: []Target{{Concept: "restaurant", Key: "zip", Value: "95054"}}})
+	inv.Add(Ad{ID: "keyword-bid", Bid: 1.0, Keywords: []string{"restaurant"}})
+	ctx := Context{Query: "birks santa clara", Record: steakhouse()}
+	placements := Auction(inv, ctx, 2)
+	if len(placements) == 0 || placements[0].Ad.ID != "concept-bid" {
+		t.Fatalf("placements = %+v", placements)
+	}
+}
+
+func TestAuctionSecondPrice(t *testing.T) {
+	inv := NewInventory()
+	inv.Add(Ad{ID: "high", Bid: 2.0, Keywords: []string{"pizza"}})
+	inv.Add(Ad{ID: "low", Bid: 1.0, Keywords: []string{"pizza"}})
+	ctx := Context{Query: "pizza near me"}
+	p := Auction(inv, ctx, 1)
+	if len(p) != 1 || p[0].Ad.ID != "high" {
+		t.Fatalf("placements = %+v", p)
+	}
+	// Winner pays just above the runner-up's rank score, not its own bid.
+	if p[0].Price >= 2.0 || p[0].Price < 1.0 {
+		t.Errorf("price = %f, want in [1.0, 2.0)", p[0].Price)
+	}
+}
+
+func TestAuctionQualityWeighting(t *testing.T) {
+	// A lower bid with much higher relevance should win.
+	inv := NewInventory()
+	inv.Add(Ad{ID: "rich-irrelevant", Bid: 3.0, Keywords: []string{"pizza", "tacos", "sushi", "burgers"}})
+	inv.Add(Ad{ID: "poor-relevant", Bid: 1.0, Keywords: []string{"pizza"}})
+	p := Auction(inv, Context{Query: "pizza"}, 1)
+	if len(p) != 1 || p[0].Ad.ID != "poor-relevant" {
+		t.Fatalf("placements = %+v", p)
+	}
+}
+
+func TestAuctionNoEligible(t *testing.T) {
+	inv := NewInventory()
+	inv.Add(Ad{ID: "x", Bid: 1, Keywords: []string{"boats"}})
+	if p := Auction(inv, Context{Query: "pizza"}, 3); len(p) != 0 {
+		t.Errorf("placements = %+v", p)
+	}
+	if p := Auction(NewInventory(), Context{Query: "pizza"}, 3); len(p) != 0 {
+		t.Errorf("empty inventory placements = %+v", p)
+	}
+}
+
+func TestAuctionMultiSlot(t *testing.T) {
+	inv := NewInventory()
+	for _, tc := range []struct {
+		id  string
+		bid float64
+	}{{"a", 3}, {"b", 2}, {"c", 1}} {
+		inv.Add(Ad{ID: tc.id, Bid: tc.bid, Keywords: []string{"pizza"}})
+	}
+	p := Auction(inv, Context{Query: "pizza"}, 2)
+	if len(p) != 2 || p[0].Ad.ID != "a" || p[1].Ad.ID != "b" {
+		t.Fatalf("placements = %+v", p)
+	}
+	if p[0].Price > p[0].Ad.Bid || p[1].Price > p[1].Ad.Bid {
+		t.Error("price exceeds bid")
+	}
+	// Prices are descending with slot position.
+	if p[1].Price > p[0].Price {
+		t.Errorf("slot prices inverted: %f then %f", p[0].Price, p[1].Price)
+	}
+}
+
+func TestAuctionDeterministicTieBreak(t *testing.T) {
+	inv := NewInventory()
+	inv.Add(Ad{ID: "zed", Bid: 1, Keywords: []string{"pizza"}})
+	inv.Add(Ad{ID: "abe", Bid: 1, Keywords: []string{"pizza"}})
+	p := Auction(inv, Context{Query: "pizza"}, 2)
+	if p[0].Ad.ID != "abe" {
+		t.Errorf("tie break not by ID: %v", p[0].Ad.ID)
+	}
+}

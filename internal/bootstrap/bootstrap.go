@@ -1,0 +1,173 @@
+// Package bootstrap implements aggregator mining (§4.2): using already
+// extracted records to automatically label and extract more records. The
+// paper's running example — start from a small set of Italian menu items;
+// when a structurally-detected list on some restaurant site contains a few
+// known items, infer that the whole list is an Italian menu and harvest the
+// unknown items — is exactly what Run does, iterated to fixpoint.
+package bootstrap
+
+import (
+	"fmt"
+	"sort"
+
+	"conceptweb/internal/extract"
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgraph"
+)
+
+// Bootstrapper configures the mining loop.
+type Bootstrapper struct {
+	// Concept is the concept name stamped on harvested candidates.
+	Concept string
+	// CategoryKey is the attribute that carries the seed category
+	// (e.g. "cuisine" for menu items).
+	CategoryKey string
+	// MinItems is the minimum structural list size considered (default 3).
+	MinItems int
+	// MinOverlap is how many list items must match known records before the
+	// list is trusted (default 2; 1 invites semantic drift).
+	MinOverlap int
+	// MaxRounds bounds the iterations (default 10).
+	MaxRounds int
+	// Decay multiplies confidence per round: round-r harvests carry
+	// confidence Decay^r, recording that transitively-acquired knowledge is
+	// weaker evidence (default 0.9).
+	Decay float64
+}
+
+// RoundStats records one bootstrap round for the growth-curve experiment A3.
+type RoundStats struct {
+	Round         int
+	NewRecords    int
+	ListsAccepted int
+	KnownAfter    int
+}
+
+// Result is the outcome of a bootstrap run.
+type Result struct {
+	// Candidates are the newly harvested records (seeds are not re-emitted).
+	Candidates []*extract.Candidate
+	Rounds     []RoundStats
+}
+
+// Run mines pages starting from seeds: category -> known item names.
+// It returns the harvested candidates with lineage and per-round stats.
+func (b *Bootstrapper) Run(pages []*webgraph.Page, seeds map[string][]string) *Result {
+	minItems := b.MinItems
+	if minItems <= 0 {
+		minItems = 3
+	}
+	minOverlap := b.MinOverlap
+	if minOverlap <= 0 {
+		minOverlap = 2
+	}
+	maxRounds := b.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	decay := b.Decay
+	if decay <= 0 || decay > 1 {
+		decay = 0.9
+	}
+
+	// known: category -> normalized name -> true.
+	known := make(map[string]map[string]bool)
+	var categories []string
+	for cat, names := range seeds {
+		m := make(map[string]bool, len(names))
+		for _, n := range names {
+			m[textproc.Normalize(n)] = true
+		}
+		known[cat] = m
+		categories = append(categories, cat)
+	}
+	sort.Strings(categories)
+
+	// Pre-extract the structural lists once; they do not change per round.
+	type pageLists struct {
+		page  *webgraph.Page
+		lists [][]string
+	}
+	var all []pageLists
+	for _, p := range pages {
+		if ls := extract.PageLists(p.Doc, minItems); len(ls) > 0 {
+			all = append(all, pageLists{p, ls})
+		}
+	}
+
+	res := &Result{}
+	conf := 1.0
+	for round := 1; round <= maxRounds; round++ {
+		conf *= decay
+		stats := RoundStats{Round: round}
+		// Collect this round's harvest per category; fold into `known` only
+		// after the sweep so a round is order-independent.
+		harvest := make(map[string]map[string]string) // cat -> norm -> original
+		for _, pl := range all {
+			for _, items := range pl.lists {
+				cat, overlap := bestCategory(items, known, categories)
+				if cat == "" || overlap < minOverlap {
+					continue
+				}
+				stats.ListsAccepted++
+				for _, it := range items {
+					norm := textproc.Normalize(it)
+					if norm == "" || known[cat][norm] {
+						continue
+					}
+					if harvest[cat] == nil {
+						harvest[cat] = make(map[string]string)
+					}
+					if _, dup := harvest[cat][norm]; dup {
+						continue
+					}
+					harvest[cat][norm] = it
+					c := extract.NewCandidate(b.Concept, pl.page.URL,
+						fmt.Sprintf("bootstrap[round=%d]", round))
+					c.Add("name", it, conf)
+					c.Add(b.CategoryKey, cat, conf)
+					c.Confidence = conf
+					res.Candidates = append(res.Candidates, c)
+					stats.NewRecords++
+				}
+			}
+		}
+		for cat, m := range harvest {
+			for norm := range m {
+				known[cat][norm] = true
+			}
+		}
+		stats.KnownAfter = totalKnown(known)
+		res.Rounds = append(res.Rounds, stats)
+		if stats.NewRecords == 0 {
+			break
+		}
+	}
+	return res
+}
+
+// bestCategory returns the category with the largest overlap with items,
+// ties broken alphabetically for determinism.
+func bestCategory(items []string, known map[string]map[string]bool, categories []string) (string, int) {
+	bestCat, bestN := "", 0
+	for _, cat := range categories {
+		n := 0
+		for _, it := range items {
+			if known[cat][textproc.Normalize(it)] {
+				n++
+			}
+		}
+		if n > bestN {
+			bestCat, bestN = cat, n
+		}
+	}
+	return bestCat, bestN
+}
+
+func totalKnown(known map[string]map[string]bool) int {
+	n := 0
+	for _, m := range known {
+		n += len(m)
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package bootstrap
+
+import (
+	"strings"
+	"testing"
+
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgen"
+	"conceptweb/internal/webgraph"
+)
+
+func menuPages(w *webgen.World) []*webgraph.Page {
+	var out []*webgraph.Page
+	for _, p := range w.Pages() {
+		if p.Truth.Kind == webgen.KindMenu {
+			out = append(out, webgraph.NewPage(p.URL, p.HTML))
+		}
+	}
+	return out
+}
+
+// italianSeeds returns a few dishes from the first Italian menu found.
+func italianSeeds(w *webgen.World, n int) []string {
+	for _, r := range w.Restaurants {
+		if r.Cuisine == "italian" && r.Homepage != "" {
+			if n > len(r.Menu) {
+				n = len(r.Menu)
+			}
+			return r.Menu[:n]
+		}
+	}
+	return nil
+}
+
+func TestBootstrapGrowsFromSeeds(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 100
+	cfg.ReviewArticles = 5
+	w := webgen.Generate(cfg)
+	seeds := italianSeeds(w, 3)
+	if len(seeds) < 2 {
+		t.Fatal("no italian seeds")
+	}
+	b := &Bootstrapper{Concept: "menuitem", CategoryKey: "cuisine"}
+	res := b.Run(menuPages(w), map[string][]string{"italian": seeds})
+	if len(res.Candidates) == 0 {
+		t.Fatal("bootstrap harvested nothing")
+	}
+	if len(res.Rounds) < 1 {
+		t.Fatal("no rounds recorded")
+	}
+	// Growth curve: the known set must strictly grow while rounds harvest.
+	prev := 0
+	for _, r := range res.Rounds {
+		if r.NewRecords > 0 && r.KnownAfter <= prev {
+			t.Errorf("round %d: known %d did not grow from %d", r.Round, r.KnownAfter, prev)
+		}
+		prev = r.KnownAfter
+	}
+	// Precision: harvested "italian" dishes should overwhelmingly be dishes
+	// that appear on real Italian menus (cross-cuisine dish overlap makes
+	// 100% impossible by construction).
+	truth := make(map[string]bool)
+	for _, r := range w.Restaurants {
+		if r.Cuisine == "italian" {
+			for _, d := range r.Menu {
+				truth[textproc.Normalize(d)] = true
+			}
+		}
+	}
+	good := 0
+	for _, c := range res.Candidates {
+		if truth[textproc.Normalize(c.Get("name"))] {
+			good++
+		}
+	}
+	precision := float64(good) / float64(len(res.Candidates))
+	t.Logf("bootstrap: %d harvested over %d rounds, precision=%.3f",
+		len(res.Candidates), len(res.Rounds), precision)
+	if precision < 0.7 {
+		t.Errorf("precision %.3f too low", precision)
+	}
+}
+
+func TestBootstrapConfidenceDecays(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 100
+	cfg.ReviewArticles = 5
+	w := webgen.Generate(cfg)
+	b := &Bootstrapper{Concept: "menuitem", CategoryKey: "cuisine", Decay: 0.8}
+	res := b.Run(menuPages(w), map[string][]string{"italian": italianSeeds(w, 2)})
+	byRound := map[int]float64{}
+	for _, c := range res.Candidates {
+		round := 0
+		for _, op := range c.Operators {
+			if strings.HasPrefix(op, "bootstrap[round=") {
+				// parse single digit rounds, enough for tests
+				round = int(op[len("bootstrap[round=")] - '0')
+			}
+		}
+		byRound[round] = c.Confidence
+	}
+	if len(byRound) < 2 {
+		t.Skip("bootstrap converged in one round at this seed")
+	}
+	if byRound[2] >= byRound[1] {
+		t.Errorf("confidence did not decay: r1=%f r2=%f", byRound[1], byRound[2])
+	}
+}
+
+func TestBootstrapNeedsOverlap(t *testing.T) {
+	// Seeds that match nothing on the page should harvest nothing: a single
+	// accidental overlap must not be enough (MinOverlap=2 default).
+	html := `<html><body><ul class="menu">
+<li class="dish"><span>alpha dish</span><span>$1.00</span></li>
+<li class="dish"><span>beta dish</span><span>$2.00</span></li>
+<li class="dish"><span>gamma dish</span><span>$3.00</span></li>
+</ul></body></html>`
+	p := webgraph.NewPage("x.example/menu", html)
+	b := &Bootstrapper{Concept: "menuitem", CategoryKey: "cuisine"}
+	res := b.Run([]*webgraph.Page{p}, map[string][]string{
+		"italian": {"alpha dish", "unrelated thing", "another unrelated"},
+	})
+	if len(res.Candidates) != 0 {
+		t.Errorf("single overlap harvested %d records", len(res.Candidates))
+	}
+	// With two seed hits, the third item is harvested.
+	res = b.Run([]*webgraph.Page{p}, map[string][]string{
+		"italian": {"alpha dish", "beta dish"},
+	})
+	if len(res.Candidates) != 1 || textproc.Normalize(res.Candidates[0].Get("name")) != "gamma dish" {
+		t.Errorf("harvest = %+v", res.Candidates)
+	}
+	if res.Candidates[0].Get("cuisine") != "italian" {
+		t.Errorf("category = %q", res.Candidates[0].Get("cuisine"))
+	}
+}
+
+func TestBootstrapCategoryCompetition(t *testing.T) {
+	// A list overlapping two categories goes to the one with more matches.
+	html := `<html><body><ul class="menu">
+<li><span>shared one</span></li><li><span>shared two</span></li>
+<li><span>thai only</span></li><li><span>new dish</span></li>
+</ul></body></html>`
+	p := webgraph.NewPage("x.example/menu", html)
+	b := &Bootstrapper{Concept: "menuitem", CategoryKey: "cuisine"}
+	res := b.Run([]*webgraph.Page{p}, map[string][]string{
+		"italian": {"shared one", "shared two"},
+		"thai":    {"shared one", "shared two", "thai only"},
+	})
+	for _, c := range res.Candidates {
+		if c.Get("cuisine") != "thai" {
+			t.Errorf("category = %q, want thai (larger overlap)", c.Get("cuisine"))
+		}
+	}
+}
+
+func TestBootstrapEmptyInputs(t *testing.T) {
+	b := &Bootstrapper{Concept: "x", CategoryKey: "k"}
+	if res := b.Run(nil, map[string][]string{"a": {"x"}}); len(res.Candidates) != 0 {
+		t.Error("no pages should harvest nothing")
+	}
+	p := webgraph.NewPage("x/y", "<html><body><ul><li>a</li><li>b</li><li>c</li></ul></body></html>")
+	if res := b.Run([]*webgraph.Page{p}, nil); len(res.Candidates) != 0 {
+		t.Error("no seeds should harvest nothing")
+	}
+}

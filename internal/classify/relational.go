@@ -1,0 +1,162 @@
+package classify
+
+import (
+	"sort"
+
+	"conceptweb/internal/webgraph"
+)
+
+// PageLabel is a page's classification with its posterior distribution.
+type PageLabel struct {
+	URL   string
+	Label string
+	Probs map[string]float64
+}
+
+// RefineOptions weight the three evidence sources during relational
+// refinement. The defaults favour the site's directory structure, the
+// paper's example signal ("all the events pages in sanjose.com are placed in
+// a directory called calendar").
+type RefineOptions struct {
+	// SelfWeight is the weight of the global classifier's posterior.
+	SelfWeight float64
+	// DirWeight is the weight of the same-directory average.
+	DirWeight float64
+	// LinkWeight is the weight of the linked-neighbour average.
+	LinkWeight float64
+	// Rounds is the number of propagation iterations.
+	Rounds int
+}
+
+// DefaultRefineOptions returns the standard weights used in experiments.
+func DefaultRefineOptions() RefineOptions {
+	return RefineOptions{SelfWeight: 0.35, DirWeight: 0.5, LinkWeight: 0.15, Rounds: 3}
+}
+
+// Refine revises the global classifier's per-page posteriors within one site
+// using the site's relational structure: pages in the same URL directory and
+// pages connected by links pull each other's distributions together. It
+// returns the revised labels keyed by URL.
+//
+// The procedure is a damped label propagation: on each round, a page's
+// distribution becomes a weighted mix of its global posterior, the mean
+// distribution of its directory, and the mean distribution of its graph
+// neighbours, then renormalized.
+func Refine(pages []PageLabel, graph *webgraph.Graph, opts RefineOptions) map[string]PageLabel {
+	if opts.Rounds <= 0 {
+		opts.Rounds = 3
+	}
+	total := opts.SelfWeight + opts.DirWeight + opts.LinkWeight
+	if total <= 0 {
+		opts = DefaultRefineOptions()
+		total = opts.SelfWeight + opts.DirWeight + opts.LinkWeight
+	}
+
+	// Collect the class set and the per-page state.
+	classSet := make(map[string]bool)
+	cur := make(map[string]map[string]float64, len(pages))
+	global := make(map[string]map[string]float64, len(pages))
+	byDir := make(map[string][]string)
+	var urls []string
+	for _, p := range pages {
+		urls = append(urls, p.URL)
+		cur[p.URL] = copyDist(p.Probs)
+		global[p.URL] = p.Probs
+		dir := webgraph.Directory(p.URL)
+		byDir[dir] = append(byDir[dir], p.URL)
+		for c := range p.Probs {
+			classSet[c] = true
+		}
+	}
+	sort.Strings(urls)
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	neighbours := func(u string) []string {
+		var ns []string
+		if graph != nil {
+			ns = append(ns, graph.Out[u]...)
+			ns = append(ns, graph.In[u]...)
+		}
+		// Keep only in-site pages we are classifying.
+		kept := ns[:0]
+		for _, n := range ns {
+			if _, ok := cur[n]; ok {
+				kept = append(kept, n)
+			}
+		}
+		return kept
+	}
+
+	for round := 0; round < opts.Rounds; round++ {
+		next := make(map[string]map[string]float64, len(cur))
+		// Directory means are computed from the current round's state.
+		dirMean := make(map[string]map[string]float64, len(byDir))
+		for dir, members := range byDir {
+			dirMean[dir] = meanDist(members, cur, classes)
+		}
+		for _, u := range urls {
+			dm := dirMean[webgraph.Directory(u)]
+			nm := meanDist(neighbours(u), cur, classes)
+			nd := make(map[string]float64, len(classes))
+			var z float64
+			for _, c := range classes {
+				v := opts.SelfWeight*global[u][c] + opts.DirWeight*dm[c] + opts.LinkWeight*nm[c]
+				nd[c] = v
+				z += v
+			}
+			if z > 0 {
+				for c := range nd {
+					nd[c] /= z
+				}
+			}
+			next[u] = nd
+		}
+		cur = next
+	}
+
+	out := make(map[string]PageLabel, len(cur))
+	for _, u := range urls {
+		best, bestP := "", -1.0
+		for _, c := range classes {
+			if cur[u][c] > bestP {
+				best, bestP = c, cur[u][c]
+			}
+		}
+		out[u] = PageLabel{URL: u, Label: best, Probs: cur[u]}
+	}
+	return out
+}
+
+func copyDist(d map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(d))
+	for k, v := range d {
+		out[k] = v
+	}
+	return out
+}
+
+// meanDist averages the distributions of members; an empty member list
+// yields the uniform distribution so it adds no preference.
+func meanDist(members []string, cur map[string]map[string]float64, classes []string) map[string]float64 {
+	out := make(map[string]float64, len(classes))
+	if len(members) == 0 {
+		u := 1.0 / float64(len(classes))
+		for _, c := range classes {
+			out[c] = u
+		}
+		return out
+	}
+	for _, m := range members {
+		for _, c := range classes {
+			out[c] += cur[m][c]
+		}
+	}
+	for _, c := range classes {
+		out[c] /= float64(len(members))
+	}
+	return out
+}

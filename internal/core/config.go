@@ -1,0 +1,64 @@
+package core
+
+import (
+	"conceptweb/internal/classify"
+	"conceptweb/internal/extract"
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/match"
+	"conceptweb/internal/webgraph"
+)
+
+// StandardConfig returns the local-domain configuration used across the
+// experiments and examples: restaurant list/detail extraction with
+// collective entity matching and review linking.
+func StandardConfig(reg *lrec.Registry, cities, cuisines []string) Config {
+	return Config{
+		Registry: reg,
+		Domains: []extract.Domain{
+			extract.RestaurantDomain(cities, cuisines),
+			extract.EventDomain(cities),
+		},
+		Matchers: map[string]*match.Matcher{
+			"restaurant": match.NewMatcher(match.RestaurantComparators()),
+		},
+		LinkConcepts: []string{"restaurant"},
+	}
+}
+
+// ClassifierGate builds a Gate from a trained global classifier refined with
+// each gated host's relational structure (§4.2's "filtering out only those
+// pages that belong to a certain category and then doing further extraction
+// on them"). Pages on hosts outside `hosts` pass ungated; pages on gated
+// hosts are admitted to a concept's detail extraction only when their
+// refined label equals conceptCat[concept].
+func ClassifierGate(nb *classify.NaiveBayes, conceptCat map[string]string,
+	pages *webgraph.Store, graph *webgraph.Graph, hosts []string) func(string, *webgraph.Page) bool {
+
+	gated := make(map[string]bool, len(hosts))
+	labels := make(map[string]string)
+	for _, h := range hosts {
+		gated[h] = true
+		var pls []classify.PageLabel
+		for _, u := range pages.HostPages(h) {
+			p, err := pages.Get(u)
+			if err != nil {
+				continue
+			}
+			label, probs := nb.Predict(classify.Features(p))
+			pls = append(pls, classify.PageLabel{URL: u, Label: label, Probs: probs})
+		}
+		for u, pl := range classify.Refine(pls, graph, classify.DefaultRefineOptions()) {
+			labels[u] = pl.Label
+		}
+	}
+	return func(concept string, p *webgraph.Page) bool {
+		if !gated[p.Host] {
+			return true
+		}
+		want, constrained := conceptCat[concept]
+		if !constrained {
+			return true
+		}
+		return labels[p.URL] == want
+	}
+}

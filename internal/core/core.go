@@ -1,0 +1,399 @@
+// Package core orchestrates construction and maintenance of a web of
+// concepts (§4, §7.3): it crawls pages, runs domain-centric extraction
+// (list + detail with site-level template propagation), resolves co-referent
+// candidates with collective entity matching, links free-text pages
+// (reviews, articles) to records with the generative text matcher, builds
+// the document/record inverted indexes, and maintains the whole thing
+// incrementally as pages change.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"conceptweb/internal/extract"
+	"conceptweb/internal/htmlx"
+	"conceptweb/internal/index"
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/match"
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgraph"
+)
+
+// Config assembles the domain knowledge for a build.
+type Config struct {
+	Registry *lrec.Registry
+	// Domains drive list/detail extraction, one per concept of interest.
+	Domains []extract.Domain
+	// Matchers provide entity matching per concept name; concepts without a
+	// matcher are deduplicated by synthesized ID only.
+	Matchers map[string]*match.Matcher
+	// LinkConcepts are the concepts whose records participate in semantic
+	// linking of free-text pages (reviews, articles).
+	LinkConcepts []string
+	// LinkThreshold is the minimum text-match score to create a link
+	// (default 0.35).
+	LinkThreshold float64
+	// MaxPages bounds the crawl (0 = unlimited).
+	MaxPages int
+	// Gate, when non-nil, admits a page to a concept's detail extraction;
+	// build one with ClassifierGate to route only relevant pages to each
+	// domain's extractor (§4.2 relational classification).
+	Gate func(concept string, p *webgraph.Page) bool
+	// StoreDir, when set, backs the concept store durably (write-ahead log
+	// plus snapshots) in that directory instead of memory.
+	StoreDir string
+}
+
+// WebOfConcepts is the built artifact: the unified concept store plus the
+// document-side structures applications consume.
+type WebOfConcepts struct {
+	Registry *lrec.Registry
+	Records  *lrec.Store
+	Pages    *webgraph.Store
+	Graph    *webgraph.Graph
+	// DocIndex indexes page text; RecIndex indexes flattened lrecs — the
+	// paper's stipulation that concept retrieval ride on inverted indexes.
+	DocIndex *index.Index
+	RecIndex *index.Index
+	// Assoc maps page URL -> record IDs the page is about; RevAssoc is the
+	// inverse. Both underlie the §5.1 ranking features and §5.4 pivots.
+	Assoc    map[string][]string
+	RevAssoc map[string][]string
+}
+
+// Close flushes and closes the underlying concept store (a no-op for
+// in-memory builds).
+func (woc *WebOfConcepts) Close() error { return woc.Records.Close() }
+
+// AssocOf returns the record IDs associated with a page URL.
+func (woc *WebOfConcepts) AssocOf(url string) []string { return woc.Assoc[url] }
+
+// PagesOf returns the page URLs associated with a record ID.
+func (woc *WebOfConcepts) PagesOf(id string) []string { return woc.RevAssoc[id] }
+
+// BuildStats reports what a build did.
+type BuildStats struct {
+	PagesFetched   int
+	FetchFailures  int
+	Candidates     int
+	RecordsStored  int
+	ClustersMerged int // candidate records absorbed into clusters
+	PagesLinked    int // free-text pages linked to records
+	ReviewRecords  int
+}
+
+// Builder runs builds against a fetcher.
+type Builder struct {
+	Fetcher webgraph.Fetcher
+	Cfg     Config
+}
+
+// Build crawls from seeds and constructs the web of concepts.
+func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
+	if b.Cfg.Registry == nil {
+		return nil, nil, fmt.Errorf("core: nil registry")
+	}
+	records := lrec.NewMemStore(lrec.WithRegistry(b.Cfg.Registry))
+	if b.Cfg.StoreDir != "" {
+		durable, err := lrec.Open(b.Cfg.StoreDir, lrec.WithRegistry(b.Cfg.Registry))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: open store: %w", err)
+		}
+		records = durable
+	}
+	woc := &WebOfConcepts{
+		Registry: b.Cfg.Registry,
+		Records:  records,
+		Pages:    webgraph.NewStore(),
+		DocIndex: index.New(),
+		RecIndex: index.New(),
+		Assoc:    make(map[string][]string),
+		RevAssoc: make(map[string][]string),
+	}
+	stats := &BuildStats{}
+
+	crawler := &webgraph.Crawler{
+		Fetcher: b.Fetcher, Store: woc.Pages, MaxPages: b.Cfg.MaxPages,
+	}
+	stats.PagesFetched, stats.FetchFailures = crawler.Crawl(seeds)
+	woc.Graph = webgraph.BuildGraph(woc.Pages)
+
+	cands := b.extractAll(woc.Pages)
+	stats.Candidates = len(cands)
+
+	b.resolveAndStore(woc, cands, stats)
+	b.linkText(woc, stats)
+	b.buildIndexes(woc)
+	return woc, stats, nil
+}
+
+// extractAll runs domain-centric extraction over every site: list extraction
+// with template propagation, plus detail extraction on pages where no list
+// of the same concept was found (a page that lists five restaurants is not a
+// detail page about one).
+func (b *Builder) extractAll(pages *webgraph.Store) []*extract.Candidate {
+	var all []*extract.Candidate
+	for _, host := range pages.Hosts() {
+		var sitePages []*webgraph.Page
+		for _, u := range pages.HostPages(host) {
+			if p, err := pages.Get(u); err == nil {
+				sitePages = append(sitePages, p)
+			}
+		}
+		for _, d := range b.Cfg.Domains {
+			prop := &extract.SitePropagator{Inner: &extract.ListExtractor{Domain: d}}
+			listCands := prop.ExtractSite(sitePages)
+			listPages := make(map[string]int)
+			for _, c := range listCands {
+				listPages[c.SourceURL]++
+			}
+			all = append(all, listCands...)
+			det := &extract.DetailExtractor{Domain: d}
+			for _, p := range sitePages {
+				if listPages[p.URL] >= 1 {
+					// The page yielded list records of this concept: it is a
+					// listing (even a single-result one), not a detail page.
+					continue
+				}
+				if b.Cfg.Gate != nil && !b.Cfg.Gate(d.Concept, p) {
+					continue // classification routed this page elsewhere
+				}
+				for _, c := range det.Extract(p) {
+					if p.Path == "/" {
+						// A detail page at a site root is the instance's own
+						// homepage.
+						c.Add("homepage", p.URL, 0.9)
+					}
+					if hp := officialSiteLink(p); hp != "" {
+						c.Add("homepage", hp, 0.8)
+					}
+					all = append(all, c)
+				}
+			}
+		}
+	}
+	return all
+}
+
+// officialSiteLink finds an outlink labeled as the official site.
+func officialSiteLink(p *webgraph.Page) string {
+	for _, a := range p.Doc.FindAll("a") {
+		txt := textproc.Normalize(a.Text())
+		if strings.Contains(txt, "official site") || strings.Contains(txt, "official website") {
+			if href, ok := a.AttrVal("href"); ok {
+				return canonicalURL(href)
+			}
+		}
+		// Table-style sites label the row and link the raw URL.
+		if href, ok := a.AttrVal("href"); ok && textproc.NormalizeKey(a.Text()) == textproc.NormalizeKey(href) && href != "" {
+			return canonicalURL(href)
+		}
+	}
+	return ""
+}
+
+// pageMainText returns the page text with nav/footer/breadcrumb boilerplate
+// removed, so semantic linking scores content rather than chrome.
+func pageMainText(p *webgraph.Page) string {
+	var b strings.Builder
+	var walk func(n *htmlx.Node)
+	walk = func(n *htmlx.Node) {
+		if n.Type == htmlx.ElementNode &&
+			(n.HasClass("topnav") || n.HasClass("footer") || n.HasClass("breadcrumb")) {
+			return
+		}
+		if n.Type == htmlx.TextNode {
+			b.WriteString(n.Data)
+			b.WriteByte(' ')
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Doc)
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+func canonicalURL(u string) string {
+	u = strings.TrimPrefix(u, "http://")
+	u = strings.TrimPrefix(u, "https://")
+	return u
+}
+
+// resolveAndStore groups candidates per concept, resolves co-references, and
+// stores one merged record per resolved entity.
+func (b *Builder) resolveAndStore(woc *WebOfConcepts, cands []*extract.Candidate, stats *BuildStats) {
+	byConcept := make(map[string][]*extract.Candidate)
+	for _, c := range cands {
+		byConcept[c.Concept] = append(byConcept[c.Concept], c)
+	}
+	concepts := make([]string, 0, len(byConcept))
+	for c := range byConcept {
+		concepts = append(concepts, c)
+	}
+	sort.Strings(concepts)
+
+	for _, concept := range concepts {
+		group := byConcept[concept]
+		// Candidates with identical synthesized IDs merge trivially.
+		pre := make(map[string]*lrec.Record)
+		var order []string
+		for _, c := range group {
+			id := c.SynthesizeID()
+			seq := woc.Records.NextSeq()
+			rec := c.ToRecord(id, seq)
+			if exist, ok := pre[id]; ok {
+				exist.Merge(rec) //nolint:errcheck // same concept
+			} else {
+				pre[id] = rec
+				order = append(order, id)
+			}
+		}
+		recs := make([]*lrec.Record, 0, len(order))
+		sort.Strings(order)
+		for _, id := range order {
+			recs = append(recs, pre[id])
+		}
+
+		if m := b.Cfg.Matchers[concept]; m != nil {
+			clusters := match.Resolve(recs, m, match.DefaultCollectiveOptions())
+			for _, cl := range clusters {
+				stats.ClustersMerged += len(cl.Members) - 1
+				if err := woc.Records.Put(cl.Rep); err == nil {
+					stats.RecordsStored++
+					b.associate(woc, cl.Rep)
+				}
+			}
+		} else {
+			for _, r := range recs {
+				if err := woc.Records.Put(r); err == nil {
+					stats.RecordsStored++
+					b.associate(woc, r)
+				}
+			}
+		}
+	}
+}
+
+// associate records page<->record associations from provenance.
+func (b *Builder) associate(woc *WebOfConcepts, r *lrec.Record) {
+	seen := make(map[string]bool)
+	for _, k := range r.Keys() {
+		for _, v := range r.All(k) {
+			u := v.Prov.SourceURL
+			if u == "" || seen[u] {
+				continue
+			}
+			seen[u] = true
+			woc.Assoc[u] = appendUnique(woc.Assoc[u], r.ID)
+			woc.RevAssoc[r.ID] = appendUnique(woc.RevAssoc[r.ID], u)
+		}
+	}
+	// The record's homepage (and its subpages, transitively crawled) is also
+	// associated.
+	if hp := r.Get("homepage"); hp != "" {
+		woc.Assoc[hp] = appendUnique(woc.Assoc[hp], r.ID)
+		woc.RevAssoc[r.ID] = appendUnique(woc.RevAssoc[r.ID], hp)
+	}
+}
+
+func appendUnique(list []string, v string) []string {
+	for _, x := range list {
+		if x == v {
+			return list
+		}
+	}
+	list = append(list, v)
+	sort.Strings(list)
+	return list
+}
+
+// linkText runs semantic linking (§5.4): pages that produced no structured
+// records but whose text matches a stored record become review/mention
+// records linked to their subject.
+func (b *Builder) linkText(woc *WebOfConcepts, stats *BuildStats) {
+	linkConcepts := b.Cfg.LinkConcepts
+	if len(linkConcepts) == 0 {
+		return
+	}
+	threshold := b.Cfg.LinkThreshold
+	if threshold == 0 {
+		threshold = 0.35
+	}
+	var corpus []*lrec.Record
+	for _, c := range linkConcepts {
+		corpus = append(corpus, woc.Records.ByConcept(c)...)
+	}
+	if len(corpus) == 0 {
+		return
+	}
+	tm := match.NewTextMatcher(corpus)
+	reviewN := 0
+	woc.Pages.Scan(func(p *webgraph.Page) bool {
+		if len(woc.Assoc[p.URL]) > 0 {
+			return true // already associated through extraction
+		}
+		text := pageMainText(p)
+		if len(text) < 40 {
+			return true
+		}
+		best, ok := tm.Best(text, threshold)
+		if !ok {
+			return true
+		}
+		stats.PagesLinked++
+		woc.Assoc[p.URL] = appendUnique(woc.Assoc[p.URL], best.ID)
+		woc.RevAssoc[best.ID] = appendUnique(woc.RevAssoc[best.ID], p.URL)
+		// Store a review record for the linked mention.
+		reviewN++
+		rev := lrec.NewRecord(fmt.Sprintf("review:%s", textproc.NormalizeKey(p.URL)), "review")
+		seq := woc.Records.NextSeq()
+		add := func(key, val string, conf float64) {
+			rev.Add(key, lrec.AttrValue{Value: val, Confidence: conf,
+				Prov: lrec.Provenance{SourceURL: p.URL, Operators: []string{"textmatch"}, Seq: seq}})
+		}
+		snippet := text
+		if len(snippet) > 280 {
+			snippet = snippet[:280]
+		}
+		add("text", snippet, 0.9)
+		add("about", best.ID, 0.8)
+		add("source", p.URL, 1)
+		if err := woc.Records.Put(rev); err == nil {
+			stats.ReviewRecords++
+		}
+		return true
+	})
+}
+
+// buildIndexes fills the document and record inverted indexes.
+func (b *Builder) buildIndexes(woc *WebOfConcepts) {
+	woc.Pages.Scan(func(p *webgraph.Page) bool {
+		title := ""
+		if t := p.Doc.FindFirst("title"); t != nil {
+			title = t.Text()
+		}
+		woc.DocIndex.Add(index.Document{ID: p.URL, Fields: []index.Field{
+			{Name: "title", Text: title, Boost: 2.5},
+			{Name: "body", Text: p.Doc.Text()},
+		}})
+		return true
+	})
+	woc.Records.Scan(func(r *lrec.Record) bool {
+		if r.Concept == "review" {
+			return true // reviews are reachable via their subject
+		}
+		name := r.Get("name")
+		if name == "" {
+			name = r.Get("title")
+		}
+		woc.RecIndex.Add(index.Document{ID: r.ID, Fields: []index.Field{
+			{Name: "name", Text: name, Boost: 3},
+			{Name: "attrs", Text: r.FlatText()},
+		}})
+		return true
+	})
+}

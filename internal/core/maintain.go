@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"conceptweb/internal/extract"
+	"conceptweb/internal/index"
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/webgraph"
+)
+
+// Maintenance (§7.3): "there is an obvious efficiency challenge in
+// processing the same web pages repeatedly without re-incurring the full
+// cost of extraction when the page is not modified in a material way", and
+// updated pages must be linked to existing records "to correctly update
+// existing records rather than create new ones".
+
+// RefreshStats reports one incremental maintenance pass.
+type RefreshStats struct {
+	PagesChecked   int
+	PagesUnchanged int // extraction skipped entirely
+	PagesChanged   int
+	PagesGone      int // fetch failed: page removed from retrieval
+	RecordsUpdated int
+	RecordsCreated int
+}
+
+// Refresh re-fetches the given URLs against the builder's fetcher, skipping
+// extraction for unmodified pages (content-hash comparison) and folding
+// changed pages' candidates into existing records via entity matching.
+func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, error) {
+	stats := &RefreshStats{}
+	var changed []*webgraph.Page
+	for _, u := range urls {
+		stats.PagesChecked++
+		html, err := b.Fetcher.Fetch(u)
+		if err != nil {
+			// The page is gone ("restaurants close down", §7.3): drop it
+			// from retrieval and sever its associations. Its contribution
+			// to records remains, flagged by lineage, until reconciliation
+			// or re-extraction supersedes it.
+			stats.PagesGone++
+			woc.DocIndex.Remove(u)
+			for _, id := range woc.Assoc[u] {
+				woc.RevAssoc[id] = removeString(woc.RevAssoc[id], u)
+			}
+			delete(woc.Assoc, u)
+			continue
+		}
+		p := webgraph.NewPage(u, html)
+		if !woc.Pages.Put(p) {
+			stats.PagesUnchanged++
+			continue
+		}
+		stats.PagesChanged++
+		changed = append(changed, p)
+	}
+	if len(changed) == 0 {
+		return stats, nil
+	}
+
+	// Re-extract only the changed pages. Detail extraction covers the single-
+	// record pages that dominate change traffic; list items on changed pages
+	// are re-harvested too, without re-running the whole site.
+	var cands []*extract.Candidate
+	for _, p := range changed {
+		for _, d := range b.Cfg.Domains {
+			le := &extract.ListExtractor{Domain: d}
+			listCands := le.Extract(p)
+			cands = append(cands, listCands...)
+			// Detail-extract only when the page shows no listing signal: no
+			// list records now and no multi-record association from the
+			// original build (single-result listing pages keep their shape).
+			if len(listCands) == 0 && len(woc.Assoc[p.URL]) < 2 {
+				cands = append(cands, (&extract.DetailExtractor{Domain: d}).Extract(p)...)
+			}
+		}
+		// Keep the document index current.
+		title := ""
+		if t := p.Doc.FindFirst("title"); t != nil {
+			title = t.Text()
+		}
+		woc.DocIndex.Add(index.Document{ID: p.URL, Fields: []index.Field{
+			{Name: "title", Text: title, Boost: 2.5},
+			{Name: "body", Text: p.Doc.Text()},
+		}})
+	}
+
+	for _, c := range cands {
+		created, updated := b.upsert(woc, c)
+		stats.RecordsCreated += created
+		stats.RecordsUpdated += updated
+	}
+	return stats, nil
+}
+
+// upsert folds one candidate into the store: if entity matching finds an
+// existing record of the same concept, the candidate's values merge into it;
+// otherwise a new record is created.
+func (b *Builder) upsert(woc *WebOfConcepts, c *extract.Candidate) (created, updated int) {
+	seq := woc.Records.NextSeq()
+	rec := c.ToRecord(c.SynthesizeID(), seq)
+
+	if exist, err := woc.Records.Get(rec.ID); err == nil {
+		exist.Merge(rec) //nolint:errcheck // same concept
+		if woc.Records.Put(exist) == nil {
+			b.associate(woc, exist)
+			return 0, 1
+		}
+		return 0, 0
+	}
+
+	if m := b.Cfg.Matchers[c.Concept]; m != nil {
+		// Block against stored records of the concept and score.
+		var bestID string
+		bestScore := m.Upper
+		for _, cand := range woc.Records.ByConcept(c.Concept) {
+			if s := m.Score(cand, rec); s >= bestScore {
+				bestScore = s
+				bestID = cand.ID
+			}
+		}
+		if bestID != "" {
+			exist, err := woc.Records.Get(bestID)
+			if err == nil {
+				exist.Merge(rec) //nolint:errcheck
+				if woc.Records.Put(exist) == nil {
+					b.associate(woc, exist)
+					return 0, 1
+				}
+			}
+			return 0, 0
+		}
+	}
+
+	if woc.Records.Put(rec) == nil {
+		b.associate(woc, rec)
+		b.indexRecord(woc, rec)
+		return 1, 0
+	}
+	return 0, 0
+}
+
+func removeString(list []string, v string) []string {
+	out := list[:0]
+	for _, x := range list {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (b *Builder) indexRecord(woc *WebOfConcepts, r *lrec.Record) {
+	name := r.Get("name")
+	if name == "" {
+		name = r.Get("title")
+	}
+	woc.RecIndex.Add(index.Document{ID: r.ID, Fields: []index.Field{
+		{Name: "name", Text: name, Boost: 3},
+		{Name: "attrs", Text: r.FlatText()},
+	}})
+}
+
+// ConflictResolution names the policy Reconcile applies to over-full
+// attributes.
+type ConflictResolution int
+
+// Policies.
+const (
+	// PreferSupport keeps the values backed by the most distinct sources,
+	// breaking ties by recency then confidence.
+	PreferSupport ConflictResolution = iota
+	// PreferRecent keeps the most recently extracted values.
+	PreferRecent
+)
+
+// Reconcile enforces the registry's multiplicity constraints on stored
+// records of the concept: attributes holding more values than allowed are
+// trimmed per the policy. It returns the number of records changed —
+// the §7.3 "extracted information will often be inconsistent and will need
+// to be reconciled to meet integrity constraints".
+func (woc *WebOfConcepts) Reconcile(concept string, policy ConflictResolution) int {
+	spec, ok := woc.Registry.Lookup(concept)
+	if !ok {
+		return 0
+	}
+	changed := 0
+	for _, r := range woc.Records.ByConcept(concept) {
+		dirty := false
+		for _, as := range spec.Attrs {
+			if as.MaxValues <= 0 {
+				continue
+			}
+			vals := r.All(as.Key)
+			if len(vals) <= as.MaxValues {
+				continue
+			}
+			trimmed := rankValues(vals, policy)[:as.MaxValues]
+			r.Attrs[as.Key] = trimmed
+			dirty = true
+		}
+		if dirty {
+			if woc.Records.Put(r) == nil {
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// rankValues orders attribute values best-first per the policy.
+func rankValues(vals []lrec.AttrValue, policy ConflictResolution) []lrec.AttrValue {
+	out := append([]lrec.AttrValue(nil), vals...)
+	sort.SliceStable(out, func(i, j int) bool {
+		switch policy {
+		case PreferRecent:
+			if out[i].Prov.Seq != out[j].Prov.Seq {
+				return out[i].Prov.Seq > out[j].Prov.Seq
+			}
+		default:
+			if out[i].Support != out[j].Support {
+				return out[i].Support > out[j].Support
+			}
+			if out[i].Prov.Seq != out[j].Prov.Seq {
+				return out[i].Prov.Seq > out[j].Prov.Seq
+			}
+		}
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Lineage returns the human-readable provenance chains for every value of a
+// record — the §7.3 "explanations to user queries".
+func (woc *WebOfConcepts) Lineage(id string) ([]string, error) {
+	r, err := woc.Records.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, k := range r.Keys() {
+		for _, v := range r.All(k) {
+			out = append(out, k+"="+v.Value+" <- "+v.Prov.String())
+		}
+	}
+	return out, nil
+}
+
+// LiveValue re-reads a volatile attribute from its source document (§7.3:
+// "some concepts, like stock tickers and city temperatures, are so dynamic
+// that they always need to be tied to their underlying source documents").
+// It follows the stored value's provenance to the page, refetches it, and
+// re-extracts just that attribute. The store is left untouched; callers who
+// want to persist the fresh value can Put it.
+func (b *Builder) LiveValue(woc *WebOfConcepts, recordID, key string) (string, error) {
+	rec, err := woc.Records.Get(recordID)
+	if err != nil {
+		return "", err
+	}
+	best, ok := rec.Best(key)
+	if !ok || best.Prov.SourceURL == "" {
+		return "", fmt.Errorf("core: no sourced value for %s.%s", recordID, key)
+	}
+	html, err := b.Fetcher.Fetch(best.Prov.SourceURL)
+	if err != nil {
+		return "", fmt.Errorf("core: live fetch %s: %w", best.Prov.SourceURL, err)
+	}
+	page := webgraph.NewPage(best.Prov.SourceURL, html)
+	text := pageMainText(page)
+	for _, d := range b.Cfg.Domains {
+		if d.Concept != rec.Concept {
+			continue
+		}
+		for _, r := range d.Recognizers {
+			if r.Key != key {
+				continue
+			}
+			if v, okm := r.Match(text); okm {
+				return v, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("core: attribute %q not found live on %s", key, best.Prov.SourceURL)
+}

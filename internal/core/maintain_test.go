@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/webgen"
+)
+
+// flakyFetcher fails deterministically for a fraction of URLs, and can mark
+// URLs permanently gone.
+type flakyFetcher struct {
+	w    *webgen.World
+	gone map[string]bool
+	// failEvery fails every Nth distinct fetch during Build (0 = off).
+	failEvery int
+
+	mu    sync.Mutex
+	count int
+}
+
+// Fetch must be safe for concurrent use: the crawler fans fetches out
+// across workers.
+func (f *flakyFetcher) Fetch(url string) (string, error) {
+	if f.gone[url] {
+		return "", fmt.Errorf("gone: %s", url)
+	}
+	f.mu.Lock()
+	f.count++
+	n := f.count
+	f.mu.Unlock()
+	if f.failEvery > 0 && n%f.failEvery == 0 {
+		return "", fmt.Errorf("transient failure: %s", url)
+	}
+	return f.w.Fetch(url)
+}
+
+func TestBuildSurvivesFlakyFetcher(t *testing.T) {
+	w := smallWorld()
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	ff := &flakyFetcher{w: w, failEvery: 10}
+	b := &Builder{Fetcher: ff, Cfg: StandardConfig(reg, w.Cities(), webgen.Cuisines())}
+	woc, stats, err := b.Build(w.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FetchFailures == 0 {
+		t.Fatal("flaky fetcher produced no failures; test is vacuous")
+	}
+	if stats.PagesFetched == 0 || woc.Records.CountByConcept("restaurant") == 0 {
+		t.Errorf("build collapsed under 10%% fetch failures: %+v", stats)
+	}
+	// The build should still have most of the web.
+	if float64(stats.PagesFetched) < 0.8*float64(len(w.Pages())) {
+		t.Errorf("fetched only %d of %d pages", stats.PagesFetched, len(w.Pages()))
+	}
+}
+
+func TestRefreshHandlesGonePages(t *testing.T) {
+	w := smallWorld()
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	ff := &flakyFetcher{w: w, gone: map[string]bool{}}
+	b := &Builder{Fetcher: ff, Cfg: StandardConfig(reg, w.Cities(), webgen.Cuisines())}
+	woc, _, err := b.Build(w.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Close down a restaurant: its homepage pages vanish.
+	var target *webgen.Restaurant
+	for _, r := range w.Restaurants {
+		if r.Homepage != "" {
+			if recs := woc.Records.ByAttr("restaurant", "phone", r.Phone); len(recs) == 1 {
+				target = r
+				break
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("no target restaurant")
+	}
+	home := strings.TrimSuffix(target.Homepage, "/") + "/"
+	ff.gone[home] = true
+
+	if !woc.DocIndex.Has(home) {
+		t.Fatal("homepage not indexed before refresh")
+	}
+	assocBefore := len(woc.AssocOf(home))
+	if assocBefore == 0 {
+		t.Fatal("homepage had no associations before refresh")
+	}
+
+	stats, err := b.Refresh(woc, []string{home})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesGone != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if woc.DocIndex.Has(home) {
+		t.Error("gone page still in the document index")
+	}
+	if len(woc.AssocOf(home)) != 0 {
+		t.Error("gone page still has associations")
+	}
+	// The record survives (other sources still describe the restaurant) but
+	// no longer points at the dead page.
+	recs := woc.Records.ByAttr("restaurant", "phone", target.Phone)
+	if len(recs) != 1 {
+		t.Fatalf("record lost: %d", len(recs))
+	}
+	for _, u := range woc.PagesOf(recs[0].ID) {
+		if u == home {
+			t.Error("record still linked to gone page")
+		}
+	}
+}
+
+func TestLiveValueReadsSourceDocument(t *testing.T) {
+	w := smallWorld()
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	of := &overlayFetcher{w: w, overlay: map[string]string{}}
+	b := &Builder{Fetcher: of, Cfg: StandardConfig(reg, w.Cities(), webgen.Cuisines())}
+	woc, _, err := b.Build(w.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *webgen.Restaurant
+	var rec *lrec.Record
+	for _, r := range w.Restaurants {
+		if recs := woc.Records.ByAttr("restaurant", "phone", r.Phone); len(recs) == 1 {
+			target, rec = r, recs[0]
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no target")
+	}
+	// Live value agrees with the store before any change.
+	live, err := b.LiveValue(woc, rec.ID, "phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Now the source page changes; the store is stale but LiveValue is not.
+	best, _ := rec.Best("phone")
+	src := best.Prov.SourceURL
+	page, ok := w.PageByURL(src)
+	if !ok {
+		t.Fatalf("source %s not in world", src)
+	}
+	const newPhone = "408-555-4242"
+	of.overlay[src] = strings.ReplaceAll(page.HTML, best.Value, newPhone)
+	live2, err := b.LiveValue(woc, rec.ID, "phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live2 == live {
+		t.Fatalf("live value did not change: %q", live2)
+	}
+	if got := onlyDigitsTest(live2); got != onlyDigitsTest(newPhone) {
+		t.Errorf("live = %q, want %q", live2, newPhone)
+	}
+	// Store still holds the old value (LiveValue is read-only).
+	cur, _ := woc.Records.Get(rec.ID)
+	if v, _ := cur.Best("phone"); onlyDigitsTest(v.Value) == onlyDigitsTest(newPhone) {
+		t.Error("LiveValue mutated the store")
+	}
+	// Errors: unknown record, unsourced key.
+	if _, err := b.LiveValue(woc, "nope", "phone"); err == nil {
+		t.Error("unknown record should fail")
+	}
+	if _, err := b.LiveValue(woc, rec.ID, "nonexistent-attr"); err == nil {
+		t.Error("missing attribute should fail")
+	}
+}
+
+func onlyDigitsTest(s string) string {
+	out := []byte{}
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

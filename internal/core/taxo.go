@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strings"
+
+	"conceptweb/internal/taxonomy"
+)
+
+// DataTaxonomy builds a data-driven taxonomy (§2.3) over the stored records
+// of a concept: records cluster by the text of the given attributes (all
+// attributes when none are named), the cut at k clusters becomes a layer of
+// sub-concepts under root, and each record an InstanceOf its cluster. For
+// restaurants, clustering on cuisine+menu recovers a cuisine-like
+// organization without any curated hierarchy; clustering on the full record
+// would instead be dominated by near-unique identifiers (streets, phones).
+func (woc *WebOfConcepts) DataTaxonomy(concept, root string, k int, attrs ...string) *taxonomy.Taxonomy {
+	var items []taxonomy.Item
+	for _, r := range woc.Records.ByConcept(concept) {
+		text := r.FlatText()
+		if len(attrs) > 0 {
+			var parts []string
+			for _, a := range attrs {
+				for _, v := range r.All(a) {
+					parts = append(parts, v.Value)
+				}
+			}
+			text = strings.Join(parts, " ")
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		items = append(items, taxonomy.Item{ID: r.ID, Text: text})
+	}
+	if len(items) == 0 {
+		return taxonomy.New()
+	}
+	return taxonomy.Cluster(items).BuildTaxonomy(k, root)
+}

@@ -1,0 +1,105 @@
+package extract
+
+import (
+	"conceptweb/internal/htmlx"
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgraph"
+)
+
+// KeyValueExtractor extracts records from label–value markup: property
+// tables (<tr><th>Brand</th><td>Nicon</td></tr>) and definition lists
+// (<dt>Telephone</dt><dd>…</dd>). It is the structural complement of the
+// recognizer-driven extractors: where those recognize value *shapes*, this
+// one reads the page's own labels, mapped into the domain's attribute keys.
+type KeyValueExtractor struct {
+	Concept string
+	// Labels maps normalized page labels to record attribute keys, e.g.
+	// "brand" -> "brand", "telephone" -> "phone", "resolution" -> "megapixels".
+	Labels map[string]string
+	// NameKey, when set, takes the record name from the page's first <h1>.
+	NameKey string
+	// MinAttrs is the minimum mapped attributes for a candidate (default 2).
+	MinAttrs int
+}
+
+// Name implements Operator.
+func (e *KeyValueExtractor) Name() string { return "keyvalue:" + e.Concept }
+
+// Extract implements Operator.
+func (e *KeyValueExtractor) Extract(p *webgraph.Page) []*Candidate {
+	minAttrs := e.MinAttrs
+	if minAttrs <= 0 {
+		minAttrs = 2
+	}
+	pairs := collectPairs(p.Doc)
+	if len(pairs) == 0 {
+		return nil
+	}
+	cand := NewCandidate(e.Concept, p.URL, e.Name())
+	n := 0
+	for _, pr := range pairs {
+		key, ok := e.Labels[textproc.Normalize(pr[0])]
+		if !ok || pr[1] == "" {
+			continue
+		}
+		cand.Add(key, pr[1], 0.9)
+		n++
+	}
+	if n < minAttrs {
+		return nil
+	}
+	if e.NameKey != "" && cand.Get(e.NameKey) == "" {
+		if h1 := p.Doc.FindFirst("h1"); h1 != nil {
+			cand.Add(e.NameKey, cleanHeading(h1.Text()), 0.85)
+		}
+	}
+	return []*Candidate{cand}
+}
+
+// collectPairs gathers (label, value) pairs from th/td rows and dt/dd runs.
+func collectPairs(doc *htmlx.Node) [][2]string {
+	var pairs [][2]string
+	// Table rows: a tr whose first cell is th and second is td.
+	for _, tr := range doc.FindAll("tr") {
+		kids := tr.ChildElements()
+		if len(kids) == 2 && kids[0].Data == "th" && kids[1].Data == "td" {
+			pairs = append(pairs, [2]string{kids[0].Text(), kids[1].Text()})
+		}
+	}
+	// Definition lists: alternating dt/dd children.
+	for _, dl := range doc.FindAll("dl") {
+		kids := dl.ChildElements()
+		for i := 0; i+1 < len(kids); i++ {
+			if kids[i].Data == "dt" && kids[i+1].Data == "dd" {
+				pairs = append(pairs, [2]string{kids[i].Text(), kids[i+1].Text()})
+			}
+		}
+	}
+	return pairs
+}
+
+// ProductLabels returns the standard label map for camera-catalog pages.
+func ProductLabels() map[string]string {
+	return map[string]string{
+		"brand":      "brand",
+		"model":      "model",
+		"price":      "price",
+		"resolution": "megapixels",
+	}
+}
+
+// BusinessLabels returns the label map for directory-style business pages.
+func BusinessLabels() map[string]string {
+	return map[string]string{
+		"business":  "name",
+		"name":      "name",
+		"street":    "street",
+		"address":   "street",
+		"city":      "city",
+		"zip":       "zip",
+		"telephone": "phone",
+		"phone":     "phone",
+		"category":  "cuisine",
+		"hours":     "hours",
+	}
+}

@@ -1,0 +1,95 @@
+package extract
+
+import (
+	"testing"
+
+	"conceptweb/internal/webgen"
+	"conceptweb/internal/webgraph"
+)
+
+func TestKeyValueExtractorTable(t *testing.T) {
+	html := `<html><body><h1 class="product-name">Nicon D40</h1>
+<table class="specs">
+<tr><th>Brand</th><td>Nicon</td></tr>
+<tr><th>Model</th><td>D40</td></tr>
+<tr><th>Price</th><td>$449.99</td></tr>
+<tr><th>Resolution</th><td>10 megapixels</td></tr>
+</table></body></html>`
+	e := &KeyValueExtractor{Concept: "product", Labels: ProductLabels(), NameKey: "name"}
+	cands := e.Extract(webgraph.NewPage("shop.example/p/d40", html))
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	c := cands[0]
+	if c.Get("brand") != "Nicon" || c.Get("model") != "D40" || c.Get("price") != "$449.99" {
+		t.Errorf("attrs = %v", c.Attrs)
+	}
+	if c.Get("name") != "Nicon D40" {
+		t.Errorf("name = %q", c.Get("name"))
+	}
+}
+
+func TestKeyValueExtractorDL(t *testing.T) {
+	html := `<html><body><dl class="listing">
+<dt>Business</dt><dd>Blue Agave Cantina</dd>
+<dt>Street</dt><dd>12 Main St</dd>
+<dt>Zip</dt><dd>95112</dd>
+<dt>Telephone</dt><dd>408 555 0101</dd>
+<dt>Unmapped</dt><dd>ignored</dd>
+</dl></body></html>`
+	e := &KeyValueExtractor{Concept: "restaurant", Labels: BusinessLabels()}
+	cands := e.Extract(webgraph.NewPage("dir.example/biz/x", html))
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	c := cands[0]
+	if c.Get("name") != "Blue Agave Cantina" || c.Get("zip") != "95112" || c.Get("phone") != "408 555 0101" {
+		t.Errorf("attrs = %v", c.Attrs)
+	}
+	if c.Get("unmapped") != "" {
+		t.Error("unmapped label extracted")
+	}
+}
+
+func TestKeyValueExtractorMinAttrs(t *testing.T) {
+	html := `<html><body><table><tr><th>Brand</th><td>Nicon</td></tr></table></body></html>`
+	e := &KeyValueExtractor{Concept: "product", Labels: ProductLabels()}
+	if cands := e.Extract(webgraph.NewPage("x/y", html)); len(cands) != 0 {
+		t.Errorf("1 attr should not make a record: %+v", cands)
+	}
+	plain := `<html><body><p>no structure at all</p></body></html>`
+	if cands := e.Extract(webgraph.NewPage("x/z", plain)); len(cands) != 0 {
+		t.Errorf("plain page yielded %d candidates", len(cands))
+	}
+}
+
+func TestKeyValueOnSyntheticShopPages(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 5
+	cfg.ReviewArticles = 2
+	cfg.TVArticles = 2
+	w := webgen.Generate(cfg)
+	e := &KeyValueExtractor{Concept: "product", Labels: ProductLabels(), NameKey: "name"}
+	checked := 0
+	for _, page := range w.Pages() {
+		if page.Truth.Kind != webgen.KindProduct {
+			continue
+		}
+		p, ok := w.ProductByID(page.Truth.EntityIDs[0])
+		if !ok {
+			continue
+		}
+		cands := e.Extract(webgraph.NewPage(page.URL, page.HTML))
+		if len(cands) != 1 {
+			t.Fatalf("page %s: %d candidates", page.URL, len(cands))
+		}
+		if cands[0].Get("brand") != p.Brand || cands[0].Get("model") != p.Model {
+			t.Errorf("page %s: got brand=%q model=%q want %q %q", page.URL,
+				cands[0].Get("brand"), cands[0].Get("model"), p.Brand, p.Model)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Errorf("only %d product pages checked", checked)
+	}
+}

@@ -1,0 +1,371 @@
+package extract
+
+import (
+	"strings"
+
+	"conceptweb/internal/htmlx"
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgraph"
+)
+
+// ListExtractor implements domain-centric list extraction (§4.2): it detects
+// repeated HTML structure, then uses domain knowledge (field recognizers)
+// and statistical constraints to decide which repeated structures are lists
+// of records of the target concept, and to extract those records — fully
+// unsupervised and site-independent.
+type ListExtractor struct {
+	Domain Domain
+	// MinItems is the minimum number of repeated siblings to consider a
+	// container a list (default 2).
+	MinItems int
+}
+
+// Name implements Operator.
+func (e *ListExtractor) Name() string { return "listextract:" + e.Domain.Concept }
+
+// Extract implements Operator.
+func (e *ListExtractor) Extract(p *webgraph.Page) []*Candidate {
+	minItems := e.MinItems
+	if minItems < 2 {
+		minItems = 2
+	}
+	var out []*Candidate
+	for _, group := range repeatedGroups(p.Doc, minItems) {
+		out = append(out, e.extractGroup(p, group)...)
+	}
+	return out
+}
+
+// repeatedGroups finds maximal runs of sibling elements sharing a tag and
+// class signature — the page's repeated template slots.
+func repeatedGroups(doc *htmlx.Node, minItems int) [][]*htmlx.Node {
+	var groups [][]*htmlx.Node
+	doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode && n.Type != htmlx.DocumentNode {
+			return true
+		}
+		kids := n.ChildElements()
+		if len(kids) < minItems {
+			return true
+		}
+		bySig := make(map[string][]*htmlx.Node)
+		var order []string
+		for _, k := range kids {
+			sig := k.Data + "." + k.Class()
+			if _, seen := bySig[sig]; !seen {
+				order = append(order, sig)
+			}
+			bySig[sig] = append(bySig[sig], k)
+		}
+		for _, sig := range order {
+			g := bySig[sig]
+			if len(g) >= minItems && !isHeaderGroup(g) {
+				groups = append(groups, g)
+			}
+		}
+		return true
+	})
+	return groups
+}
+
+// isHeaderGroup filters groups made of table header rows.
+func isHeaderGroup(g []*htmlx.Node) bool {
+	if g[0].Data != "tr" {
+		return false
+	}
+	ths := 0
+	for _, c := range g[0].ChildElements() {
+		if c.Data == "th" {
+			ths++
+		}
+	}
+	return ths > 0 && ths == len(g[0].ChildElements())
+}
+
+// span is one text fragment inside a list item.
+type span struct {
+	text   string
+	anchor bool
+}
+
+// itemSpans collects the visible text fragments of an item in document
+// order: leaf element texts, with anchors flagged.
+func itemSpans(item *htmlx.Node) []span {
+	var spans []span
+	item.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode {
+			return true
+		}
+		if n.Data == "a" {
+			if t := n.Text(); t != "" {
+				spans = append(spans, span{text: t, anchor: true})
+			}
+			return false
+		}
+		if len(n.ChildElements()) == 0 {
+			if t := n.Text(); t != "" {
+				spans = append(spans, span{text: t})
+			}
+			return false
+		}
+		return true
+	})
+	if len(spans) == 0 {
+		if t := item.Text(); t != "" {
+			spans = append(spans, span{text: t})
+		}
+	}
+	return spans
+}
+
+// extractGroup scores one repeated group against the domain and, if it
+// passes, emits one candidate per item.
+func (e *ListExtractor) extractGroup(p *webgraph.Page, group []*htmlx.Node) []*Candidate {
+	d := e.Domain
+	minFrac := d.MinEvidenceFrac
+	if minFrac == 0 {
+		minFrac = 0.5
+	}
+	type parsedItem struct {
+		cand     *Candidate
+		evidence bool
+	}
+	items := make([]parsedItem, 0, len(group))
+	withEvidence := 0
+	for _, item := range group {
+		cand, hasEvidence, ok := e.parseItem(p, item)
+		if !ok {
+			continue
+		}
+		items = append(items, parsedItem{cand, hasEvidence})
+		if hasEvidence {
+			withEvidence++
+		}
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	listScore := float64(withEvidence) / float64(len(items))
+	if listScore < minFrac {
+		return nil // not a list of this concept (e.g. a nav bar)
+	}
+	var out []*Candidate
+	for _, it := range items {
+		if !it.evidence {
+			continue // item inside an accepted list but without evidence
+		}
+		out = append(out, scaleConfidence(it.cand, listScore))
+	}
+	return out
+}
+
+// parseItem extracts one item's attributes. ok is false if the item violates
+// a multiplicity constraint (it is probably not a single record).
+func (e *ListExtractor) parseItem(p *webgraph.Page, item *htmlx.Node) (cand *Candidate, hasEvidence, ok bool) {
+	d := e.Domain
+	spans := itemSpans(item)
+	full := item.Text()
+
+	// Statistical constraints: more distinct values than allowed means the
+	// "item" actually spans several records.
+	for _, c := range d.Constraints {
+		if rec, found := recognizerFor(d, c.Key); found {
+			if countDistinct(rec, full) > c.MaxValues {
+				return nil, false, false
+			}
+		}
+	}
+
+	cand = NewCandidate(d.Concept, p.URL, e.Name())
+	matched := make(map[string]bool) // span texts consumed by recognizers
+	for _, rec := range d.Recognizers {
+		// Prefer span-local matches (more precise provenance), fall back to
+		// the full item text. A span counts as consumed only when the match
+		// covers most of it — a cuisine word inside "Blue Palm American
+		// Restaurant" must not eat the name span.
+		found := false
+		for _, sp := range spans {
+			if v, okm := rec.Match(sp.text); okm {
+				cand.Add(rec.Key, v, attrConf(rec.Weight))
+				if len(v)*2 >= len(strings.TrimSpace(sp.text)) {
+					matched[sp.text] = true
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			if v, okm := rec.Match(full); okm {
+				cand.Add(rec.Key, v, attrConf(rec.Weight)*0.9)
+			}
+		}
+	}
+
+	// Name assignment.
+	switch d.NameFrom {
+	case "anchor":
+		for _, sp := range spans {
+			if sp.anchor && !matched[sp.text] {
+				cand.Add(d.NameKey, sp.text, 0.9)
+				break
+			}
+		}
+	case "first-span":
+		for _, sp := range spans {
+			if !matched[sp.text] && !recognizedByAny(d, sp.text) {
+				cand.Add(d.NameKey, sp.text, 0.85)
+				break
+			}
+		}
+	}
+
+	for _, k := range d.Evidence {
+		if len(cand.Attrs[k]) > 0 {
+			hasEvidence = true
+			break
+		}
+	}
+	// A record needs a name (when the domain defines one) to be usable.
+	if d.NameKey != "" && cand.Get(d.NameKey) == "" {
+		hasEvidence = false
+	}
+	return cand, hasEvidence, true
+}
+
+func attrConf(weight float64) float64 {
+	c := 0.55 + 0.45*weight
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+func scaleConfidence(c *Candidate, listScore float64) *Candidate {
+	factor := 0.5 + 0.5*listScore
+	return c.Chain("listscore", factor)
+}
+
+func recognizerFor(d Domain, key string) (Recognizer, bool) {
+	for _, r := range d.Recognizers {
+		if r.Key == key {
+			return r, true
+		}
+	}
+	return Recognizer{}, false
+}
+
+func recognizedByAny(d Domain, text string) bool {
+	for _, r := range d.Recognizers {
+		if v, ok := r.Match(text); ok {
+			// Only treat as recognized if the match covers most of the span;
+			// "Pizza My Heart 95014" should still yield a name.
+			if len(v)*2 >= len(strings.TrimSpace(text)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// countDistinct counts distinct normalized values of rec in text.
+func countDistinct(rec Recognizer, text string) int {
+	seen := make(map[string]bool)
+	rest := text
+	for i := 0; i < 64; i++ { // bound the scan
+		v, ok := rec.Match(rest)
+		if !ok {
+			break
+		}
+		seen[textproc.Normalize(v)] = true
+		idx := strings.Index(rest, v)
+		if idx < 0 {
+			break
+		}
+		rest = rest[idx+len(v):]
+	}
+	return len(seen)
+}
+
+// DetailExtractor extracts a single record from a detail page (an aggregator
+// biz page, an official homepage, a portal leaf): the page-level analogue of
+// list extraction, using the same domain knowledge. The multiplicity
+// constraints are what tell a detail page apart from a listing page —
+// a page with five zip codes is not about one restaurant.
+type DetailExtractor struct {
+	Domain Domain
+}
+
+// Name implements Operator.
+func (e *DetailExtractor) Name() string { return "detail:" + e.Domain.Concept }
+
+// Extract implements Operator.
+func (e *DetailExtractor) Extract(p *webgraph.Page) []*Candidate {
+	d := e.Domain
+	body := p.Doc.FindFirst("body")
+	if body == nil {
+		body = p.Doc
+	}
+	full := mainText(body)
+
+	for _, c := range d.Constraints {
+		if rec, found := recognizerFor(d, c.Key); found {
+			if n := countDistinct(rec, full); n > c.MaxValues {
+				return nil
+			}
+		}
+	}
+
+	cand := NewCandidate(d.Concept, p.URL, e.Name())
+	for _, rec := range d.Recognizers {
+		if v, ok := rec.Match(full); ok {
+			cand.Add(rec.Key, v, attrConf(rec.Weight))
+		}
+	}
+	// Name from the page's main heading, else its title.
+	if d.NameKey != "" {
+		if h1 := body.FindFirst("h1"); h1 != nil {
+			cand.Add(d.NameKey, cleanHeading(h1.Text()), 0.9)
+		} else if t := p.Doc.FindFirst("title"); t != nil {
+			cand.Add(d.NameKey, cleanHeading(t.Text()), 0.7)
+		}
+	}
+	hasEvidence := false
+	for _, k := range d.Evidence {
+		if len(cand.Attrs[k]) > 0 {
+			hasEvidence = true
+			break
+		}
+	}
+	if !hasEvidence || (d.NameKey != "" && cand.Get(d.NameKey) == "") {
+		return nil
+	}
+	return []*Candidate{cand}
+}
+
+// mainText returns the page text excluding nav and footer boilerplate.
+func mainText(body *htmlx.Node) string {
+	var b strings.Builder
+	for _, c := range body.Children {
+		if c.Type == htmlx.ElementNode && (c.HasClass("topnav") || c.HasClass("footer")) {
+			continue
+		}
+		b.WriteString(c.Text())
+		b.WriteByte(' ')
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// cleanHeading strips site-name decorations like " - welp.example" and
+// boilerplate prefixes from headings used as names.
+func cleanHeading(h string) string {
+	if i := strings.Index(h, " - "); i > 0 {
+		h = h[:i]
+	}
+	for _, prefix := range []string{"Find ", "Welcome to "} {
+		h = strings.TrimPrefix(h, prefix)
+	}
+	for _, suffix := range []string{" Menu", " Review"} {
+		h = strings.TrimSuffix(h, suffix)
+	}
+	return strings.TrimSpace(h)
+}

@@ -1,0 +1,28 @@
+package extract
+
+import (
+	"conceptweb/internal/htmlx"
+)
+
+// PageLists returns, for every repeated-structure list on the page, the
+// primary text of each item (the first text span, which in menu/listing
+// templates is the item's name). It is the structural half of aggregator
+// mining (§4.2): bootstrapping supplies the semantics by matching these
+// texts against already-extracted records.
+func PageLists(doc *htmlx.Node, minItems int) [][]string {
+	var out [][]string
+	for _, group := range repeatedGroups(doc, minItems) {
+		items := make([]string, 0, len(group))
+		for _, item := range group {
+			spans := itemSpans(item)
+			if len(spans) == 0 {
+				continue
+			}
+			items = append(items, spans[0].text)
+		}
+		if len(items) >= minItems {
+			out = append(out, items)
+		}
+	}
+	return out
+}

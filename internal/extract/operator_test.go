@@ -1,0 +1,94 @@
+package extract
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCandidateAddDedup(t *testing.T) {
+	c := NewCandidate("restaurant", "u.example/p", "op1")
+	c.Add("phone", "408-555-0101", 0.9)
+	c.Add("phone", "(408) 555 0101", 0.8) // same after normalization
+	c.Add("phone", "408-555-0202", 0.7)
+	if len(c.Attrs["phone"]) != 2 {
+		t.Errorf("phones = %v", c.Attrs["phone"])
+	}
+	c.Add("empty", "   ", 1)
+	if c.Get("empty") != "" {
+		t.Error("blank value stored")
+	}
+}
+
+func TestCandidateChain(t *testing.T) {
+	c := NewCandidate("restaurant", "u.example/p", "listextract")
+	c.Add("name", "Gochi", 0.9)
+	c2 := c.Chain("match", 0.5)
+	if !reflect.DeepEqual(c2.Operators, []string{"listextract", "match"}) {
+		t.Errorf("ops = %v", c2.Operators)
+	}
+	if c2.Confidence != 0.5 {
+		t.Errorf("conf = %f", c2.Confidence)
+	}
+	if got := c2.Attrs["name"][0].Confidence; got != 0.45 {
+		t.Errorf("attr conf = %f", got)
+	}
+	// Original unchanged.
+	if c.Confidence != 1 || len(c.Operators) != 1 {
+		t.Error("Chain mutated original")
+	}
+	if got := c2.Attrs["name"][0].Prov.Operators; !reflect.DeepEqual(got, []string{"listextract", "match"}) {
+		t.Errorf("prov ops = %v", got)
+	}
+}
+
+func TestCandidateToRecord(t *testing.T) {
+	c := NewCandidate("restaurant", "u.example/p", "op")
+	c.Add("name", "Gochi", 0.9)
+	c.Add("zip", "95014", 1)
+	r := c.ToRecord("rest-1", 42)
+	if r.ID != "rest-1" || r.Concept != "restaurant" {
+		t.Errorf("record = %s", r)
+	}
+	v, _ := r.Best("name")
+	if v.Prov.Seq != 42 || v.Prov.SourceURL != "u.example/p" {
+		t.Errorf("prov = %+v", v.Prov)
+	}
+}
+
+func TestSynthesizeID(t *testing.T) {
+	a := NewCandidate("restaurant", "u1", "op")
+	a.Add("name", "Gochi Fusion Tapas", 1)
+	a.Add("zip", "95014", 1)
+	b := NewCandidate("restaurant", "u2", "other-op")
+	b.Add("name", "GOCHI fusion tapas", 1)
+	b.Add("zip", "95014", 1)
+	if a.SynthesizeID() != b.SynthesizeID() {
+		t.Errorf("ids differ: %q vs %q", a.SynthesizeID(), b.SynthesizeID())
+	}
+	if !strings.HasPrefix(a.SynthesizeID(), "restaurant:") {
+		t.Errorf("id = %q", a.SynthesizeID())
+	}
+	// Same name, different zip: different instances.
+	c := NewCandidate("restaurant", "u3", "op")
+	c.Add("name", "Gochi Fusion Tapas", 1)
+	c.Add("zip", "94040", 1)
+	if a.SynthesizeID() == c.SynthesizeID() {
+		t.Error("different zips collide")
+	}
+	// No name at all: content-hash fallback, still deterministic.
+	d := NewCandidate("restaurant", "u4", "op")
+	d.Add("phone", "408-555-0101", 1)
+	if d.SynthesizeID() == "" || d.SynthesizeID() != d.SynthesizeID() {
+		t.Error("fallback id unstable")
+	}
+}
+
+func TestCandidateKeysSorted(t *testing.T) {
+	c := NewCandidate("x", "u", "op")
+	c.Add("zeta", "1", 1)
+	c.Add("alpha", "2", 1)
+	if got := c.Keys(); !reflect.DeepEqual(got, []string{"alpha", "zeta"}) {
+		t.Errorf("keys = %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package extract
+
+import (
+	"sort"
+
+	"conceptweb/internal/htmlx"
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgraph"
+)
+
+// SitePropagator extends domain-centric list extraction with site-level
+// template propagation: a template slot (class-path signature) that produced
+// accepted records anywhere on a site is trusted on every page of that site,
+// including pages where it occurs only once. This recovers the records that
+// pure repetition detection misses — a category page listing a single
+// restaurant still uses the site's result template — and is the "leverage
+// extraction efforts across sources within a site" idea of §7.2 applied at
+// the smallest scale.
+type SitePropagator struct {
+	Inner *ListExtractor
+}
+
+// Name identifies the operator in lineage chains.
+func (s *SitePropagator) Name() string { return s.Inner.Name() + "+propagate" }
+
+// ExtractSite runs two passes over one site's pages: first normal list
+// extraction (which also learns the accepted item signatures), then a sweep
+// that applies those signatures to unrepeated items. Candidates are deduped
+// by (source URL, name, evidence values).
+func (s *SitePropagator) ExtractSite(pages []*webgraph.Page) []*Candidate {
+	trusted := make(map[string]bool)
+	var out []*Candidate
+	seen := make(map[string]bool)
+
+	add := func(c *Candidate) {
+		key := c.SourceURL + "\x00" + textproc.Normalize(c.Get(s.Inner.Domain.NameKey)) +
+			"\x00" + textproc.Normalize(c.Get("zip")) + textproc.Normalize(c.Get("phone"))
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+
+	// Pass 1: repetition-based extraction; learn trusted signatures.
+	minItems := s.Inner.MinItems
+	if minItems < 2 {
+		minItems = 2
+	}
+	type pending struct {
+		page  *webgraph.Page
+		items []*htmlx.Node
+	}
+	var leftovers []pending
+	for _, p := range pages {
+		for _, group := range repeatedGroups(p.Doc, minItems) {
+			cands := s.Inner.extractGroup(p, group)
+			for _, c := range cands {
+				add(c)
+			}
+			if len(cands) > 0 {
+				trusted[group[0].ClassPathSignature()] = true
+			}
+		}
+		// Collect singleton items for pass 2.
+		var singles []*htmlx.Node
+		p.Doc.Walk(func(n *htmlx.Node) bool {
+			if n.Type != htmlx.ElementNode {
+				return true
+			}
+			kids := n.ChildElements()
+			bySig := make(map[string][]*htmlx.Node)
+			for _, k := range kids {
+				sig := k.Data + "." + k.Class()
+				bySig[sig] = append(bySig[sig], k)
+			}
+			for _, g := range bySig {
+				if len(g) < minItems {
+					singles = append(singles, g...)
+				}
+			}
+			return true
+		})
+		leftovers = append(leftovers, pending{p, singles})
+	}
+
+	if len(trusted) == 0 {
+		return out
+	}
+
+	// Pass 2: apply trusted signatures to unrepeated items.
+	for _, lo := range leftovers {
+		// Deterministic order.
+		sort.SliceStable(lo.items, func(i, j int) bool {
+			return lo.items[i].PathSignature() < lo.items[j].PathSignature()
+		})
+		for _, item := range lo.items {
+			if !trusted[item.ClassPathSignature()] {
+				continue
+			}
+			cand, hasEvidence, ok := s.Inner.parseItem(lo.page, item)
+			if !ok || !hasEvidence {
+				continue
+			}
+			add(cand.Chain("propagate", 0.9))
+		}
+	}
+	return out
+}

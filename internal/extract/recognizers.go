@@ -1,0 +1,252 @@
+package extract
+
+import (
+	"regexp"
+	"strings"
+
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/textproc"
+)
+
+// Recognizer is one unit of domain knowledge: a named attribute plus a rule
+// that recognizes values of that attribute in free text ("rules to identify
+// zips/phones", §4.2). Recognizers are intentionally high-precision: the
+// list extractor relies on them as anchors.
+type Recognizer struct {
+	Key  string
+	Kind lrec.ValueKind
+	// Match scans text and returns the first recognized value.
+	Match func(text string) (value string, ok bool)
+	// Weight is the evidence strength this field contributes when scoring
+	// candidate lists (anchor fields like zip/phone weigh more than, say,
+	// free-text names).
+	Weight float64
+}
+
+var (
+	zipRe    = regexp.MustCompile(`\b(9[0-9]{4})\b`)
+	phoneRe  = regexp.MustCompile(`\(?([2-9][0-9]{2})\)?[ .-]([0-9]{3})[ .-]([0-9]{4})\b`)
+	priceRe  = regexp.MustCompile(`\$[0-9]+(?:\.[0-9]{2})?\b`)
+	yearRe   = regexp.MustCompile(`\b(19[5-9][0-9]|20[0-4][0-9])\b`)
+	dateRe   = regexp.MustCompile(`\b(20[0-4][0-9])-([01][0-9])-([0-3][0-9])\b`)
+	ratingRe = regexp.MustCompile(`\b([0-5]\.[0-9]) stars?\b`)
+	hoursRe  = regexp.MustCompile(`\b(Mon|Tue|Wed|Thu|Fri|Sat|Sun)[a-z]*[ -].*[0-9]{1,2}:[0-9]{2}`)
+	mpRe     = regexp.MustCompile(`\b([0-9]{1,3}) megapixels?\b`)
+)
+
+// streetSuffixes anchor street-address recognition.
+var streetSuffixes = []string{
+	"St", "Ave", "Blvd", "Rd", "Real", "Expy", "Way", "Dr", "Ln", "Ct",
+}
+
+var streetRe = regexp.MustCompile(`\b[0-9]{1,5} (?:[0-9]{1,2}(?:st|nd|rd|th) )?(?:[A-Z][A-Za-z .]*? )?(` +
+	strings.Join(streetSuffixes, "|") + `)\b`)
+
+// matchRe adapts a regexp into a Match func.
+func matchRe(re *regexp.Regexp) func(string) (string, bool) {
+	return func(text string) (string, bool) {
+		if m := re.FindString(text); m != "" {
+			return m, true
+		}
+		return "", false
+	}
+}
+
+// ZipRecognizer recognizes 5-digit California-range zip codes.
+func ZipRecognizer() Recognizer {
+	return Recognizer{Key: "zip", Kind: lrec.KindZip, Match: matchRe(zipRe), Weight: 1.0}
+}
+
+// PhoneRecognizer recognizes North-American phone numbers in the formats
+// used across the corpus.
+func PhoneRecognizer() Recognizer {
+	return Recognizer{Key: "phone", Kind: lrec.KindPhone, Match: matchRe(phoneRe), Weight: 1.0}
+}
+
+// PriceRecognizer recognizes dollar amounts.
+func PriceRecognizer() Recognizer {
+	return Recognizer{Key: "price", Kind: lrec.KindPrice, Match: matchRe(priceRe), Weight: 0.8}
+}
+
+// StreetRecognizer recognizes street addresses by number + suffix shape.
+func StreetRecognizer() Recognizer {
+	return Recognizer{Key: "street", Kind: lrec.KindAddress, Match: matchRe(streetRe), Weight: 0.9}
+}
+
+// YearRecognizer recognizes plausible publication years.
+func YearRecognizer() Recognizer {
+	return Recognizer{Key: "year", Kind: lrec.KindDate, Match: matchRe(yearRe), Weight: 0.6}
+}
+
+// DateRecognizer recognizes ISO dates.
+func DateRecognizer() Recognizer {
+	return Recognizer{Key: "date", Kind: lrec.KindDate, Match: matchRe(dateRe), Weight: 0.9}
+}
+
+// RatingRecognizer recognizes "4.2 stars"-style ratings.
+func RatingRecognizer() Recognizer {
+	return Recognizer{Key: "rating", Kind: lrec.KindNumber, Match: func(text string) (string, bool) {
+		if m := ratingRe.FindStringSubmatch(text); m != nil {
+			return m[1], true
+		}
+		return "", false
+	}, Weight: 0.5}
+}
+
+// HoursRecognizer recognizes opening-hours strings.
+func HoursRecognizer() Recognizer {
+	return Recognizer{Key: "hours", Kind: lrec.KindText, Match: matchRe(hoursRe), Weight: 0.5}
+}
+
+// MegapixelRecognizer recognizes camera resolutions.
+func MegapixelRecognizer() Recognizer {
+	return Recognizer{Key: "megapixels", Kind: lrec.KindNumber, Match: func(text string) (string, bool) {
+		if m := mpRe.FindStringSubmatch(text); m != nil {
+			return m[1], true
+		}
+		return "", false
+	}, Weight: 0.7}
+}
+
+// GazetteerRecognizer recognizes values from a closed vocabulary (cities,
+// cuisines, venues). Matching is token-subsequence based and case-blind.
+func GazetteerRecognizer(key string, kind lrec.ValueKind, vocab []string, weight float64) Recognizer {
+	norm := make(map[string]string, len(vocab))
+	for _, v := range vocab {
+		norm[textproc.Normalize(v)] = v
+	}
+	// Longest entries first so "San Jose" beats "Jose".
+	keys := make([]string, 0, len(norm))
+	for k := range norm {
+		keys = append(keys, k)
+	}
+	sortByLenDesc(keys)
+	return Recognizer{Key: key, Kind: kind, Weight: weight,
+		Match: func(text string) (string, bool) {
+			nt := " " + textproc.Normalize(text) + " "
+			for _, k := range keys {
+				if strings.Contains(nt, " "+k+" ") {
+					return norm[k], true
+				}
+			}
+			return "", false
+		}}
+}
+
+func sortByLenDesc(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && (len(ss[j]) > len(ss[j-1]) ||
+			(len(ss[j]) == len(ss[j-1]) && ss[j] < ss[j-1])); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Constraint is a statistical domain constraint on extracted records (§4.2:
+// "each restaurant is associated with a single zip code and has one or two
+// phone numbers").
+type Constraint struct {
+	Key       string
+	MaxValues int
+}
+
+// Domain bundles the domain knowledge for extracting one concept: the
+// recognizers, the attribute treated as the record's name, the fields whose
+// presence is required evidence that a list is really about this concept,
+// and multiplicity constraints.
+type Domain struct {
+	Concept     string
+	Recognizers []Recognizer
+	// NameFrom selects where the record name comes from: "anchor" (link
+	// text), "first-span" (first unrecognized text span), or "" (no name).
+	NameFrom string
+	// NameKey is the attribute the name is stored under ("name" or "title").
+	NameKey string
+	// Evidence lists attribute keys at least one of which must be present
+	// in a list item for the item to count as a record of this concept.
+	Evidence []string
+	// MinEvidenceFrac is the fraction of items in a candidate list that must
+	// carry evidence for the list to be accepted (default 0.5).
+	MinEvidenceFrac float64
+	Constraints     []Constraint
+}
+
+// RestaurantDomain returns the restaurant domain knowledge used throughout
+// the experiments, with the city gazetteer supplied by the caller.
+func RestaurantDomain(cities []string, cuisines []string) Domain {
+	return Domain{
+		Concept: "restaurant",
+		Recognizers: []Recognizer{
+			ZipRecognizer(), PhoneRecognizer(), StreetRecognizer(),
+			GazetteerRecognizer("city", lrec.KindCity, cities, 0.7),
+			GazetteerRecognizer("cuisine", lrec.KindCategory, cuisines, 0.4),
+			RatingRecognizer(), HoursRecognizer(),
+		},
+		NameFrom: "anchor",
+		NameKey:  "name",
+		Evidence: []string{"zip", "phone", "street"},
+		Constraints: []Constraint{
+			{Key: "zip", MaxValues: 1},
+			{Key: "phone", MaxValues: 2},
+			{Key: "street", MaxValues: 1},
+		},
+	}
+}
+
+// MenuDomain returns the domain knowledge for menu-item lists.
+func MenuDomain() Domain {
+	return Domain{
+		Concept:     "menuitem",
+		Recognizers: []Recognizer{PriceRecognizer()},
+		NameFrom:    "first-span",
+		NameKey:     "name",
+		Evidence:    []string{"price"},
+		Constraints: []Constraint{{Key: "price", MaxValues: 1}},
+	}
+}
+
+// PublicationDomain returns the domain knowledge for publication lists.
+func PublicationDomain(venues []string) Domain {
+	return Domain{
+		Concept: "publication",
+		Recognizers: []Recognizer{
+			YearRecognizer(),
+			GazetteerRecognizer("venue", lrec.KindText, venues, 1.0),
+		},
+		NameFrom:        "anchor",
+		NameKey:         "title",
+		Evidence:        []string{"venue", "year"},
+		MinEvidenceFrac: 0.6,
+		Constraints:     []Constraint{{Key: "year", MaxValues: 1}},
+	}
+}
+
+// EventDomain returns the domain knowledge for local-event pages (city
+// calendars): an ISO date is the required evidence, the city comes from the
+// gazetteer, and a single-date constraint keeps calendar *indexes* (many
+// dates) from being read as one event.
+func EventDomain(cities []string) Domain {
+	return Domain{
+		Concept: "event",
+		Recognizers: []Recognizer{
+			DateRecognizer(),
+			GazetteerRecognizer("city", lrec.KindCity, cities, 0.7),
+		},
+		NameFrom:    "anchor",
+		NameKey:     "name",
+		Evidence:    []string{"date"},
+		Constraints: []Constraint{{Key: "date", MaxValues: 1}},
+	}
+}
+
+// ProductDomain returns the domain knowledge for product listings.
+func ProductDomain() Domain {
+	return Domain{
+		Concept:     "product",
+		Recognizers: []Recognizer{PriceRecognizer(), MegapixelRecognizer()},
+		NameFrom:    "anchor",
+		NameKey:     "name",
+		Evidence:    []string{"price"},
+		Constraints: []Constraint{{Key: "price", MaxValues: 1}},
+	}
+}

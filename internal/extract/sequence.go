@@ -1,0 +1,324 @@
+package extract
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Sequence tagging (§4.1's "semantic" baseline): the paper cites CRF-based
+// parsing of postal addresses and publication lists. We implement the
+// training-compatible structured perceptron (Collins 2002) over the same
+// linear-chain feature templates — a standard CRF stand-in with no external
+// dependencies — and note the paper's caveat that such models "require large
+// supervised training data and are sensitive to the construction of this
+// training data"; experiment A1 reproduces that sensitivity.
+
+// Citation labels.
+const (
+	LabelAuthor = "AUTHOR"
+	LabelTitle  = "TITLE"
+	LabelVenue  = "VENUE"
+	LabelYear   = "YEAR"
+	LabelOther  = "O"
+)
+
+// TokenizeCitation splits a citation string into word and punctuation
+// tokens; punctuation is significant for segmentation.
+func TokenizeCitation(s string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			toks = append(toks, string(r))
+		}
+	}
+	flush()
+	return toks
+}
+
+// Tagged is one training sequence.
+type Tagged struct {
+	Tokens []string
+	Labels []string
+}
+
+// Tagger is a linear-chain structured perceptron sequence model.
+type Tagger struct {
+	Labels  []string
+	weights map[string]float64
+	// Averaging bookkeeping (lazy average trick).
+	totals  map[string]float64
+	stamps  map[string]int
+	updates int
+	// Gazetteers give the model lexicon features (e.g. known venues).
+	Gazetteer map[string]string // normalized token -> feature tag
+}
+
+// NewTagger returns an untrained tagger over the given label set.
+func NewTagger(labels []string) *Tagger {
+	return &Tagger{
+		Labels:    labels,
+		weights:   make(map[string]float64),
+		totals:    make(map[string]float64),
+		stamps:    make(map[string]int),
+		Gazetteer: make(map[string]string),
+	}
+}
+
+// features returns the emission feature strings for position i.
+func (t *Tagger) features(tokens []string, i int) []string {
+	w := tokens[i]
+	lw := strings.ToLower(w)
+	feats := []string{
+		"w=" + lw,
+		"shape=" + shape(w),
+	}
+	if tag, ok := t.Gazetteer[lw]; ok {
+		feats = append(feats, "gaz="+tag)
+	}
+	if i == 0 {
+		feats = append(feats, "first")
+	}
+	if i == len(tokens)-1 {
+		feats = append(feats, "last")
+	}
+	if i > 0 {
+		feats = append(feats, "prevw="+strings.ToLower(tokens[i-1]))
+	}
+	if i+1 < len(tokens) {
+		feats = append(feats, "nextw="+strings.ToLower(tokens[i+1]))
+	}
+	// Coarse position bucket.
+	switch {
+	case 3*i < len(tokens):
+		feats = append(feats, "pos=begin")
+	case 3*i < 2*len(tokens):
+		feats = append(feats, "pos=mid")
+	default:
+		feats = append(feats, "pos=end")
+	}
+	return feats
+}
+
+func shape(w string) string {
+	switch {
+	case isYearToken(w):
+		return "year"
+	case allDigits(w):
+		return "digits"
+	case len(w) == 1 && !unicode.IsLetter(rune(w[0])) && !unicode.IsDigit(rune(w[0])):
+		return "punct:" + w
+	case allUpper(w):
+		return "allcaps"
+	case unicode.IsUpper(rune(w[0])):
+		return "cap"
+	default:
+		return "lower"
+	}
+}
+
+func isYearToken(w string) bool {
+	if len(w) != 4 || !allDigits(w) {
+		return false
+	}
+	return (w[0] == '1' && w[1] == '9') || (w[0] == '2' && w[1] == '0')
+}
+
+func allDigits(w string) bool {
+	for _, r := range w {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(w) > 0
+}
+
+func allUpper(w string) bool {
+	hasLetter := false
+	for _, r := range w {
+		if unicode.IsLetter(r) {
+			hasLetter = true
+			if !unicode.IsUpper(r) {
+				return false
+			}
+		}
+	}
+	return hasLetter && len(w) > 1
+}
+
+func (t *Tagger) get(feat, label string) float64 {
+	return t.weights[feat+"\x00"+label]
+}
+
+func (t *Tagger) bump(feat, label string, delta float64) {
+	key := feat + "\x00" + label
+	// Lazy averaging: settle the pending contribution before updating.
+	t.totals[key] += float64(t.updates-t.stamps[key]) * t.weights[key]
+	t.stamps[key] = t.updates
+	t.weights[key] += delta
+}
+
+// score computes the local score of assigning label at position i given the
+// previous label.
+func (t *Tagger) score(feats []string, prev, label string) float64 {
+	s := t.get("T|"+prev, label)
+	for _, f := range feats {
+		s += t.get(f, label)
+	}
+	return s
+}
+
+// Predict returns the Viterbi-best label sequence for tokens.
+func (t *Tagger) Predict(tokens []string) []string {
+	n := len(tokens)
+	if n == 0 {
+		return nil
+	}
+	L := len(t.Labels)
+	delta := make([][]float64, n)
+	back := make([][]int, n)
+	feats0 := t.features(tokens, 0)
+	delta[0] = make([]float64, L)
+	back[0] = make([]int, L)
+	for j, lab := range t.Labels {
+		delta[0][j] = t.score(feats0, "START", lab)
+	}
+	for i := 1; i < n; i++ {
+		feats := t.features(tokens, i)
+		delta[i] = make([]float64, L)
+		back[i] = make([]int, L)
+		for j, lab := range t.Labels {
+			best, bestK := delta[i-1][0]+t.score(feats, t.Labels[0], lab), 0
+			for k := 1; k < L; k++ {
+				if s := delta[i-1][k] + t.score(feats, t.Labels[k], lab); s > best {
+					best, bestK = s, k
+				}
+			}
+			delta[i][j] = best
+			back[i][j] = bestK
+		}
+	}
+	bestJ := 0
+	for j := 1; j < L; j++ {
+		if delta[n-1][j] > delta[n-1][bestJ] {
+			bestJ = j
+		}
+	}
+	out := make([]string, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = t.Labels[bestJ]
+		bestJ = back[i][bestJ]
+	}
+	return out
+}
+
+// Train runs the averaged structured perceptron for the given epochs.
+// Training is deterministic: examples are visited in order.
+func (t *Tagger) Train(data []Tagged, epochs int) {
+	for e := 0; e < epochs; e++ {
+		for _, ex := range data {
+			t.updates++
+			pred := t.Predict(ex.Tokens)
+			if equalLabels(pred, ex.Labels) {
+				continue
+			}
+			prevGold, prevPred := "START", "START"
+			for i := range ex.Tokens {
+				feats := t.features(ex.Tokens, i)
+				if pred[i] != ex.Labels[i] || prevGold != prevPred {
+					for _, f := range feats {
+						if pred[i] != ex.Labels[i] {
+							t.bump(f, ex.Labels[i], 1)
+							t.bump(f, pred[i], -1)
+						}
+					}
+					t.bump("T|"+prevGold, ex.Labels[i], 1)
+					t.bump("T|"+prevPred, pred[i], -1)
+				}
+				prevGold, prevPred = ex.Labels[i], pred[i]
+			}
+		}
+	}
+	t.average()
+}
+
+// average finalizes weights to their running averages, which stabilizes the
+// perceptron's predictions.
+func (t *Tagger) average() {
+	if t.updates == 0 {
+		return
+	}
+	keys := make([]string, 0, len(t.weights))
+	for k := range t.weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.totals[k] += float64(t.updates-t.stamps[k]) * t.weights[k]
+		t.stamps[k] = t.updates
+		t.weights[k] = t.totals[k] / float64(t.updates)
+	}
+}
+
+func equalLabels(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SpansOf groups a predicted label sequence into (label, text) segments,
+// skipping LabelOther and punctuation-only segments.
+func SpansOf(tokens, labels []string) map[string]string {
+	out := make(map[string]string)
+	var cur []string
+	curLab := ""
+	flush := func() {
+		if curLab == "" || curLab == LabelOther || len(cur) == 0 {
+			cur, curLab = nil, ""
+			return
+		}
+		text := strings.Join(cur, " ")
+		if strings.TrimFunc(text, func(r rune) bool {
+			return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+		}) == "" {
+			cur, curLab = nil, ""
+			return
+		}
+		if _, dup := out[curLab]; !dup { // keep the first segment per label
+			out[curLab] = text
+		}
+		cur, curLab = nil, ""
+	}
+	for i, tok := range tokens {
+		if labels[i] != curLab {
+			flush()
+			curLab = labels[i]
+		}
+		// Skip bare punctuation inside segments.
+		if len(tok) == 1 && !unicode.IsLetter(rune(tok[0])) && !unicode.IsDigit(rune(tok[0])) {
+			continue
+		}
+		cur = append(cur, tok)
+	}
+	flush()
+	return out
+}

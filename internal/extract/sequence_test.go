@@ -1,0 +1,324 @@
+package extract
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"conceptweb/internal/webgen"
+	"conceptweb/internal/webgraph"
+)
+
+func TestTokenizeCitation(t *testing.T) {
+	got := TokenizeCitation("A. Smith (2005). Title Here. VLDB.")
+	want := []string{"A", ".", "Smith", "(", "2005", ")", ".", "Title", "Here", ".", "VLDB", "."}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tokens = %v", got)
+	}
+	if TokenizeCitation("") != nil {
+		t.Error("empty should be nil")
+	}
+}
+
+func TestShapeFeatures(t *testing.T) {
+	cases := map[string]string{
+		"2005":  "year",
+		"1999":  "year",
+		"1234":  "digits",
+		"12345": "digits",
+		"VLDB":  "allcaps",
+		"Title": "cap",
+		"word":  "lower",
+		".":     "punct:.",
+	}
+	for in, want := range cases {
+		if got := shape(in); got != want {
+			t.Errorf("shape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// labelCitation builds a gold label sequence for a synthetic citation built
+// from known parts, by aligning token spans.
+func labelCitation(authors, title, venue, year string, full string) Tagged {
+	toks := TokenizeCitation(full)
+	labels := make([]string, len(toks))
+	mark := func(part, label string) {
+		pt := TokenizeCitation(part)
+		if len(pt) == 0 {
+			return
+		}
+		for i := 0; i+len(pt) <= len(toks); i++ {
+			match := true
+			for j := range pt {
+				if toks[i+j] != pt[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				for j := range pt {
+					labels[i+j] = label
+				}
+			}
+		}
+	}
+	for i := range labels {
+		labels[i] = LabelOther
+	}
+	mark(title, LabelTitle)
+	mark(authors, LabelAuthor)
+	mark(venue, LabelVenue)
+	mark(year, LabelYear)
+	return Tagged{Tokens: toks, Labels: labels}
+}
+
+// citeCorpus builds a labeled corpus in the given style from the world's
+// papers. Styles follow webgen's citation formats.
+func citeCorpus(w *webgen.World, style int, limit int) []Tagged {
+	var out []Tagged
+	for _, a := range w.Authors {
+		for _, pid := range a.PaperIDs {
+			p, _ := w.PaperByID(pid)
+			names := make([]string, len(p.AuthorIDs))
+			for i, aid := range p.AuthorIDs {
+				au, _ := w.AuthorByID(aid)
+				if style%3 == 1 {
+					parts := strings.Fields(au.Name)
+					names[i] = parts[0][:1] + ". " + parts[len(parts)-1]
+				} else {
+					names[i] = au.Name
+				}
+			}
+			authors := strings.Join(names, ", ")
+			var full string
+			switch style % 3 {
+			case 1:
+				full = fmt.Sprintf("%s. %s. In Proceedings of %s, %d.", authors, p.Title, p.Venue, p.Year)
+			case 2:
+				full = fmt.Sprintf("%s (%d). %s. %s.", authors, p.Year, p.Title, p.Venue)
+			default:
+				full = fmt.Sprintf("%s. %s. %s %d.", authors, p.Title, p.Venue, p.Year)
+			}
+			out = append(out, labelCitation(authors, p.Title, p.Venue, fmt.Sprintf("%d", p.Year), full))
+			if len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func trainTestWorld() *webgen.World {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 5
+	cfg.Authors = 30
+	cfg.Papers = 80
+	cfg.ReviewArticles = 2
+	cfg.TVArticles = 2
+	return webgen.Generate(cfg)
+}
+
+func newCitationTagger(w *webgen.World) *Tagger {
+	tg := NewTagger([]string{LabelAuthor, LabelTitle, LabelVenue, LabelYear, LabelOther})
+	for _, v := range []string{"PODS", "SIGMOD", "VLDB", "ICDE", "KDD", "WWW", "WSDM", "CIDR"} {
+		tg.Gazetteer[strings.ToLower(v)] = "venue"
+	}
+	return tg
+}
+
+func tokenAccuracy(tg *Tagger, data []Tagged) float64 {
+	correct, total := 0, 0
+	for _, ex := range data {
+		pred := tg.Predict(ex.Tokens)
+		for i := range pred {
+			total++
+			if pred[i] == ex.Labels[i] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestTaggerLearnsCitations(t *testing.T) {
+	w := trainTestWorld()
+	data := citeCorpus(w, 0, 120)
+	if len(data) < 40 {
+		t.Fatalf("corpus too small: %d", len(data))
+	}
+	split := len(data) * 3 / 4
+	tg := newCitationTagger(w)
+	tg.Train(data[:split], 8)
+	acc := tokenAccuracy(tg, data[split:])
+	t.Logf("held-out token accuracy (same style) = %.3f", acc)
+	if acc < 0.9 {
+		t.Errorf("accuracy %.3f too low", acc)
+	}
+}
+
+func TestTaggerDegradesCrossStyle(t *testing.T) {
+	// The paper: "a model learnt to extract Computer Science publications
+	// may perform poorly on Physics publications" — train on style 0, test
+	// on style 2 (year moves to the front). Accuracy must drop measurably.
+	w := trainTestWorld()
+	train := citeCorpus(w, 0, 120)
+	testSame := citeCorpus(w, 0, 40)
+	testCross := citeCorpus(w, 2, 40)
+	tg := newCitationTagger(w)
+	tg.Train(train, 8)
+	same := tokenAccuracy(tg, testSame)
+	cross := tokenAccuracy(tg, testCross)
+	t.Logf("same-style=%.3f cross-style=%.3f", same, cross)
+	if cross >= same {
+		t.Errorf("cross-style accuracy %.3f >= same-style %.3f; expected degradation", cross, same)
+	}
+	if same-cross < 0.05 {
+		t.Errorf("degradation %.3f too small to demonstrate sensitivity", same-cross)
+	}
+}
+
+func TestPredictEmptyAndUntrained(t *testing.T) {
+	tg := NewTagger([]string{"A", "B"})
+	if got := tg.Predict(nil); got != nil {
+		t.Errorf("empty predict = %v", got)
+	}
+	got := tg.Predict([]string{"x", "y"})
+	if len(got) != 2 {
+		t.Errorf("untrained predict = %v", got)
+	}
+}
+
+func TestSpansOf(t *testing.T) {
+	tokens := []string{"J", ".", "Smith", ".", "Great", "Paper", ".", "VLDB", "2005", "."}
+	labels := []string{"AUTHOR", "AUTHOR", "AUTHOR", "O", "TITLE", "TITLE", "O", "VENUE", "YEAR", "O"}
+	spans := SpansOf(tokens, labels)
+	if spans[LabelTitle] != "Great Paper" {
+		t.Errorf("title = %q", spans[LabelTitle])
+	}
+	if spans[LabelAuthor] != "J Smith" {
+		t.Errorf("author = %q", spans[LabelAuthor])
+	}
+	if spans[LabelVenue] != "VLDB" || spans[LabelYear] != "2005" {
+		t.Errorf("venue/year = %q/%q", spans[LabelVenue], spans[LabelYear])
+	}
+}
+
+func TestSpansOfSkipsPunctuationOnly(t *testing.T) {
+	spans := SpansOf([]string{".", ","}, []string{"TITLE", "TITLE"})
+	if _, ok := spans[LabelTitle]; ok {
+		t.Error("punctuation-only span kept")
+	}
+}
+
+func TestCitationExtractorEndToEnd(t *testing.T) {
+	w := trainTestWorld()
+	tg := newCitationTagger(w)
+	tg.Train(citeCorpus(w, 0, 150), 8)
+	ce := &CitationExtractor{Tagger: tg}
+
+	// Find a personal homepage rendered in style 0.
+	var page *webgen.Page
+	for _, p := range w.Pages() {
+		if p.Truth.Kind == webgen.KindAuthorHome &&
+			strings.HasPrefix(p.Truth.Site, "people.") &&
+			len(p.Truth.EntityIDs) > 2 {
+			site, _ := w.SiteByHost(p.Truth.Site)
+			if site.Style == "homepage-style-0" {
+				page = p
+				break
+			}
+		}
+	}
+	if page == nil {
+		t.Skip("no style-0 homepage with enough papers")
+	}
+	cands := ce.Extract(webgraph.NewPage(page.URL, page.HTML))
+	if len(cands) == 0 {
+		t.Fatal("no citations extracted")
+	}
+	// Titles extracted should mostly be real paper titles of this author.
+	truthTitles := map[string]bool{}
+	for _, id := range page.Truth.EntityIDs {
+		if p, ok := w.PaperByID(id); ok {
+			truthTitles[strings.ToLower(p.Title)] = true
+		}
+	}
+	hits := 0
+	for _, c := range cands {
+		if truthTitles[strings.ToLower(c.Get("title"))] {
+			hits++
+		}
+	}
+	t.Logf("citation extractor: %d/%d titles exact", hits, len(cands))
+	if hits == 0 {
+		t.Error("no extracted title matched ground truth")
+	}
+}
+
+func TestTaggerDeterministic(t *testing.T) {
+	w := trainTestWorld()
+	data := citeCorpus(w, 0, 60)
+	run := func() []string {
+		tg := newCitationTagger(w)
+		tg.Train(data[:40], 4)
+		return tg.Predict(data[45].Tokens)
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Error("training not deterministic")
+	}
+}
+
+// TestTaggerTransferLearning exercises the §7.2 suggestion: "suppose we
+// produce sufficient labeled data to develop a good extractor [for one
+// source]; we should not require the full efforts to develop a new
+// extractor [for the next]". Fine-tuning the style-0 model with a handful
+// of style-2 examples recovers most of the lost accuracy — far fewer labels
+// than training style 2 from scratch would need.
+func TestTaggerTransferLearning(t *testing.T) {
+	w := trainTestWorld()
+	trainBase := citeCorpus(w, 0, 120)
+	fewShot := citeCorpus(w, 2, 10)
+	testCross := citeCorpus(w, 2, 60)[20:] // disjoint from fewShot
+
+	// Baseline: source-style model on the target style.
+	base := newCitationTagger(w)
+	base.Train(trainBase, 8)
+	before := tokenAccuracy(base, testCross)
+
+	// Transfer: continue training with the few target-style labels.
+	transfer := newCitationTagger(w)
+	transfer.Train(append(append([]Tagged{}, trainBase...), fewShot...), 8)
+	after := tokenAccuracy(transfer, testCross)
+
+	// Scratch model with only the same few labels: fine on the target style
+	// (the templates are regular) but it has never seen the source style.
+	scratch := newCitationTagger(w)
+	scratch.Train(fewShot, 8)
+	scratchCross := tokenAccuracy(scratch, testCross)
+	testSource := citeCorpus(w, 0, 40)
+	scratchSource := tokenAccuracy(scratch, testSource)
+	transferSource := tokenAccuracy(transfer, testSource)
+
+	t.Logf("target style: base=%.3f transfer=%.3f scratch=%.3f; source style: transfer=%.3f scratch=%.3f",
+		before, after, scratchCross, transferSource, scratchSource)
+	if after <= before {
+		t.Errorf("transfer did not help on the target style: %.3f -> %.3f", before, after)
+	}
+	if after < 0.85 {
+		t.Errorf("transferred accuracy %.3f too low", after)
+	}
+	// The transfer payoff: one model now covers both styles, which the
+	// few-label scratch model does not.
+	if transferSource < 0.9 {
+		t.Errorf("transfer forgot the source style: %.3f", transferSource)
+	}
+	if scratchSource >= transferSource {
+		t.Errorf("scratch model unexpectedly covers the source style: %.3f >= %.3f",
+			scratchSource, transferSource)
+	}
+}

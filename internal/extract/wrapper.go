@@ -1,0 +1,164 @@
+package extract
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"conceptweb/internal/htmlx"
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgraph"
+)
+
+// Wrapper induction (§4.1): learn per-site extraction rules from a few
+// labeled example pages. This is the site-centric structural baseline the
+// paper contrasts with domain-centric extraction — "with relatively few
+// labeled examples, extraction rules, called wrappers, can be learnt", but
+// "they rely on the existence of a structure" and do not transfer across
+// sites. Experiment A1 measures exactly that failure mode.
+
+// ErrNoRules is returned when induction cannot find any consistent rule.
+var ErrNoRules = errors.New("extract: no consistent wrapper rules found")
+
+// LabeledExample is one training page with its true attribute values.
+type LabeledExample struct {
+	Page  *webgraph.Page
+	Attrs map[string]string
+}
+
+// wrapperRule locates an attribute on a page: the class-path signature of
+// the node holding the value, and the occurrence index among nodes sharing
+// that signature.
+type wrapperRule struct {
+	Sig   string
+	Index int
+}
+
+// Wrapper is a learned site-specific extractor.
+type Wrapper struct {
+	Concept string
+	Host    string
+	Rules   map[string]wrapperRule
+}
+
+// Name implements Operator.
+func (w *Wrapper) Name() string { return "wrapper:" + w.Host }
+
+// InduceWrapper learns extraction rules for concept on host from labeled
+// examples. For each attribute it finds, on each example page, the DOM nodes
+// whose text matches the labeled value, keyed by (signature, index); the
+// majority key across examples becomes the rule. Attributes with no
+// consistent location are skipped; if no attribute yields a rule, ErrNoRules.
+func InduceWrapper(concept, host string, examples []LabeledExample) (*Wrapper, error) {
+	votes := make(map[string]map[wrapperRule]int) // attr -> rule -> count
+	for _, ex := range examples {
+		for attr, val := range ex.Attrs {
+			want := textproc.Normalize(val)
+			if want == "" {
+				continue
+			}
+			for _, loc := range locateValue(ex.Page.Doc, want) {
+				m := votes[attr]
+				if m == nil {
+					m = make(map[wrapperRule]int)
+					votes[attr] = m
+				}
+				m[loc]++
+			}
+		}
+	}
+	w := &Wrapper{Concept: concept, Host: host, Rules: make(map[string]wrapperRule)}
+	for attr, m := range votes {
+		best, bestN := wrapperRule{}, 0
+		// Deterministic winner: highest count, ties by signature then index.
+		rules := make([]wrapperRule, 0, len(m))
+		for r := range m {
+			rules = append(rules, r)
+		}
+		sort.Slice(rules, func(i, j int) bool {
+			if rules[i].Sig != rules[j].Sig {
+				return rules[i].Sig < rules[j].Sig
+			}
+			return rules[i].Index < rules[j].Index
+		})
+		for _, r := range rules {
+			if m[r] > bestN {
+				best, bestN = r, m[r]
+			}
+		}
+		// Require the rule to hold on a majority of examples.
+		if bestN*2 > len(examples) {
+			w.Rules[attr] = best
+		}
+	}
+	if len(w.Rules) == 0 {
+		return nil, fmt.Errorf("%w (host %s)", ErrNoRules, host)
+	}
+	return w, nil
+}
+
+// locateValue finds the (signature, index) locations of nodes whose own text
+// normalizes to want. Only the deepest matching nodes are reported.
+func locateValue(doc *htmlx.Node, want string) []wrapperRule {
+	counts := make(map[string]int)
+	var out []wrapperRule
+	doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode {
+			return true
+		}
+		sig := n.ClassPathSignature()
+		idx := counts[sig]
+		counts[sig]++
+		if textproc.Normalize(n.Text()) == want {
+			// Deepest match: if a child also matches exactly, prefer it.
+			deeper := false
+			for _, c := range n.ChildElements() {
+				if textproc.Normalize(c.Text()) == want {
+					deeper = true
+					break
+				}
+			}
+			if !deeper {
+				out = append(out, wrapperRule{Sig: sig, Index: idx})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Extract implements Operator: apply the learned rules to a page. The rules
+// fire only where the template matches — on other sites they silently find
+// nothing, which is the wrapper brittleness the A1 experiment demonstrates.
+func (w *Wrapper) Extract(p *webgraph.Page) []*Candidate {
+	counts := make(map[string]int)
+	found := make(map[string]string)
+	p.Doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode {
+			return true
+		}
+		sig := n.ClassPathSignature()
+		idx := counts[sig]
+		counts[sig]++
+		for attr, rule := range w.Rules {
+			if rule.Sig == sig && rule.Index == idx {
+				if _, dup := found[attr]; !dup {
+					found[attr] = n.Text()
+				}
+			}
+		}
+		return true
+	})
+	if len(found) == 0 {
+		return nil
+	}
+	cand := NewCandidate(w.Concept, p.URL, w.Name())
+	for attr, val := range found {
+		cand.Add(attr, val, 0.95)
+	}
+	// A lone attribute with no name is unusable noise.
+	if cand.Get("name") == "" && cand.Get("title") == "" && len(found) < 2 {
+		return nil
+	}
+	return []*Candidate{cand}
+}

@@ -1,0 +1,218 @@
+package extract
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgen"
+	"conceptweb/internal/webgraph"
+)
+
+// bizPages returns (page, truth-attrs) pairs for fresh biz pages of a host.
+func bizPages(w *webgen.World, host string) []LabeledExample {
+	site, _ := w.SiteByHost(host)
+	var out []LabeledExample
+	for _, p := range site.Pages {
+		if p.Truth.Kind != webgen.KindBiz {
+			continue
+		}
+		out = append(out, LabeledExample{
+			Page: webgraph.NewPage(p.URL, p.HTML),
+			Attrs: map[string]string{
+				"name":  p.Truth.Attrs["name"],
+				"zip":   p.Truth.Attrs["zip"],
+				"phone": p.Truth.Attrs["phone"],
+			},
+		})
+	}
+	return out
+}
+
+func TestWrapperInductionSameSite(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 40
+	cfg.ReviewArticles = 5
+	w := webgen.Generate(cfg)
+	exs := bizPages(w, "welp.example")
+	if len(exs) < 10 {
+		t.Fatalf("only %d biz pages", len(exs))
+	}
+	wr, err := InduceWrapper("restaurant", "welp.example", exs[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Rules) < 2 {
+		t.Fatalf("learned only %d rules: %+v", len(wr.Rules), wr.Rules)
+	}
+	// Apply to held-out pages of the same site: should be near-perfect.
+	correct, total := 0, 0
+	for _, ex := range exs[3:] {
+		cands := wr.Extract(ex.Page)
+		if len(cands) != 1 {
+			t.Fatalf("page %s: %d candidates", ex.Page.URL, len(cands))
+		}
+		for attr, want := range ex.Attrs {
+			if _, hasRule := wr.Rules[attr]; !hasRule {
+				continue
+			}
+			total++
+			if textproc.Normalize(cands[0].Get(attr)) == textproc.Normalize(want) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("nothing to score")
+	}
+	acc := float64(correct) / float64(total)
+	t.Logf("wrapper same-site accuracy = %.3f (%d/%d)", acc, correct, total)
+	if acc < 0.95 {
+		t.Errorf("same-site accuracy %.3f too low", acc)
+	}
+}
+
+func TestWrapperCollapsesCrossSite(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 40
+	cfg.ReviewArticles = 5
+	w := webgen.Generate(cfg)
+	wr, err := InduceWrapper("restaurant", "welp.example", bizPages(w, "welp.example")[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply to a different aggregator: the template differs, so the wrapper
+	// extracts essentially nothing correct — the §4.1 brittleness.
+	correct, total := 0, 0
+	for _, ex := range bizPages(w, "citysift.example") {
+		total++
+		for _, c := range wr.Extract(ex.Page) {
+			if textproc.Normalize(c.Get("name")) == textproc.Normalize(ex.Attrs["name"]) &&
+				c.Get("zip") == ex.Attrs["zip"] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no cross-site pages")
+	}
+	frac := float64(correct) / float64(total)
+	t.Logf("wrapper cross-site accuracy = %.3f", frac)
+	if frac > 0.1 {
+		t.Errorf("wrapper unexpectedly works cross-site (%.3f)", frac)
+	}
+}
+
+func TestInduceWrapperNoRules(t *testing.T) {
+	p := webgraph.NewPage("x.example/1", "<html><body><p>nothing labeled here</p></body></html>")
+	_, err := InduceWrapper("c", "x.example", []LabeledExample{
+		{Page: p, Attrs: map[string]string{"name": "absent value"}},
+	})
+	if !errors.Is(err, ErrNoRules) {
+		t.Errorf("err = %v, want ErrNoRules", err)
+	}
+}
+
+func TestWrapperMajorityVoting(t *testing.T) {
+	// Three examples; the value appears at a consistent slot in all three
+	// plus a spurious slot in one. Majority voting must pick the consistent
+	// one.
+	mk := func(name string, extra string) *webgraph.Page {
+		return webgraph.NewPage("s.example/"+name,
+			`<html><body><div class="main"><h1 class="nm">`+name+`</h1>`+extra+`</div></body></html>`)
+	}
+	exs := []LabeledExample{
+		{Page: mk("alpha", `<span class="junk">alpha</span>`), Attrs: map[string]string{"name": "alpha"}},
+		{Page: mk("beta", ""), Attrs: map[string]string{"name": "beta"}},
+		{Page: mk("gamma", ""), Attrs: map[string]string{"name": "gamma"}},
+	}
+	wr, err := InduceWrapper("c", "s.example", exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := wr.Rules["name"]
+	if rule.Sig == "" {
+		t.Fatal("no name rule")
+	}
+	cands := wr.Extract(mk("delta", `<span class="junk">unrelated</span>`))
+	if len(cands) != 1 || cands[0].Get("name") != "delta" {
+		t.Errorf("cands = %+v", cands)
+	}
+}
+
+// TestRedesignRobustness reproduces the §7.3 concern: when a site redesigns
+// (here: renames every CSS class), wrappers keyed to the old template break,
+// while domain-centric extraction — anchored in repetition and field shapes,
+// not class names — keeps working. This is the motivation the paper cites
+// for robust extraction [22, 50].
+func TestRedesignRobustness(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 40
+	cfg.ReviewArticles = 5
+	w := webgen.Generate(cfg)
+
+	redesign := func(html string) string {
+		r := strings.NewReplacer(
+			`class="results"`, `class="hits-v2"`,
+			`class="result"`, `class="hit-v2"`,
+			`class="name"`, `class="title-v2"`,
+			`class="addr"`, `class="loc-v2"`,
+			`class="zip"`, `class="postal-v2"`,
+			`class="phone"`, `class="tel-v2"`,
+			`class="biz-card"`, `class="panel-v2"`,
+			`class="biz-name"`, `class="heading-v2"`,
+			`class="biz-info"`, `class="info-v2"`,
+			`class="address"`, `class="street-v2"`,
+			`class="city"`, `class="town-v2"`,
+		)
+		return r.Replace(html)
+	}
+
+	// Train a wrapper on the original welp biz pages.
+	exs := bizPages(w, "welp.example")
+	wr, err := InduceWrapper("restaurant", "welp.example", exs[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	site, _ := w.SiteByHost("welp.example")
+	domain := RestaurantDomain(w.Cities(), webgen.Cuisines())
+	le := &ListExtractor{Domain: domain}
+
+	wrapperOK, domainOK, total := 0, 0, 0
+	for _, p := range site.Pages {
+		if p.Truth.Kind != webgen.KindCategory || len(p.Truth.EntityIDs) < 2 {
+			continue
+		}
+		redesigned := webgraph.NewPage(p.URL, redesign(p.HTML))
+		total += len(p.Truth.EntityIDs)
+		names := map[string]bool{}
+		for _, id := range p.Truth.EntityIDs {
+			r, _ := w.RestaurantByID(id)
+			names[textproc.Normalize(r.Name)] = true
+		}
+		for _, c := range le.Extract(redesigned) {
+			if names[textproc.Normalize(c.Get("name"))] {
+				domainOK++
+			}
+		}
+		for _, c := range wr.Extract(redesigned) {
+			if names[textproc.Normalize(c.Get("name"))] {
+				wrapperOK++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no multi-entity category pages")
+	}
+	dFrac := float64(domainOK) / float64(total)
+	wFrac := float64(wrapperOK) / float64(total)
+	t.Logf("after redesign: domain-centric recall=%.2f, wrapper recall=%.2f (n=%d)", dFrac, wFrac, total)
+	if dFrac < 0.9 {
+		t.Errorf("domain-centric extraction broke under redesign: %.2f", dFrac)
+	}
+	if wFrac > 0.1 {
+		t.Errorf("wrapper unexpectedly survived the redesign: %.2f", wFrac)
+	}
+}

@@ -1,0 +1,412 @@
+// Package index implements an in-memory inverted index with BM25F-style
+// ranked retrieval, boolean retrieval, and phrase matching.
+//
+// The paper's premise (§2.2) is that a web of concepts should remain
+// "amenable to leveraging existing search engine infrastructure" — i.e. an
+// inverted index. This package is that infrastructure: it indexes both
+// plain documents (web pages) and flattened lrecs, and the search layer
+// (internal/search) builds concept-aware ranking on top of it.
+package index
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+
+	"conceptweb/internal/textproc"
+)
+
+// ErrNotFound is returned when a requested document is not in the index.
+var ErrNotFound = errors.New("index: document not found")
+
+// Field names a document section with its own length statistics and boost.
+type Field struct {
+	Name  string
+	Text  string
+	Boost float64 // defaults to 1 if <= 0
+}
+
+// Document is the unit of indexing.
+type Document struct {
+	ID     string
+	Fields []Field
+}
+
+// posting records the occurrences of a term in one document field.
+type posting struct {
+	doc   int // internal doc number
+	field int // internal field number
+	freq  int
+	pos   []int // token positions within the field, for phrase queries
+}
+
+// fieldStats tracks per-field length statistics for BM25F normalization.
+type fieldStats struct {
+	name     string
+	totalLen int
+	boost    float64
+}
+
+// Index is an inverted index. All methods are safe for concurrent use; a
+// single RWMutex suffices because the workloads here are read-heavy after a
+// bulk build, matching the paper's build-then-serve lifecycle.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string][]posting
+	extIDs   []string       // doc number -> external ID
+	byExt    map[string]int // external ID -> doc number
+	docLens  [][]int        // doc number -> field number -> token count
+	deleted  map[int]bool   // doc numbers removed from retrieval
+	fields   []fieldStats
+	fieldNum map[string]int
+	// BM25 parameters.
+	K1 float64
+	B  float64
+}
+
+// New returns an empty index with standard BM25 parameters (k1=1.2, b=0.75).
+func New() *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		byExt:    make(map[string]int),
+		deleted:  make(map[int]bool),
+		fieldNum: make(map[string]int),
+		K1:       1.2,
+		B:        0.75,
+	}
+}
+
+// tokenize produces the index token stream: lowercased, stemmed, stopwords
+// retained (they are cheap and phrase queries may need them).
+func tokenize(s string) []string {
+	return textproc.StemAll(textproc.Tokenize(s))
+}
+
+// Add indexes doc. Re-adding an existing ID replaces the old version
+// logically: the old postings remain but are remapped away, so callers that
+// churn heavily should rebuild; the maintenance layer (§7.3) tracks changes
+// at a higher level.
+func (ix *Index) Add(doc Document) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n, exists := ix.byExt[doc.ID]
+	if exists {
+		delete(ix.deleted, n)
+	}
+	if !exists {
+		n = len(ix.extIDs)
+		ix.extIDs = append(ix.extIDs, doc.ID)
+		ix.byExt[doc.ID] = n
+		ix.docLens = append(ix.docLens, nil)
+	} else {
+		// Remove the doc's previous postings.
+		for t, ps := range ix.postings {
+			kept := ps[:0]
+			for _, p := range ps {
+				if p.doc != n {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) == 0 {
+				delete(ix.postings, t)
+			} else {
+				ix.postings[t] = kept
+			}
+		}
+		for f, l := range ix.docLens[n] {
+			ix.fields[f].totalLen -= l
+		}
+		ix.docLens[n] = nil
+	}
+	for _, f := range doc.Fields {
+		fn, ok := ix.fieldNum[f.Name]
+		if !ok {
+			fn = len(ix.fields)
+			ix.fieldNum[f.Name] = fn
+			boost := f.Boost
+			if boost <= 0 {
+				boost = 1
+			}
+			ix.fields = append(ix.fields, fieldStats{name: f.Name, boost: boost})
+		}
+		toks := tokenize(f.Text)
+		for len(ix.docLens[n]) <= fn {
+			ix.docLens[n] = append(ix.docLens[n], 0)
+		}
+		ix.docLens[n][fn] += len(toks)
+		ix.fields[fn].totalLen += len(toks)
+		occ := make(map[string][]int)
+		for i, t := range toks {
+			occ[t] = append(occ[t], i)
+		}
+		for t, positions := range occ {
+			ix.postings[t] = append(ix.postings[t], posting{
+				doc: n, field: fn, freq: len(positions), pos: positions,
+			})
+		}
+	}
+}
+
+// Len returns the number of live (non-removed) documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.extIDs) - len(ix.deleted)
+}
+
+// Has reports whether a live document with the given external ID is indexed.
+func (ix *Index) Has(id string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n, ok := ix.byExt[id]
+	return ok && !ix.deleted[n]
+}
+
+// Remove drops the document from retrieval (§7.3: pages disappear). The
+// postings stay until the next rebuild; queries skip them. Removing an
+// unknown ID is a no-op; re-Adding the ID revives it.
+func (ix *Index) Remove(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if n, ok := ix.byExt[id]; ok {
+		ix.deleted[n] = true
+	}
+}
+
+// DF returns the document frequency of the query term (after normalization).
+func (ix *Index) DF(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	toks := tokenize(term)
+	if len(toks) == 0 {
+		return 0
+	}
+	return ix.df(toks[0])
+}
+
+func (ix *Index) df(t string) int {
+	seen := make(map[int]bool)
+	for _, p := range ix.postings[t] {
+		if !ix.deleted[p.doc] {
+			seen[p.doc] = true
+		}
+	}
+	return len(seen)
+}
+
+// Result is one ranked retrieval hit.
+type Result struct {
+	ID    string
+	Score float64
+}
+
+// Search runs a BM25F-ranked query and returns up to k results in
+// descending score order (ties broken by ID for determinism).
+func (ix *Index) Search(query string, k int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	toks := tokenize(query)
+	if len(toks) == 0 || len(ix.extIDs) == 0 {
+		return nil
+	}
+	ndocs := float64(len(ix.extIDs))
+	scores := make(map[int]float64)
+	for _, t := range toks {
+		ps := ix.postings[t]
+		if len(ps) == 0 {
+			continue
+		}
+		df := float64(ix.df(t))
+		idf := math.Log(1 + (ndocs-df+0.5)/(df+0.5))
+		// Accumulate boosted, length-normalized term frequency per doc.
+		wtf := make(map[int]float64)
+		for _, p := range ps {
+			if ix.deleted[p.doc] {
+				continue
+			}
+			fs := ix.fields[p.field]
+			avg := fs.totalLen
+			if avg == 0 {
+				continue
+			}
+			avgLen := float64(avg) / ndocs
+			dl := 0.0
+			if p.field < len(ix.docLens[p.doc]) {
+				dl = float64(ix.docLens[p.doc][p.field])
+			}
+			norm := 1 - ix.B + ix.B*dl/avgLen
+			wtf[p.doc] += fs.boost * float64(p.freq) / norm
+		}
+		for d, tf := range wtf {
+			scores[d] += idf * tf / (ix.K1 + tf) * (ix.K1 + 1)
+		}
+	}
+	return ix.topK(scores, k)
+}
+
+func (ix *Index) topK(scores map[int]float64, k int) []Result {
+	out := make([]Result, 0, len(scores))
+	for d, s := range scores {
+		out = append(out, Result{ID: ix.extIDs[d], Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SearchAll returns the IDs of documents containing all query terms
+// (conjunctive boolean retrieval), unranked, sorted by ID.
+func (ix *Index) SearchAll(query string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	toks := tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	var acc map[int]bool
+	for _, t := range toks {
+		cur := make(map[int]bool)
+		for _, p := range ix.postings[t] {
+			if !ix.deleted[p.doc] {
+				cur[p.doc] = true
+			}
+		}
+		if acc == nil {
+			acc = cur
+			continue
+		}
+		for d := range acc {
+			if !cur[d] {
+				delete(acc, d)
+			}
+		}
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	out := make([]string, 0, len(acc))
+	for d := range acc {
+		out = append(out, ix.extIDs[d])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SearchAny returns the IDs of documents containing at least one query term,
+// sorted by ID.
+func (ix *Index) SearchAny(query string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	acc := make(map[int]bool)
+	for _, t := range tokenize(query) {
+		for _, p := range ix.postings[t] {
+			if !ix.deleted[p.doc] {
+				acc[p.doc] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(acc))
+	for d := range acc {
+		out = append(out, ix.extIDs[d])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SearchPhrase returns the IDs of documents containing the query tokens as a
+// contiguous phrase within a single field, sorted by ID.
+func (ix *Index) SearchPhrase(phrase string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	toks := tokenize(phrase)
+	if len(toks) == 0 {
+		return nil
+	}
+	if len(toks) == 1 {
+		return ix.searchAnyLocked(toks)
+	}
+	// candidate (doc, field) -> positions of first token
+	type slot struct{ doc, field int }
+	first := make(map[slot][]int)
+	for _, p := range ix.postings[toks[0]] {
+		if !ix.deleted[p.doc] {
+			first[slot{p.doc, p.field}] = p.pos
+		}
+	}
+	matches := make(map[int]bool)
+	for s, positions := range first {
+		for _, basePos := range positions {
+			ok := true
+			for i := 1; i < len(toks); i++ {
+				if !hasPositionAt(ix.postings[toks[i]], s.doc, s.field, basePos+i) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matches[s.doc] = true
+				break
+			}
+		}
+	}
+	out := make([]string, 0, len(matches))
+	for d := range matches {
+		out = append(out, ix.extIDs[d])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (ix *Index) searchAnyLocked(toks []string) []string {
+	acc := make(map[int]bool)
+	for _, t := range toks {
+		for _, p := range ix.postings[t] {
+			if !ix.deleted[p.doc] {
+				acc[p.doc] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(acc))
+	for d := range acc {
+		out = append(out, ix.extIDs[d])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hasPositionAt(ps []posting, doc, field, pos int) bool {
+	for _, p := range ps {
+		if p.doc != doc || p.field != field {
+			continue
+		}
+		// pos slices are ascending; binary search.
+		lo, hi := 0, len(p.pos)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			switch {
+			case p.pos[mid] < pos:
+				lo = mid + 1
+			case p.pos[mid] > pos:
+				hi = mid
+			default:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Terms returns the number of distinct terms in the index.
+func (ix *Index) Terms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}

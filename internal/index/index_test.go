@@ -1,0 +1,259 @@
+package index
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func doc(id, title, body string) Document {
+	return Document{ID: id, Fields: []Field{
+		{Name: "title", Text: title, Boost: 2},
+		{Name: "body", Text: body},
+	}}
+}
+
+func buildSmall() *Index {
+	ix := New()
+	ix.Add(doc("d1", "Gochi Fusion Tapas", "japanese izakaya in cupertino with small plates and sake"))
+	ix.Add(doc("d2", "Birk's Steakhouse", "american steak house in santa clara near zipcode 95054"))
+	ix.Add(doc("d3", "Pizza My Heart", "pizza by the slice in cupertino and san jose"))
+	ix.Add(doc("d4", "Cupertino city guide", "restaurants parks and schools of cupertino california"))
+	return ix
+}
+
+func TestSearchRanking(t *testing.T) {
+	ix := buildSmall()
+	res := ix.Search("gochi cupertino", 10)
+	if len(res) == 0 || res[0].ID != "d1" {
+		t.Fatalf("results = %+v, want d1 first", res)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Errorf("results not sorted: %+v", res)
+		}
+	}
+}
+
+func TestTitleBoost(t *testing.T) {
+	ix := New()
+	ix.Add(doc("title-hit", "salsa festival", "unrelated text about nothing"))
+	ix.Add(doc("body-hit", "unrelated heading", "salsa appears in the body text here"))
+	res := ix.Search("salsa", 2)
+	if len(res) != 2 || res[0].ID != "title-hit" {
+		t.Fatalf("res = %+v, want title-hit first", res)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := buildSmall()
+	if res := ix.Search("cupertino", 2); len(res) != 2 {
+		t.Errorf("k=2 gave %d results", len(res))
+	}
+	if res := ix.Search("cupertino", 0); len(res) != 3 {
+		t.Errorf("k=0 (unlimited) gave %d results", len(res))
+	}
+}
+
+func TestSearchEmptyAndMissing(t *testing.T) {
+	ix := buildSmall()
+	if res := ix.Search("", 5); res != nil {
+		t.Errorf("empty query gave %v", res)
+	}
+	if res := ix.Search("zzzzqqq", 5); len(res) != 0 {
+		t.Errorf("missing term gave %v", res)
+	}
+	if res := New().Search("anything", 5); res != nil {
+		t.Errorf("empty index gave %v", res)
+	}
+}
+
+func TestSearchStems(t *testing.T) {
+	ix := buildSmall()
+	// "restaurant" should match "restaurants" in d4 via stemming.
+	res := ix.Search("restaurant", 5)
+	if len(res) != 1 || res[0].ID != "d4" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSearchAll(t *testing.T) {
+	ix := buildSmall()
+	if got := ix.SearchAll("pizza cupertino"); !reflect.DeepEqual(got, []string{"d3"}) {
+		t.Errorf("AND = %v", got)
+	}
+	if got := ix.SearchAll("pizza steak"); got != nil {
+		t.Errorf("disjoint AND = %v", got)
+	}
+	if got := ix.SearchAll(""); got != nil {
+		t.Errorf("empty AND = %v", got)
+	}
+}
+
+func TestSearchAny(t *testing.T) {
+	ix := buildSmall()
+	got := ix.SearchAny("pizza steak")
+	if !reflect.DeepEqual(got, []string{"d2", "d3"}) {
+		t.Errorf("OR = %v", got)
+	}
+}
+
+func TestSearchPhrase(t *testing.T) {
+	ix := buildSmall()
+	if got := ix.SearchPhrase("small plates"); !reflect.DeepEqual(got, []string{"d1"}) {
+		t.Errorf("phrase = %v", got)
+	}
+	// Tokens present but not adjacent.
+	if got := ix.SearchPhrase("plates small"); len(got) != 0 {
+		t.Errorf("reversed phrase = %v", got)
+	}
+	if got := ix.SearchPhrase("cupertino"); len(got) != 3 {
+		t.Errorf("single-token phrase = %v", got)
+	}
+}
+
+func TestPhraseDoesNotCrossFields(t *testing.T) {
+	ix := New()
+	ix.Add(Document{ID: "x", Fields: []Field{
+		{Name: "title", Text: "alpha"},
+		{Name: "body", Text: "beta"},
+	}})
+	if got := ix.SearchPhrase("alpha beta"); len(got) != 0 {
+		t.Errorf("phrase crossed field boundary: %v", got)
+	}
+}
+
+func TestReAddReplacesDocument(t *testing.T) {
+	ix := New()
+	ix.Add(doc("d1", "old title words", "old body"))
+	ix.Add(doc("d1", "new fresh heading", "new body content"))
+	if got := ix.SearchAll("old"); len(got) != 0 {
+		t.Errorf("old content still findable: %v", got)
+	}
+	if got := ix.SearchAll("fresh"); !reflect.DeepEqual(got, []string{"d1"}) {
+		t.Errorf("new content not findable: %v", got)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+func TestDFAndTerms(t *testing.T) {
+	ix := buildSmall()
+	if df := ix.DF("cupertino"); df != 3 {
+		t.Errorf("DF(cupertino) = %d", df)
+	}
+	if df := ix.DF(""); df != 0 {
+		t.Errorf("DF(empty) = %d", df)
+	}
+	if ix.Terms() == 0 {
+		t.Error("Terms = 0")
+	}
+	if !ix.Has("d1") || ix.Has("nope") {
+		t.Error("Has wrong")
+	}
+}
+
+func TestIDFOrdering(t *testing.T) {
+	// A rarer term must contribute more: query for it should rank the
+	// doc containing it above docs sharing only a common term.
+	ix := New()
+	for i := 0; i < 10; i++ {
+		ix.Add(doc(fmt.Sprintf("common%d", i), "filler", "cupertino dining spot"))
+	}
+	ix.Add(doc("rare", "filler", "cupertino izakaya"))
+	res := ix.Search("izakaya cupertino", 3)
+	if len(res) == 0 || res[0].ID != "rare" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	ix := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ix.Add(doc(fmt.Sprintf("w%d-%d", w, i), "title text", "body word stream"))
+				ix.Search("title", 3)
+				ix.SearchAll("body word")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != 200 {
+		t.Errorf("Len = %d, want 200", ix.Len())
+	}
+}
+
+func TestSearchNeverPanicsProperty(t *testing.T) {
+	ix := buildSmall()
+	f := func(q string) bool {
+		_ = ix.Search(q, 5)
+		_ = ix.SearchAll(q)
+		_ = ix.SearchAny(q)
+		_ = ix.SearchPhrase(q)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	ix := New()
+	ix.Add(doc("b", "same words here", ""))
+	ix.Add(doc("a", "same words here", ""))
+	res := ix.Search("same words", 2)
+	if len(res) != 2 || res[0].ID != "a" {
+		t.Errorf("tie-break not by ID: %+v", res)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := buildSmall()
+	ix.Remove("d1")
+	if ix.Has("d1") {
+		t.Error("removed doc still Has")
+	}
+	if ix.Len() != 3 {
+		t.Errorf("Len = %d, want 3", ix.Len())
+	}
+	for _, res := range ix.Search("gochi cupertino", 10) {
+		if res.ID == "d1" {
+			t.Error("removed doc still retrievable")
+		}
+	}
+	if got := ix.SearchAll("gochi"); len(got) != 0 {
+		t.Errorf("boolean retrieval returned removed doc: %v", got)
+	}
+	if got := ix.SearchPhrase("small plates"); len(got) != 0 {
+		t.Errorf("phrase retrieval returned removed doc: %v", got)
+	}
+	// Re-adding revives the document.
+	ix.Add(doc("d1", "Gochi Fusion Tapas", "back in business in cupertino"))
+	if !ix.Has("d1") || ix.Len() != 4 {
+		t.Errorf("revival failed: has=%v len=%d", ix.Has("d1"), ix.Len())
+	}
+	if got := ix.SearchAll("gochi"); len(got) != 1 {
+		t.Errorf("revived doc not retrievable: %v", got)
+	}
+	// Removing an unknown ID is a no-op.
+	ix.Remove("never-existed")
+	if ix.Len() != 4 {
+		t.Error("no-op remove changed Len")
+	}
+}
+
+func TestRemoveAffectsDF(t *testing.T) {
+	ix := buildSmall()
+	before := ix.DF("cupertino")
+	ix.Remove("d3")
+	if after := ix.DF("cupertino"); after != before-1 {
+		t.Errorf("DF %d -> %d, want decrement", before, after)
+	}
+}

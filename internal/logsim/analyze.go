@@ -1,0 +1,244 @@
+package logsim
+
+import (
+	"sort"
+	"strings"
+
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgen"
+)
+
+// The four §3 analyses. Each consumes only the emitted logs (plus the side
+// inputs the paper's analysts also had: the aggregator's URL shapes and a
+// list of restaurant homepages) — never the simulator's calibration
+// constants.
+
+// E1Result is the "Concepts vs. Search" breakdown: the sub-categories of
+// clicked aggregator URLs. Paper: biz 59%, search 19%, category 11%.
+type E1Result struct {
+	TotalClicks int
+	BizFrac     float64
+	SearchFrac  float64
+	CatFrac     float64
+	OtherFrac   float64
+	// InstanceLow/High and SetLow/High are the derived §3 estimates of how
+	// often users search for a specific instance vs. a set ("60%-70%" and
+	// "10%-20%").
+	InstanceLow, InstanceHigh float64
+	SetLow, SetHigh           float64
+}
+
+// AnalyzeE1 classifies every logged click on the host by URL shape.
+func AnalyzeE1(logs *Logs, host string) E1Result {
+	var res E1Result
+	var biz, search, cat, other int
+	for _, q := range logs.Queries {
+		for _, u := range q.Clicks {
+			if !strings.HasPrefix(u, host+"/") {
+				continue
+			}
+			res.TotalClicks++
+			switch {
+			case strings.Contains(u, "/biz/"):
+				biz++
+			case strings.Contains(u, "/search/"):
+				search++
+			case strings.Contains(u, "/c/"):
+				cat++
+			default:
+				other++
+			}
+		}
+	}
+	if res.TotalClicks == 0 {
+		return res
+	}
+	n := float64(res.TotalClicks)
+	res.BizFrac = float64(biz) / n
+	res.SearchFrac = float64(search) / n
+	res.CatFrac = float64(cat) / n
+	res.OtherFrac = float64(other) / n
+	// The paper's derivation: biz clicks are instance searches; search-page
+	// clicks split between instance and set intent; category clicks are set
+	// searches. Bounds assume all/none of the search clicks lean each way.
+	res.InstanceLow = res.BizFrac
+	res.InstanceHigh = res.BizFrac + res.SearchFrac
+	res.SetLow = res.CatFrac
+	res.SetHigh = res.CatFrac + res.SearchFrac
+	return res
+}
+
+// TokenFrac is one attribute token with its fraction of homepage-click
+// queries.
+type TokenFrac struct {
+	Token string
+	Frac  float64
+}
+
+// E2Result is the "Searching for Attributes of a Concept" study.
+type E2Result struct {
+	HomepageQueries int
+	Tokens          []TokenFrac
+}
+
+// AnalyzeE2 examines queries that clicked a restaurant homepage, strips the
+// restaurant's name and location tokens, and tallies what remains — the
+// paper's methodology verbatim.
+func AnalyzeE2(logs *Logs, w *webgen.World) E2Result {
+	// Side input: homepage URL -> tokens to strip (name + location).
+	strip := make(map[string]map[string]bool)
+	for _, r := range w.Restaurants {
+		if r.Homepage == "" {
+			continue
+		}
+		home := strings.TrimSuffix(r.Homepage, "/") + "/"
+		set := textproc.TokenSet(textproc.Tokenize(
+			r.Name + " " + r.NameVariant(1) + " " + r.NameVariant(2) + " " + r.City + " " + r.Zip))
+		strip[home] = set
+	}
+
+	var res E2Result
+	counts := map[string]int{}
+	for _, q := range logs.Queries {
+		var stripSet map[string]bool
+		for _, u := range q.Clicks {
+			if s, ok := strip[u]; ok {
+				stripSet = s
+				break
+			}
+		}
+		if stripSet == nil {
+			continue
+		}
+		res.HomepageQueries++
+		seen := map[string]bool{}
+		for _, t := range textproc.Tokenize(q.Query) {
+			if stripSet[t] || textproc.IsStopword(t) || seen[t] {
+				continue
+			}
+			seen[t] = true
+			counts[t]++
+		}
+	}
+	if res.HomepageQueries == 0 {
+		return res
+	}
+	for t, c := range counts {
+		res.Tokens = append(res.Tokens, TokenFrac{Token: t, Frac: float64(c) / float64(res.HomepageQueries)})
+	}
+	sort.Slice(res.Tokens, func(i, j int) bool {
+		if res.Tokens[i].Frac != res.Tokens[j].Frac {
+			return res.Tokens[i].Frac > res.Tokens[j].Frac
+		}
+		return res.Tokens[i].Token < res.Tokens[j].Token
+	})
+	return res
+}
+
+// E3Result is the "Value in Aggregation" study: among queries with a biz
+// click, how often users also clicked other URLs. Paper: ≥1 other 59%,
+// ≥2 others 35%.
+type E3Result struct {
+	BizClickQueries int
+	AtLeast1Other   float64
+	AtLeast2Other   float64
+}
+
+// AnalyzeE3 measures multi-source clicking among biz-URL clickers.
+func AnalyzeE3(logs *Logs, host string) E3Result {
+	var res E3Result
+	var ge1, ge2 int
+	for _, q := range logs.Queries {
+		hasBiz := false
+		others := 0
+		for _, u := range q.Clicks {
+			if strings.HasPrefix(u, host+"/") && strings.Contains(u, "/biz/") {
+				hasBiz = true
+			} else {
+				others++
+			}
+		}
+		if !hasBiz {
+			continue
+		}
+		res.BizClickQueries++
+		if others >= 1 {
+			ge1++
+		}
+		if others >= 2 {
+			ge2++
+		}
+	}
+	if res.BizClickQueries == 0 {
+		return res
+	}
+	res.AtLeast1Other = float64(ge1) / float64(res.BizClickQueries)
+	res.AtLeast2Other = float64(ge2) / float64(res.BizClickQueries)
+	return res
+}
+
+// E4Result is the "Concepts vs. Browsing" study over toolbar trails.
+// Paper: 42% search-preceded; next page location 11.5%, menu 9%, coupons 1%;
+// 10.5% of trails contain >1 restaurant instance.
+type E4Result struct {
+	HomepageVisits   int
+	SearchPreceded   float64
+	NextLocationFrac float64
+	NextMenuFrac     float64
+	NextCouponsFrac  float64
+	Trails           int
+	MultiInstance    float64
+}
+
+// AnalyzeE4 follows the paper: take the homepage URL list, find trail steps
+// through those URLs, classify the preceding and following steps.
+func AnalyzeE4(logs *Logs, w *webgen.World) E4Result {
+	homepages := make(map[string]string) // URL -> restaurant ID
+	for _, r := range w.Restaurants {
+		if r.Homepage != "" {
+			homepages[strings.TrimSuffix(r.Homepage, "/")+"/"] = r.ID
+		}
+	}
+	var res E4Result
+	var preceded, nextLoc, nextMenu, nextCoupons, multi int
+	for _, t := range logs.Trails {
+		distinct := map[string]bool{}
+		for i, u := range t.Pages {
+			rid, isHome := homepages[u]
+			if !isHome {
+				continue
+			}
+			distinct[rid] = true
+			res.HomepageVisits++
+			if i > 0 && strings.HasPrefix(t.Pages[i-1], SERPPrefix) {
+				preceded++
+			}
+			if i+1 < len(t.Pages) {
+				next := t.Pages[i+1]
+				switch {
+				case strings.HasSuffix(next, "/location"):
+					nextLoc++
+				case strings.HasSuffix(next, "/menu") || strings.HasSuffix(next, "/food"):
+					nextMenu++
+				case strings.HasSuffix(next, "/coupons"):
+					nextCoupons++
+				}
+			}
+		}
+		res.Trails++
+		if len(distinct) > 1 {
+			multi++
+		}
+	}
+	if res.HomepageVisits > 0 {
+		n := float64(res.HomepageVisits)
+		res.SearchPreceded = float64(preceded) / n
+		res.NextLocationFrac = float64(nextLoc) / n
+		res.NextMenuFrac = float64(nextMenu) / n
+		res.NextCouponsFrac = float64(nextCoupons) / n
+	}
+	if res.Trails > 0 {
+		res.MultiInstance = float64(multi) / float64(res.Trails)
+	}
+	return res
+}

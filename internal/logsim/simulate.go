@@ -1,0 +1,364 @@
+// Package logsim substitutes for the paper's proprietary Yahoo! Search and
+// Toolbar logs (§3): a generative model of user search and browse behaviour
+// over the synthetic web emits query logs and toolbar trails, and the
+// analysis half of the package recomputes every §3 statistic from the
+// emitted logs — the same measurement code path the paper's study ran over
+// real logs. The intent mixture is calibrated so the *shape* of the paper's
+// findings holds; EXPERIMENTS.md records paper-vs-measured side by side.
+package logsim
+
+import (
+	"math/rand"
+	"strings"
+
+	"conceptweb/internal/webgen"
+)
+
+// SERPPrefix marks search-engine result pages in toolbar trails.
+const SERPPrefix = "serp:"
+
+// QueryEvent is one logged query with its clicked URLs, in click order.
+type QueryEvent struct {
+	User   int
+	Query  string
+	Clicks []string
+}
+
+// Trail is one toolbar browsing trail: the sequence of visited URLs.
+// SERP visits appear as SERPPrefix + query.
+type Trail struct {
+	User  int
+	Pages []string
+}
+
+// Logs is the full simulated log corpus.
+type Logs struct {
+	Queries []QueryEvent
+	Trails  []Trail
+}
+
+// Config tunes the behaviour model. The intent mixture and click-behaviour
+// parameters are the calibration knobs; the analyses never read them — they
+// recompute everything from the emitted events.
+type Config struct {
+	Seed           int64
+	Users          int
+	QueriesPerUser int
+	TrailsPerUser  int
+
+	// Intent mixture over search queries.
+	PInstance  float64 // lookup of one specific restaurant
+	PSet       float64 // search for a set of restaurants
+	PAttribute float64 // lookup of an attribute of a restaurant
+
+	// Within set searches: fraction issued as free-form searches (clicking
+	// the aggregator's search page) vs. browsing a predefined category page.
+	PSetSearchPage float64
+
+	// Extra-click distribution for instance lookups (E3): probability of
+	// clicking at least 1 / at least 2 URLs beyond the first.
+	PExtraClick1 float64
+	PExtraClick2 float64
+
+	// Toolbar behaviour (E4).
+	PTrailFromSearch float64 // homepage visit preceded by a SERP
+	PNextLocation    float64 // next page after homepage
+	PNextMenu        float64
+	PNextCoupons     float64
+	PSecondInstance  float64 // trail continues to another restaurant
+}
+
+// DefaultConfig returns the calibration used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           7,
+		Users:          200,
+		QueriesPerUser: 12,
+		TrailsPerUser:  4,
+
+		PInstance:  0.60,
+		PSet:       0.31,
+		PAttribute: 0.09,
+
+		PSetSearchPage: 0.63,
+
+		PExtraClick1: 0.59,
+		PExtraClick2: 0.35,
+
+		PTrailFromSearch: 0.42,
+		PNextLocation:    0.115,
+		PNextMenu:        0.09,
+		PNextCoupons:     0.012,
+		PSecondInstance:  0.105,
+	}
+}
+
+// attributeMix is the vocabulary of attribute-lookup queries with the
+// relative frequencies behind the §3 token study (menu > coupons >
+// locations, with a long tail including the paper's own oddities).
+var attributeMix = []struct {
+	word string
+	p    float64
+}{
+	{"menu", 0.34},
+	{"coupons", 0.20},
+	{"locations", 0.16},
+	{"online", 0.08},
+	{"weekly specials", 0.07},
+	{"delivery", 0.05},
+	{"hours", 0.04},
+	{"nutrition", 0.03},
+	{"to go", 0.015},
+	{"careers", 0.01},
+	{"cod", 0.005},
+}
+
+// Simulator generates logs over a world.
+type Simulator struct {
+	W   *webgen.World
+	Cfg Config
+
+	rng *rand.Rand
+	// welpCovered are restaurants with a biz page on the primary aggregator.
+	welpCovered []*webgen.Restaurant
+	withHome    []*webgen.Restaurant
+}
+
+// NewSimulator prepares a simulator for the world.
+func NewSimulator(w *webgen.World, cfg Config) *Simulator {
+	s := &Simulator{W: w, Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for _, r := range w.Restaurants {
+		if _, ok := w.PageByURL(webgen.BizURL(webgen.PrimaryAggregator, r)); ok {
+			s.welpCovered = append(s.welpCovered, r)
+		}
+		if r.Homepage != "" {
+			s.withHome = append(s.withHome, r)
+		}
+	}
+	return s
+}
+
+// Run emits the full log corpus.
+func (s *Simulator) Run() *Logs {
+	logs := &Logs{}
+	for u := 0; u < s.Cfg.Users; u++ {
+		for q := 0; q < s.Cfg.QueriesPerUser; q++ {
+			if ev, ok := s.searchEvent(u); ok {
+				logs.Queries = append(logs.Queries, ev)
+			}
+		}
+		for tr := 0; tr < s.Cfg.TrailsPerUser; tr++ {
+			if t, ok := s.trail(u); ok {
+				logs.Trails = append(logs.Trails, t)
+			}
+		}
+	}
+	return logs
+}
+
+func (s *Simulator) searchEvent(user int) (QueryEvent, bool) {
+	x := s.rng.Float64()
+	switch {
+	case x < s.Cfg.PInstance:
+		return s.instanceQuery(user)
+	case x < s.Cfg.PInstance+s.Cfg.PSet:
+		return s.setQuery(user)
+	default:
+		return s.attributeQuery(user)
+	}
+}
+
+// instanceQuery: the user wants one specific restaurant; primary click on
+// its aggregator biz page, with extra clicks on other sources per the E3
+// distribution.
+func (s *Simulator) instanceQuery(user int) (QueryEvent, bool) {
+	if len(s.welpCovered) == 0 {
+		return QueryEvent{}, false
+	}
+	r := s.welpCovered[s.rng.Intn(len(s.welpCovered))]
+	query := r.NameVariant(s.rng.Intn(2)) // full name or suffix-dropped
+	if s.rng.Float64() < 0.7 {
+		query += " " + strings.ToLower(r.City)
+	}
+	ev := QueryEvent{User: user, Query: strings.ToLower(query)}
+	ev.Clicks = append(ev.Clicks, webgen.BizURL(webgen.PrimaryAggregator, r))
+
+	// Other-source clicks: aggregation appetite (E3).
+	extras := 0
+	x := s.rng.Float64()
+	switch {
+	case x < s.Cfg.PExtraClick2:
+		extras = 2 + s.rng.Intn(2)
+	case x < s.Cfg.PExtraClick1:
+		extras = 1
+	}
+	pool := s.otherSources(r)
+	for i := 0; i < extras && i < len(pool); i++ {
+		ev.Clicks = append(ev.Clicks, pool[i])
+	}
+	return ev, true
+}
+
+// otherSources lists the other URLs about r a researching user clicks, in
+// a deterministic shuffled order.
+func (s *Simulator) otherSources(r *webgen.Restaurant) []string {
+	var pool []string
+	for _, host := range []string{"citysift.example", "yellowfile.example"} {
+		u := webgen.BizURL(host, r)
+		if _, ok := s.W.PageByURL(u); ok {
+			pool = append(pool, u)
+		}
+	}
+	if r.Homepage != "" {
+		pool = append(pool, strings.TrimSuffix(r.Homepage, "/")+"/")
+	}
+	// A review-blog post about r, if one exists.
+	for url, ids := range s.W.ReviewTruth {
+		for _, id := range ids {
+			if id == r.ID {
+				pool = append(pool, url)
+				break
+			}
+		}
+		if len(pool) >= 5 {
+			break
+		}
+	}
+	s.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool
+}
+
+// setQuery: the user wants a set of restaurants; clicks the aggregator's
+// search page or a predefined category page.
+func (s *Simulator) setQuery(user int) (QueryEvent, bool) {
+	if len(s.welpCovered) == 0 {
+		return QueryEvent{}, false
+	}
+	// Choose a (city, cuisine) pair that exists on the aggregator.
+	r := s.welpCovered[s.rng.Intn(len(s.welpCovered))]
+	city, cuisine := r.City, r.Cuisine
+	var query, url string
+	if s.rng.Float64() < s.Cfg.PSetSearchPage {
+		decor := []string{"", "best ", "cheap "}[s.rng.Intn(3)]
+		query = decor + cuisine + " " + strings.ToLower(city)
+		url = webgen.SearchURL(webgen.PrimaryAggregator, cuisine+" "+city)
+	} else {
+		query = strings.ToLower(city) + " " + cuisine + " restaurants"
+		url = webgen.CategoryURL(webgen.PrimaryAggregator, city, cuisine)
+	}
+	if _, ok := s.W.PageByURL(url); !ok {
+		return QueryEvent{}, false
+	}
+	ev := QueryEvent{User: user, Query: query, Clicks: []string{url}}
+	// Sophisticated researchers consult a second source ("mexican food
+	// chicago best salsa" clicking category + competitor + expert review).
+	if s.rng.Float64() < 0.25 {
+		alt := webgen.CategoryURL("citysift.example", city, cuisine)
+		if _, ok := s.W.PageByURL(alt); ok {
+			ev.Clicks = append(ev.Clicks, alt)
+		}
+	}
+	return ev, true
+}
+
+// attributeQuery: the user wants an attribute of a restaurant and clicks the
+// restaurant's homepage (the E2 setting: "queries that led to a click on one
+// of these restaurant homepage URLs, even when the user was actually looking
+// for a specific attribute").
+func (s *Simulator) attributeQuery(user int) (QueryEvent, bool) {
+	if len(s.withHome) == 0 {
+		return QueryEvent{}, false
+	}
+	r := s.withHome[s.rng.Intn(len(s.withHome))]
+	query := strings.ToLower(r.Name)
+	if s.rng.Float64() < 0.5 {
+		query += " " + strings.ToLower(r.City)
+	}
+	// Most homepage-seeking queries carry no attribute token; a calibrated
+	// minority do.
+	if s.rng.Float64() < 0.30 {
+		query += " " + s.pickAttribute()
+	}
+	home := strings.TrimSuffix(r.Homepage, "/") + "/"
+	return QueryEvent{User: user, Query: query, Clicks: []string{home}}, true
+}
+
+func (s *Simulator) pickAttribute() string {
+	x := s.rng.Float64()
+	acc := 0.0
+	for _, a := range attributeMix {
+		acc += a.p
+		if x < acc {
+			return a.word
+		}
+	}
+	return attributeMix[0].word
+}
+
+// trail emits one toolbar trail through a restaurant homepage (E4).
+func (s *Simulator) trail(user int) (Trail, bool) {
+	if len(s.withHome) == 0 {
+		return Trail{}, false
+	}
+	r := s.withHome[s.rng.Intn(len(s.withHome))]
+	home := strings.TrimSuffix(r.Homepage, "/") + "/"
+	t := Trail{User: user}
+
+	if s.rng.Float64() < s.Cfg.PTrailFromSearch {
+		t.Pages = append(t.Pages, SERPPrefix+strings.ToLower(r.Name))
+	} else {
+		// Arrived by browsing: from an aggregator biz page or a portal.
+		if u := webgen.BizURL(webgen.PrimaryAggregator, r); s.has(u) {
+			t.Pages = append(t.Pages, u)
+		} else {
+			t.Pages = append(t.Pages, webgen.PortalHost(r.City)+"/dining/")
+		}
+	}
+	t.Pages = append(t.Pages, home)
+	s.continueFromHome(&t, r)
+
+	// Some trails go on to a second restaurant (aggregation appetite in
+	// browse mode).
+	if s.rng.Float64() < s.Cfg.PSecondInstance {
+		r2 := s.withHome[s.rng.Intn(len(s.withHome))]
+		if r2.ID != r.ID {
+			home2 := strings.TrimSuffix(r2.Homepage, "/") + "/"
+			t.Pages = append(t.Pages, home2)
+			s.continueFromHome(&t, r2)
+		}
+	}
+	return t, true
+}
+
+// continueFromHome appends the post-homepage navigation step.
+func (s *Simulator) continueFromHome(t *Trail, r *webgen.Restaurant) {
+	host := strings.TrimSuffix(r.Homepage, "/")
+	x := s.rng.Float64()
+	switch {
+	case x < s.Cfg.PNextLocation:
+		t.Pages = append(t.Pages, host+"/location")
+	case x < s.Cfg.PNextLocation+s.Cfg.PNextMenu:
+		t.Pages = append(t.Pages, s.menuURL(host))
+	case x < s.Cfg.PNextLocation+s.Cfg.PNextMenu+s.Cfg.PNextCoupons:
+		if s.has(host + "/coupons") {
+			t.Pages = append(t.Pages, host+"/coupons")
+		}
+	default:
+		// Leaves the site or wanders elsewhere.
+		if s.rng.Float64() < 0.5 {
+			t.Pages = append(t.Pages, webgen.PortalHost(r.City)+"/")
+		}
+	}
+}
+
+func (s *Simulator) menuURL(host string) string {
+	if s.has(host + "/menu") {
+		return host + "/menu"
+	}
+	return host + "/food"
+}
+
+func (s *Simulator) has(url string) bool {
+	_, ok := s.W.PageByURL(url)
+	return ok
+}

@@ -1,0 +1,262 @@
+package lrec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary codec for records. The store's log and snapshot files are sequences
+// of length-prefixed, CRC-protected frames, each containing one encoded
+// record operation. The format is:
+//
+//	frame  := length(u32 LE) crc32(u32 LE, of payload) payload
+//	payload := op(u8) record
+//	record := id concept version(uvarint) deleted(u8) nattrs(uvarint)
+//	          { key nvals(uvarint) { value conf(f64) prov } * } *
+//	prov   := sourceURL seq(uvarint) nops(uvarint) { op } *
+//	string := len(uvarint) bytes
+//
+// A torn final frame (short read or CRC mismatch) terminates replay
+// cleanly — the standard write-ahead-log recovery contract.
+
+// Operation codes in log frames.
+const (
+	opPut    = 1
+	opDelete = 2
+)
+
+// ErrCorrupt reports a damaged (non-torn-tail) frame.
+var ErrCorrupt = errors.New("lrec: corrupt frame")
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) f64(f float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+func (e *encoder) u8(b byte) {
+	e.buf = append(e.buf, b)
+}
+
+func (e *encoder) record(r *Record) {
+	e.str(r.ID)
+	e.str(r.Concept)
+	e.uvarint(r.Version)
+	if r.Deleted {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	keys := r.Keys()
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		vals := r.Attrs[k]
+		e.uvarint(uint64(len(vals)))
+		for _, v := range vals {
+			e.str(v.Value)
+			e.f64(v.Confidence)
+			e.uvarint(uint64(v.Support))
+			e.str(v.Prov.SourceURL)
+			e.uvarint(v.Prov.Seq)
+			e.uvarint(uint64(len(v.Prov.Operators)))
+			for _, op := range v.Prov.Operators {
+				e.str(op)
+			}
+		}
+	}
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint at %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		d.fail("string length %d exceeds buffer", n)
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.fail("short f64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.buf) {
+		d.fail("short u8")
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+const maxCount = 1 << 20 // sanity bound on decoded collection sizes
+
+func (d *decoder) record() *Record {
+	r := &Record{
+		ID:      d.str(),
+		Concept: d.str(),
+		Version: d.uvarint(),
+		Deleted: d.u8() == 1,
+		Attrs:   make(map[string][]AttrValue),
+	}
+	nattrs := d.uvarint()
+	if nattrs > maxCount {
+		d.fail("attr count %d", nattrs)
+		return r
+	}
+	for i := uint64(0); i < nattrs && d.err == nil; i++ {
+		k := d.str()
+		nvals := d.uvarint()
+		if nvals > maxCount {
+			d.fail("value count %d", nvals)
+			return r
+		}
+		vals := make([]AttrValue, 0, nvals)
+		for j := uint64(0); j < nvals && d.err == nil; j++ {
+			var v AttrValue
+			v.Value = d.str()
+			v.Confidence = d.f64()
+			v.Support = int(d.uvarint())
+			v.Prov.SourceURL = d.str()
+			v.Prov.Seq = d.uvarint()
+			nops := d.uvarint()
+			if nops > maxCount {
+				d.fail("op count %d", nops)
+				return r
+			}
+			for o := uint64(0); o < nops && d.err == nil; o++ {
+				v.Prov.Operators = append(v.Prov.Operators, d.str())
+			}
+			vals = append(vals, v)
+		}
+		r.Attrs[k] = vals
+	}
+	return r
+}
+
+// EncodeRecord serializes r (without framing); DecodeRecord inverts it.
+func EncodeRecord(r *Record) []byte {
+	var e encoder
+	e.record(r)
+	return e.buf
+}
+
+// DecodeRecord deserializes a record encoded by EncodeRecord.
+func DecodeRecord(b []byte) (*Record, error) {
+	d := decoder{buf: b}
+	r := d.record()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// writeFrame writes one length-prefixed CRC-protected frame.
+func writeFrame(w io.Writer, op byte, r *Record) error {
+	e := encoder{buf: make([]byte, 0, 256)}
+	e.u8(op)
+	e.record(r)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(e.buf)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(e.buf, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(e.buf)
+	return err
+}
+
+// errTornTail signals a clean end-of-log (torn final frame), not corruption.
+var errTornTail = errors.New("lrec: torn tail")
+
+// readFrame reads one frame. io.EOF means a clean end; errTornTail means the
+// file ends mid-frame (crash during write) and replay should stop silently.
+func readFrame(br *bufio.Reader) (op byte, r *Record, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return 0, nil, io.EOF
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return 0, nil, errTornTail
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if length == 0 || length > 1<<28 {
+		return 0, nil, errTornTail
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, errTornTail
+	}
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return 0, nil, errTornTail
+	}
+	d := decoder{buf: payload}
+	op = d.u8()
+	rec := d.record()
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	return op, rec, nil
+}

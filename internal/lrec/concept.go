@@ -1,0 +1,201 @@
+package lrec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ValueKind describes what an attribute's values look like, used by the
+// domain-knowledge layer of extraction (field recognizers) and by query
+// parsing (e.g. geographic attributes).
+type ValueKind int
+
+// Attribute value kinds.
+const (
+	KindText ValueKind = iota
+	KindName
+	KindAddress
+	KindCity
+	KindZip
+	KindPhone
+	KindURL
+	KindPrice
+	KindDate
+	KindNumber
+	KindCategory
+)
+
+// String returns the kind's name.
+func (k ValueKind) String() string {
+	names := [...]string{"text", "name", "address", "city", "zip", "phone",
+		"url", "price", "date", "number", "category"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// AttrSpec is the metadata for one attribute of a concept (§2.2 stipulation
+// 2: "for each concept ... we have metadata, including a listing of
+// attributes").
+type AttrSpec struct {
+	Key  string
+	Kind ValueKind
+	// Required marks attributes an instance is expected to define; used by
+	// extraction validation and reconciliation, never enforced at write
+	// time (the model explicitly tolerates missing data).
+	Required bool
+	// MaxValues, when > 0, is a statistical domain constraint: e.g. "each
+	// restaurant is associated with a single zip code and has one or two
+	// phone numbers" (§4.2). Extraction uses it to reject bad lists.
+	MaxValues int
+}
+
+// Concept is the type-like metadata for a set of records (§2.2): a name,
+// the domain it belongs to, and its attribute listing.
+type Concept struct {
+	Name   string
+	Domain string
+	Attrs  []AttrSpec
+	// IDAttr names the attribute whose value naturally identifies an
+	// instance (e.g. address for restaurants); used to synthesize ids.
+	IDAttr string
+}
+
+// Spec returns the AttrSpec for key, if declared.
+func (c *Concept) Spec(key string) (AttrSpec, bool) {
+	for _, a := range c.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return AttrSpec{}, false
+}
+
+// AttrKeys returns the declared attribute keys in declaration order.
+func (c *Concept) AttrKeys() []string {
+	out := make([]string, len(c.Attrs))
+	for i, a := range c.Attrs {
+		out[i] = a.Key
+	}
+	return out
+}
+
+// Registry holds the concept and domain metadata for a web of concepts.
+// Concepts may gain attributes over time ("the set of attributes associated
+// with a concept may also evolve", §2.2), so registration is additive.
+type Registry struct {
+	mu       sync.RWMutex
+	concepts map[string]*Concept
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{concepts: make(map[string]*Concept)}
+}
+
+// Register adds or extends a concept. If the concept already exists, new
+// attributes are appended and existing ones are left untouched.
+func (g *Registry) Register(c Concept) *Concept {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	existing, ok := g.concepts[c.Name]
+	if !ok {
+		cp := c
+		cp.Attrs = append([]AttrSpec(nil), c.Attrs...)
+		g.concepts[c.Name] = &cp
+		return &cp
+	}
+	for _, a := range c.Attrs {
+		if _, has := existing.Spec(a.Key); !has {
+			existing.Attrs = append(existing.Attrs, a)
+		}
+	}
+	if existing.Domain == "" {
+		existing.Domain = c.Domain
+	}
+	return existing
+}
+
+// Lookup returns the concept by name.
+func (g *Registry) Lookup(name string) (*Concept, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c, ok := g.concepts[name]
+	return c, ok
+}
+
+// Names returns all registered concept names, sorted.
+func (g *Registry) Names() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.concepts))
+	for n := range g.concepts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Domain returns the names of the concepts in the given domain, sorted.
+// A domain is "a set of related concepts" (§2.2).
+func (g *Registry) Domain(domain string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []string
+	for n, c := range g.concepts {
+		if c.Domain == domain {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Domains returns all distinct domain names, sorted.
+func (g *Registry) Domains() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[string]bool)
+	for _, c := range g.concepts {
+		if c.Domain != "" {
+			seen[c.Domain] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks r against its concept's metadata: the concept must be
+// registered and multiplicity constraints must hold. Missing attributes are
+// fine (loose structure); unknown attributes are fine too but are reported
+// so the caller can evolve the concept.
+func (g *Registry) Validate(r *Record) (unknownKeys []string, err error) {
+	if r.ID == "" {
+		return nil, ErrNoID
+	}
+	if r.Concept == "" {
+		return nil, ErrNoConcept
+	}
+	c, ok := g.Lookup(r.Concept)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownConcept, r.Concept)
+	}
+	for _, k := range r.Keys() {
+		spec, declared := c.Spec(k)
+		if !declared {
+			unknownKeys = append(unknownKeys, k)
+			continue
+		}
+		if spec.MaxValues > 0 && len(r.Attrs[k]) > spec.MaxValues {
+			return unknownKeys, fmt.Errorf("lrec: attribute %q of %s has %d values, max %d",
+				k, r.ID, len(r.Attrs[k]), spec.MaxValues)
+		}
+	}
+	return unknownKeys, nil
+}

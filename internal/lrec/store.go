@@ -1,0 +1,461 @@
+package lrec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"conceptweb/internal/textproc"
+)
+
+// Store is the concept database: a map of records with secondary indexes,
+// durably backed by an append-only log plus periodic snapshots. It is the
+// "logically centralized and unified store that serves as the basis of query
+// processing" (§6). All methods are safe for concurrent use.
+//
+// Durability model: every Put/Delete appends a framed operation to the log
+// and the log is fsynced on Sync/Close. Open replays snapshot + log;
+// a torn final frame (crash mid-write) is discarded.
+type Store struct {
+	mu   sync.RWMutex
+	recs map[string]*Record
+	// byConcept maps concept name -> set of record ids.
+	byConcept map[string]map[string]bool
+	// byAttr maps concept \x00 key \x00 normalizedValue -> set of ids.
+	byAttr map[string]map[string]bool
+	// history holds superseded versions, newest last, capped per record.
+	history     map[string][]*Record
+	maxVersions int
+
+	seq uint64 // logical clock; advances on every mutation
+
+	dir     string
+	logFile *os.File
+	logW    *bufio.Writer
+
+	registry *Registry
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithRegistry attaches a concept registry; Puts are then validated.
+func WithRegistry(r *Registry) StoreOption {
+	return func(s *Store) { s.registry = r }
+}
+
+// WithMaxVersions caps retained superseded versions per record (default 4).
+func WithMaxVersions(n int) StoreOption {
+	return func(s *Store) { s.maxVersions = n }
+}
+
+// NewMemStore returns a purely in-memory store (no durability), used by
+// tests and short-lived pipelines.
+func NewMemStore(opts ...StoreOption) *Store {
+	s := &Store{
+		recs:        make(map[string]*Record),
+		byConcept:   make(map[string]map[string]bool),
+		byAttr:      make(map[string]map[string]bool),
+		history:     make(map[string][]*Record),
+		maxVersions: 4,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+const (
+	logName  = "lrec.log"
+	snapName = "lrec.snap"
+)
+
+// Open opens (or creates) a durable store in dir, replaying any snapshot and
+// log found there.
+func Open(dir string, opts ...StoreOption) (*Store, error) {
+	s := NewMemStore(opts...)
+	s.dir = dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lrec: open: %w", err)
+	}
+	if err := s.replayFile(filepath.Join(dir, snapName)); err != nil {
+		return nil, err
+	}
+	if err := s.replayFile(filepath.Join(dir, logName)); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lrec: open log: %w", err)
+	}
+	s.logFile = f
+	s.logW = bufio.NewWriter(f)
+	return s, nil
+}
+
+// replayFile applies the operations in path, ignoring a missing file and
+// stopping cleanly at a torn tail.
+func (s *Store) replayFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lrec: replay %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		op, r, err := readFrame(br)
+		switch err {
+		case nil:
+		case io.EOF, errTornTail:
+			return nil
+		default:
+			return fmt.Errorf("lrec: replay %s: %w", path, err)
+		}
+		switch op {
+		case opPut:
+			s.applyPut(r)
+		case opDelete:
+			s.applyDelete(r.ID)
+		}
+		if r.Version > s.seq {
+			s.seq = r.Version
+		}
+	}
+}
+
+// NextSeq atomically advances and returns the store's logical clock,
+// used to stamp provenance.
+func (s *Store) NextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.seq
+}
+
+// Put inserts or replaces the record with r.ID. The stored copy is
+// independent of r. Version is assigned by the store.
+func (s *Store) Put(r *Record) error {
+	if r.ID == "" {
+		return ErrNoID
+	}
+	if r.Concept == "" {
+		return ErrNoConcept
+	}
+	if s.registry != nil {
+		// Only concept existence is checked at write time; multiplicity
+		// constraints are tolerated and resolved later by reconciliation
+		// (§7.3 tolerate-then-reconcile), via Registry.Validate.
+		if _, ok := s.registry.Lookup(r.Concept); !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownConcept, r.Concept)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := r.Clone()
+	s.seq++
+	cp.Version = s.seq
+	cp.Deleted = false
+	s.applyPut(cp)
+	return s.logOp(opPut, cp)
+}
+
+// applyPut installs cp into maps and indexes; caller holds mu.
+func (s *Store) applyPut(cp *Record) {
+	if old, ok := s.recs[cp.ID]; ok {
+		s.unindex(old)
+		s.pushHistory(old)
+	}
+	s.recs[cp.ID] = cp
+	s.indexRec(cp)
+}
+
+func (s *Store) pushHistory(old *Record) {
+	h := append(s.history[old.ID], old)
+	if len(h) > s.maxVersions {
+		h = h[len(h)-s.maxVersions:]
+	}
+	s.history[old.ID] = h
+}
+
+// Delete removes the record (a tombstone is logged so replay converges).
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.recs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	s.seq++
+	s.applyDelete(id)
+	tomb := &Record{ID: id, Concept: old.Concept, Version: s.seq, Deleted: true}
+	return s.logOp(opDelete, tomb)
+}
+
+func (s *Store) applyDelete(id string) {
+	old, ok := s.recs[id]
+	if !ok {
+		return
+	}
+	s.unindex(old)
+	s.pushHistory(old)
+	delete(s.recs, id)
+}
+
+func (s *Store) logOp(op byte, r *Record) error {
+	if s.logW == nil {
+		return nil
+	}
+	if err := writeFrame(s.logW, op, r); err != nil {
+		return fmt.Errorf("lrec: log write: %w", err)
+	}
+	return nil
+}
+
+func attrKey(concept, key, normVal string) string {
+	return concept + "\x00" + key + "\x00" + normVal
+}
+
+func (s *Store) indexRec(r *Record) {
+	set := s.byConcept[r.Concept]
+	if set == nil {
+		set = make(map[string]bool)
+		s.byConcept[r.Concept] = set
+	}
+	set[r.ID] = true
+	for k, vals := range r.Attrs {
+		for _, v := range vals {
+			ak := attrKey(r.Concept, k, textproc.Normalize(v.Value))
+			m := s.byAttr[ak]
+			if m == nil {
+				m = make(map[string]bool)
+				s.byAttr[ak] = m
+			}
+			m[r.ID] = true
+		}
+	}
+}
+
+func (s *Store) unindex(r *Record) {
+	if set := s.byConcept[r.Concept]; set != nil {
+		delete(set, r.ID)
+		if len(set) == 0 {
+			delete(s.byConcept, r.Concept)
+		}
+	}
+	for k, vals := range r.Attrs {
+		for _, v := range vals {
+			ak := attrKey(r.Concept, k, textproc.Normalize(v.Value))
+			if m := s.byAttr[ak]; m != nil {
+				delete(m, r.ID)
+				if len(m) == 0 {
+					delete(s.byAttr, ak)
+				}
+			}
+		}
+	}
+}
+
+// Get returns a copy of the record with the given id.
+func (s *Store) Get(id string) (*Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.recs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return r.Clone(), nil
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// ByConcept returns copies of all records of the concept, sorted by ID.
+func (s *Store) ByConcept(concept string) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := sortedIDs(s.byConcept[concept])
+	out := make([]*Record, len(ids))
+	for i, id := range ids {
+		out[i] = s.recs[id].Clone()
+	}
+	return out
+}
+
+// CountByConcept returns the number of live records of the concept.
+func (s *Store) CountByConcept(concept string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byConcept[concept])
+}
+
+// ByAttr returns copies of the concept's records having the given attribute
+// value (compared after normalization), sorted by ID.
+func (s *Store) ByAttr(concept, key, value string) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := sortedIDs(s.byAttr[attrKey(concept, key, textproc.Normalize(value))])
+	out := make([]*Record, len(ids))
+	for i, id := range ids {
+		out[i] = s.recs[id].Clone()
+	}
+	return out
+}
+
+func sortedIDs(set map[string]bool) []string {
+	ids := make([]string, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Scan calls fn for every live record in sorted-ID order. fn receives a
+// shared reference for speed and must not mutate it; return false to stop.
+func (s *Store) Scan(fn func(*Record) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.recs))
+	for id := range s.recs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !fn(s.recs[id]) {
+			return
+		}
+	}
+}
+
+// Versions returns copies of superseded versions of id, oldest first.
+// The live version is not included.
+func (s *Store) Versions(id string) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.history[id]
+	out := make([]*Record, len(h))
+	for i, r := range h {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// Concepts returns the concept names with at least one live record, sorted.
+func (s *Store) Concepts() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byConcept))
+	for c := range s.byConcept {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sync flushes buffered log writes to the OS and fsyncs the log file.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.logW == nil {
+		return nil
+	}
+	if err := s.logW.Flush(); err != nil {
+		return fmt.Errorf("lrec: sync: %w", err)
+	}
+	if err := s.logFile.Sync(); err != nil {
+		return fmt.Errorf("lrec: sync: %w", err)
+	}
+	return nil
+}
+
+// Compact writes a snapshot of the live records and truncates the log,
+// bounding recovery time. Safe to call at any point between mutations.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	ids := make([]string, 0, len(s.recs))
+	for id := range s.recs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := writeFrame(w, opPut, s.recs[id]); err != nil {
+			f.Close()
+			return fmt.Errorf("lrec: compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	// Truncate the log: everything live is now in the snapshot.
+	if s.logFile != nil {
+		if err := s.logW.Flush(); err != nil {
+			return fmt.Errorf("lrec: compact: %w", err)
+		}
+		if err := s.logFile.Close(); err != nil {
+			return fmt.Errorf("lrec: compact: %w", err)
+		}
+	}
+	f2, err := os.Create(filepath.Join(s.dir, logName))
+	if err != nil {
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	s.logFile = f2
+	s.logW = bufio.NewWriter(f2)
+	return nil
+}
+
+// Close flushes and closes the store's files. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.logW == nil {
+		return nil
+	}
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	err := s.logFile.Close()
+	s.logFile = nil
+	s.logW = nil
+	if err != nil {
+		return fmt.Errorf("lrec: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package match
+
+import (
+	"sort"
+
+	"conceptweb/internal/lrec"
+)
+
+// Collective matching (§6): rather than deciding pairs independently,
+// accepted matches merge evidence and can trigger further matches — the
+// "iterative [approach], where matching decisions trigger new matches" of
+// Bhattacharya & Getoor. The implementation clusters with union-find and
+// re-scores merged cluster representatives until fixpoint.
+
+// unionFind is a standard disjoint-set forest with path compression.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[string]string)}
+}
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok || p == x {
+		u.parent[x] = x
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+// union merges the sets of a and b; the lexicographically smaller root wins,
+// keeping cluster ids deterministic.
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}
+
+// Cluster is one resolved entity: the representative (merged) record and the
+// member record IDs.
+type Cluster struct {
+	Rep     *lrec.Record
+	Members []string
+}
+
+// CollectiveOptions configures iterative collective matching.
+type CollectiveOptions struct {
+	// MaxRounds bounds the merge-rescore loop (default 3).
+	MaxRounds int
+	// Blockers generate candidate pairs each round.
+	Blockers []func(*lrec.Record) string
+}
+
+// DefaultCollectiveOptions returns the standard configuration.
+func DefaultCollectiveOptions() CollectiveOptions {
+	return CollectiveOptions{
+		MaxRounds: 3,
+		Blockers:  []func(*lrec.Record) string{ZipBlock, NameTokenBlock, PhoneBlock},
+	}
+}
+
+// Resolve clusters records of one concept. Pairwise decisions use m; after
+// each round, clusters merge their attribute evidence and the merged
+// representatives are re-blocked and re-scored, so a chain like
+// "Gochi Fusion Tapas" ← "Gochi" → "Gochi Japanese Restaurant" resolves even
+// when the two endpoints would not match directly.
+func Resolve(records []*lrec.Record, m *Matcher, opts CollectiveOptions) []Cluster {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 3
+	}
+	if len(opts.Blockers) == 0 {
+		opts.Blockers = DefaultCollectiveOptions().Blockers
+	}
+	uf := newUnionFind()
+	for _, r := range records {
+		uf.find(r.ID)
+	}
+	byID := make(map[string]*lrec.Record, len(records))
+	for _, r := range records {
+		byID[r.ID] = r
+	}
+
+	reps := make([]*lrec.Record, len(records))
+	for i, r := range records {
+		reps[i] = r.Clone()
+	}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		pairs := BlockBy(reps, opts.Blockers...)
+		merged := false
+		repByID := make(map[string]*lrec.Record, len(reps))
+		for _, r := range reps {
+			repByID[r.ID] = r
+		}
+		for _, p := range pairs {
+			a, b := repByID[p.A], repByID[p.B]
+			if a == nil || b == nil || uf.find(a.ID) == uf.find(b.ID) {
+				continue
+			}
+			if m.Decide(a, b) == Match {
+				uf.union(a.ID, b.ID)
+				merged = true
+			}
+		}
+		if !merged {
+			break
+		}
+		// Rebuild representatives: one merged record per cluster root.
+		groups := make(map[string][]*lrec.Record)
+		for _, r := range records {
+			root := uf.find(r.ID)
+			groups[root] = append(groups[root], r)
+		}
+		reps = reps[:0]
+		roots := make([]string, 0, len(groups))
+		for root := range groups {
+			roots = append(roots, root)
+		}
+		sort.Strings(roots)
+		for _, root := range roots {
+			rep := lrec.NewRecord(root, groups[root][0].Concept)
+			for _, r := range groups[root] {
+				rep.Merge(r) //nolint:errcheck // same concept by construction
+			}
+			reps = append(reps, rep)
+		}
+	}
+
+	// Emit final clusters.
+	groups := make(map[string][]string)
+	for _, r := range records {
+		root := uf.find(r.ID)
+		groups[root] = append(groups[root], r.ID)
+	}
+	roots := make([]string, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Strings(roots)
+	out := make([]Cluster, 0, len(groups))
+	for _, root := range roots {
+		ids := groups[root]
+		sort.Strings(ids)
+		rep := lrec.NewRecord(root, byID[ids[0]].Concept)
+		for _, id := range ids {
+			rep.Merge(byID[id]) //nolint:errcheck // same concept by construction
+		}
+		out = append(out, Cluster{Rep: rep, Members: ids})
+	}
+	return out
+}
+
+// PairwiseResolve is the non-collective baseline: one blocking pass, one
+// scoring pass, transitive closure of accepted matches, no evidence merging.
+func PairwiseResolve(records []*lrec.Record, m *Matcher, blockers ...func(*lrec.Record) string) []Cluster {
+	if len(blockers) == 0 {
+		blockers = DefaultCollectiveOptions().Blockers
+	}
+	uf := newUnionFind()
+	byID := make(map[string]*lrec.Record, len(records))
+	for _, r := range records {
+		byID[r.ID] = r
+		uf.find(r.ID)
+	}
+	for _, p := range BlockBy(records, blockers...) {
+		a, b := byID[p.A], byID[p.B]
+		if m.Decide(a, b) == Match {
+			uf.union(a.ID, b.ID)
+		}
+	}
+	groups := make(map[string][]string)
+	for _, r := range records {
+		groups[uf.find(r.ID)] = append(groups[uf.find(r.ID)], r.ID)
+	}
+	roots := make([]string, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Strings(roots)
+	out := make([]Cluster, 0, len(groups))
+	for _, root := range roots {
+		ids := groups[root]
+		sort.Strings(ids)
+		rep := lrec.NewRecord(root, byID[ids[0]].Concept)
+		for _, id := range ids {
+			rep.Merge(byID[id]) //nolint:errcheck
+		}
+		out = append(out, Cluster{Rep: rep, Members: ids})
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package match
+
+import (
+	"math"
+	"sort"
+
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/textproc"
+)
+
+// TextMatcher matches a free-text fragment (a review, a blog mention) to the
+// structured record it is "about" (§4.2 "Matching"): a domain-centric
+// generative model of text. Each record defines a unigram language model
+// over its attribute tokens, weighted per attribute (name tokens count more
+// than menu tokens); a document is scored by the smoothed mixture of the
+// record model and a background model built from the whole record corpus.
+type TextMatcher struct {
+	// Lambda is the record-model mixture weight (default 0.7).
+	Lambda float64
+	// AttrWeights scale each attribute's token contributions; attributes
+	// absent from the map get weight 1.
+	AttrWeights map[string]float64
+	// MinInformative is the minimum number of text tokens that occur in any
+	// record's vocabulary for a match to be attempted (default 4): a page
+	// sharing only a word or two with the corpus is not "about" anything.
+	MinInformative int
+
+	records []*lrec.Record
+	models  []map[string]float64 // per-record token probabilities
+	bg      map[string]float64   // background token probabilities
+	bgTotal float64
+	// candidate index: token -> record indexes containing it
+	invIndex map[string][]int
+}
+
+// DefaultAttrWeights reflect how strongly each restaurant attribute
+// identifies the subject of a review.
+func DefaultAttrWeights() map[string]float64 {
+	return map[string]float64{
+		"name": 5, "street": 2, "city": 1.5, "menu": 1, "cuisine": 1,
+		"title": 5, "brand": 2, "model": 3,
+	}
+}
+
+// NewTextMatcher builds the matcher over a record corpus.
+func NewTextMatcher(records []*lrec.Record) *TextMatcher {
+	tm := &TextMatcher{
+		Lambda:         0.7,
+		AttrWeights:    DefaultAttrWeights(),
+		MinInformative: 4,
+		records:        records,
+		invIndex:       make(map[string][]int),
+		bg:             make(map[string]float64),
+	}
+	for i, r := range records {
+		model := make(map[string]float64)
+		var total float64
+		for _, key := range r.Keys() {
+			w := tm.AttrWeights[key]
+			if w == 0 {
+				w = 1
+			}
+			for _, v := range r.All(key) {
+				for _, t := range textproc.RemoveStopwords(textproc.Tokenize(v.Value)) {
+					t = textproc.Stem(t)
+					model[t] += w
+					total += w
+				}
+			}
+		}
+		for t := range model {
+			model[t] /= total
+			tm.invIndex[t] = append(tm.invIndex[t], i)
+			tm.bg[t] += model[t]
+			tm.bgTotal += model[t]
+		}
+		tm.models = append(tm.models, model)
+	}
+	return tm
+}
+
+// ScoredRecord is one ranked match.
+type ScoredRecord struct {
+	Record *lrec.Record
+	Score  float64 // mean per-token log-likelihood ratio vs background
+}
+
+// Match returns the k records most likely to be the subject of text,
+// best first. Records sharing no token with the text are never candidates.
+func (tm *TextMatcher) Match(text string, k int) []ScoredRecord {
+	all := textproc.StemAll(textproc.RemoveStopwords(textproc.Tokenize(text)))
+	if len(all) == 0 || len(tm.records) == 0 {
+		return nil
+	}
+	// Score only informative tokens — those in some record's vocabulary.
+	// Generic prose carries no signal about which record the text is about
+	// and would only dilute the per-token likelihood ratio.
+	tokens := all[:0:0]
+	for _, t := range all {
+		if len(tm.invIndex[t]) > 0 {
+			tokens = append(tokens, t)
+		}
+	}
+	if len(tokens) < tm.MinInformative {
+		return nil
+	}
+	candSet := make(map[int]bool)
+	for _, t := range tokens {
+		for _, i := range tm.invIndex[t] {
+			candSet[i] = true
+		}
+	}
+	if len(candSet) == 0 {
+		return nil
+	}
+	cands := make([]int, 0, len(candSet))
+	for i := range candSet {
+		cands = append(cands, i)
+	}
+	sort.Ints(cands)
+
+	const floor = 1e-7
+	scored := make([]ScoredRecord, 0, len(cands))
+	for _, i := range cands {
+		model := tm.models[i]
+		var ll float64
+		for _, t := range tokens {
+			pBg := tm.bg[t]/tm.bgTotal + floor
+			p := tm.Lambda*model[t] + (1-tm.Lambda)*pBg
+			// Log-likelihood ratio against pure background: tokens absent
+			// from the record model pull the score down only mildly, tokens
+			// unique to the record pull it up strongly.
+			ll += math.Log((p + floor) / (pBg + floor))
+		}
+		scored = append(scored, ScoredRecord{
+			Record: tm.records[i],
+			Score:  ll / float64(len(tokens)),
+		})
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].Score != scored[b].Score {
+			return scored[a].Score > scored[b].Score
+		}
+		return scored[a].Record.ID < scored[b].Record.ID
+	})
+	if k > 0 && len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored
+}
+
+// Best returns the single best match and whether its score clears minScore.
+func (tm *TextMatcher) Best(text string, minScore float64) (*lrec.Record, bool) {
+	top := tm.Match(text, 1)
+	if len(top) == 0 || top[0].Score < minScore {
+		return nil, false
+	}
+	return top[0].Record, true
+}

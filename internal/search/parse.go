@@ -1,0 +1,189 @@
+// Package search implements the search applications of §5.1–5.2: query
+// parsing with geographic and attribute understanding, concept-box
+// triggering (Figure 1), document ranking augmented with record-association
+// features, concept search over heterogeneous records, and aggregation
+// pages that unify everything known about an instance.
+package search
+
+import (
+	"sort"
+	"strings"
+
+	"conceptweb/internal/textproc"
+)
+
+// IntentKind classifies a parsed query, following §3's two search modes
+// plus attribute lookup.
+type IntentKind int
+
+// Intent kinds.
+const (
+	// IntentInstance seeks one specific concept instance ("gochi cupertino").
+	IntentInstance IntentKind = iota
+	// IntentSet seeks a set of instances ("mexican food chicago best salsa",
+	// "wedding cakes los angeles").
+	IntentSet
+	// IntentAttribute seeks an attribute of an instance ("gochi menu").
+	IntentAttribute
+)
+
+// String names the intent kind.
+func (k IntentKind) String() string {
+	switch k {
+	case IntentInstance:
+		return "instance"
+	case IntentSet:
+		return "set"
+	default:
+		return "attribute"
+	}
+}
+
+// attributeWords are the §3 attribute-lookup tokens observed in query logs
+// ("menu (3%), coupons (1.8%), ... locations (1.5%)"), mapped to record keys.
+var attributeWords = map[string]string{
+	"menu": "menu", "menus": "menu",
+	"coupon": "coupons", "coupons": "coupons",
+	"location": "street", "locations": "street", "address": "street",
+	"directions": "street", "hours": "hours", "phone": "phone",
+	"review": "reviews", "reviews": "reviews", "rating": "rating",
+	"delivery": "delivery", "nutrition": "nutrition",
+}
+
+// setWords signal category intent rather than a specific instance.
+var setWords = map[string]bool{
+	"best": true, "cheap": true, "good": true, "top": true, "near": true,
+	"nearby": true, "restaurants": true, "places": true, "food": true,
+}
+
+// Parsed is the structured reading of a query.
+type Parsed struct {
+	Raw    string
+	Tokens []string
+	Kind   IntentKind
+	// City is the recognized geographic constraint, "" if none.
+	City string
+	// Category is the recognized category constraint (e.g. cuisine).
+	Category string
+	// Attribute is the record key the user wants, "" if none.
+	Attribute string
+	// NameTokens are the remaining tokens, presumed to name the instance.
+	NameTokens []string
+}
+
+// Parser holds the gazetteer knowledge that query understanding needs.
+type Parser struct {
+	cities     map[string]string // normalized -> display
+	categories map[string]string
+	maxCityLen int
+}
+
+// NewParser builds a parser over the given city and category vocabularies.
+func NewParser(cities, categories []string) *Parser {
+	p := &Parser{cities: map[string]string{}, categories: map[string]string{}}
+	for _, c := range cities {
+		n := textproc.Normalize(c)
+		p.cities[n] = c
+		if l := len(strings.Fields(n)); l > p.maxCityLen {
+			p.maxCityLen = l
+		}
+	}
+	for _, c := range categories {
+		p.categories[textproc.Normalize(c)] = c
+	}
+	return p
+}
+
+// Parse analyses a raw query.
+func (p *Parser) Parse(query string) Parsed {
+	toks := textproc.Tokenize(query)
+	out := Parsed{Raw: query, Tokens: toks}
+
+	consumed := make([]bool, len(toks))
+	// Longest-first city match over token windows.
+	for l := p.maxCityLen; l >= 1 && out.City == ""; l-- {
+		for i := 0; i+l <= len(toks); i++ {
+			window := strings.Join(toks[i:i+l], " ")
+			if city, ok := p.cities[window]; ok {
+				out.City = city
+				for j := i; j < i+l; j++ {
+					consumed[j] = true
+				}
+				break
+			}
+		}
+	}
+	isSet := false
+	for i, t := range toks {
+		if consumed[i] {
+			continue
+		}
+		if cat, ok := p.categories[t]; ok && out.Category == "" {
+			out.Category = cat
+			consumed[i] = true
+			continue
+		}
+		if attr, ok := attributeWords[t]; ok && out.Attribute == "" {
+			out.Attribute = attr
+			consumed[i] = true
+			continue
+		}
+		if setWords[t] {
+			isSet = true
+			consumed[i] = true
+			continue
+		}
+	}
+	for i, t := range toks {
+		if !consumed[i] && !textproc.IsStopword(t) {
+			out.NameTokens = append(out.NameTokens, t)
+		}
+	}
+
+	switch {
+	case out.Attribute != "" && len(out.NameTokens) > 0:
+		out.Kind = IntentAttribute
+	case len(out.NameTokens) == 0 || isSet || (out.Category != "" && len(out.NameTokens) == 0):
+		out.Kind = IntentSet
+	case out.Category != "" && len(out.NameTokens) == 0:
+		out.Kind = IntentSet
+	default:
+		out.Kind = IntentInstance
+	}
+	if isSet && out.Attribute == "" {
+		out.Kind = IntentSet
+	}
+	return out
+}
+
+// SuggestAssistance produces the "Assistance" cell of Table 1: follow-up
+// query reformulations for a parsed query (refine by attribute, by city,
+// or relax to the category).
+func (p *Parser) SuggestAssistance(q Parsed) []string {
+	var out []string
+	name := strings.Join(q.NameTokens, " ")
+	add := func(s string) {
+		s = strings.TrimSpace(s)
+		if s != "" && s != strings.TrimSpace(q.Raw) {
+			out = append(out, s)
+		}
+	}
+	if name != "" {
+		for _, attr := range []string{"menu", "reviews", "coupons", "hours"} {
+			if q.Attribute != attr {
+				add(name + " " + attr)
+			}
+		}
+	}
+	if q.Category != "" && q.City != "" {
+		add("best " + strings.ToLower(q.Category) + " " + strings.ToLower(q.City))
+	}
+	if q.Category != "" && q.City == "" {
+		add(strings.ToLower(q.Category) + " near me")
+	}
+	sort.Strings(out)
+	if len(out) > 6 {
+		out = out[:6]
+	}
+	return out
+}

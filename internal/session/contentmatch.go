@@ -1,0 +1,105 @@
+package session
+
+import (
+	"sort"
+)
+
+// Content matching (§5.3 "Understanding Content"): "a user arriving at
+// yahoo.com will encounter content that does not respond to a particular
+// query, but is intended to be interesting and informative. An article about
+// penetration of jai alai into the western US ... might be highly relevant
+// to this user, but deeply uninteresting to other users." ScoreContent ranks
+// candidate articles for a user by the overlap between the article's concept
+// references and the user's historical and session interests.
+
+// ContentItem is one candidate piece of content (an article page).
+type ContentItem struct {
+	URL   string
+	Score float64
+	// MatchedInterests are the user-interest keys that contributed.
+	MatchedInterests []string
+}
+
+// ScoreContent ranks the given article URLs for the user. Articles gain
+// score for every concept they reference whose interest keys appear in the
+// user's models; session interests weigh more than historical ones (the
+// current task dominates, per the Birks example).
+func (m *UserModel) ScoreContent(urls []string, k int) []ContentItem {
+	focus := m.SessionFocus()
+	out := make([]ContentItem, 0, len(urls))
+	for _, u := range urls {
+		item := ContentItem{URL: u}
+		seen := map[string]bool{}
+		for _, rid := range m.Woc.AssocOf(u) {
+			for _, key := range m.interestKeys(Event{RecordID: rid}) {
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				w := 2*focus[key] + 0.3*m.history[key]
+				if w > 0 {
+					item.Score += w
+					item.MatchedInterests = append(item.MatchedInterests, key)
+				}
+			}
+		}
+		sort.Strings(item.MatchedInterests)
+		out = append(out, item)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].URL < out[j].URL
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// FrontPage assembles a personalized §5.3 front page: the top content items
+// plus, when the session shows a concrete local task, records matching it.
+type FrontPage struct {
+	Articles []ContentItem
+	// TaskRecords are records matching the inferred session task (e.g. more
+	// steak restaurants in zip 95054).
+	TaskRecords []string
+}
+
+// BuildFrontPage ranks candidates and infers the session task.
+func (m *UserModel) BuildFrontPage(candidateURLs []string, k int) FrontPage {
+	fp := FrontPage{Articles: m.ScoreContent(candidateURLs, k)}
+	// Session task: the strongest zip or city+cuisine focus, translated to
+	// records the user has not yet seen.
+	focus := m.SessionFocus()
+	var bestKey string
+	var bestW float64
+	for key, w := range focus {
+		if w > bestW && (len(key) > 4 && (key[:4] == "zip:" || key[:5] == "city:")) {
+			bestKey, bestW = key, w
+		}
+	}
+	if bestKey == "" {
+		return fp
+	}
+	seen := map[string]bool{}
+	for _, id := range m.SessionRecords() {
+		seen[id] = true
+	}
+	var attr, val string
+	if bestKey[:4] == "zip:" {
+		attr, val = "zip", bestKey[4:]
+	} else {
+		attr, val = "city", bestKey[5:]
+	}
+	for _, rec := range m.Woc.Records.ByAttr("restaurant", attr, val) {
+		if !seen[rec.ID] {
+			fp.TaskRecords = append(fp.TaskRecords, rec.ID)
+		}
+		if len(fp.TaskRecords) >= k {
+			break
+		}
+	}
+	return fp
+}

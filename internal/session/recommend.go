@@ -1,0 +1,164 @@
+package session
+
+import (
+	"sort"
+	"strconv"
+
+	"conceptweb/internal/core"
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/textproc"
+)
+
+// Concept recommendation (§5.4): "concept recommendation should not be
+// viewed as a single problem with a single optimization criterion" — the two
+// key instances are alternatives (substitutes that might displace the
+// current record, where worse options are suppressed) and augmentations
+// (complements ranked by conditional interest, with no displacement logic).
+
+// Recommendation is one recommended record with its score and reason.
+type Recommendation struct {
+	Record *lrec.Record
+	Score  float64
+	Reason string
+}
+
+// Recommender produces alternatives and augmentations over a built web of
+// concepts.
+type Recommender struct {
+	Woc *core.WebOfConcepts
+}
+
+// Alternatives recommends substitutes for a record: same concept, same
+// city, similar cuisine or price, ranked by similarity then rating — and
+// options clearly worse than the current record are suppressed ("the goal of
+// the system is to suppress recommendations that the user finds less
+// preferable overall").
+func (rc *Recommender) Alternatives(recordID string, k int) ([]Recommendation, error) {
+	cur, err := rc.Woc.Records.Get(recordID)
+	if err != nil {
+		return nil, err
+	}
+	curRating := parseRating(cur.Get("rating"))
+	var out []Recommendation
+	for _, cand := range rc.Woc.Records.ByConcept(cur.Concept) {
+		if cand.ID == cur.ID {
+			continue
+		}
+		score := 0.0
+		reason := ""
+		if eq(cand, cur, "city") {
+			score += 2
+			reason = "same city"
+		}
+		if eq(cand, cur, "cuisine") {
+			score += 2
+			if reason != "" {
+				reason += ", "
+			}
+			reason += "same cuisine"
+		}
+		if eq(cand, cur, "price") {
+			score += 0.5
+		}
+		if eq(cand, cur, "kind") { // products: same kind substitutes
+			score += 2
+			reason = "same kind"
+		}
+		if score < 2 {
+			continue // not a plausible substitute
+		}
+		// Suppression: an alternative rated clearly below the current
+		// record is not shown.
+		candRating := parseRating(cand.Get("rating"))
+		if curRating > 0 && candRating > 0 && candRating < curRating-0.5 {
+			continue
+		}
+		score += candRating / 5
+		out = append(out, Recommendation{Record: cand, Score: score, Reason: reason})
+	}
+	sortRecs(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Augmentations recommends complements for a record: products that declare
+// themselves accessories of it (the Canon G10 → NB-7L battery example), and
+// for local records, events in the same city. Ranking is by "degree of
+// interest conditioned on engagement with the primary record"; no
+// suppression applies.
+func (rc *Recommender) Augmentations(recordID string, k int) ([]Recommendation, error) {
+	cur, err := rc.Woc.Records.Get(recordID)
+	if err != nil {
+		return nil, err
+	}
+	var out []Recommendation
+	// Declared accessory relations.
+	for _, cand := range rc.Woc.Records.ByAttr("product", "accessory_of", cur.ID) {
+		out = append(out, Recommendation{Record: cand, Score: 3, Reason: "accessory"})
+	}
+	// Ground-truth accessory ids may reference the entity id rather than the
+	// record id; try the record's own declared accessory links too.
+	for _, v := range cur.All("accessory_of") {
+		if cam, err := rc.Woc.Records.Get(v.Value); err == nil {
+			out = append(out, Recommendation{Record: cam, Score: 2.5, Reason: "accessory of"})
+		}
+	}
+	// Same-city events complement local entities.
+	if city := cur.Get("city"); city != "" && cur.Concept != "event" {
+		for _, ev := range rc.Woc.Records.ByAttr("event", "city", city) {
+			out = append(out, Recommendation{Record: ev, Score: 1, Reason: "event nearby"})
+		}
+	}
+	sortRecs(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+func eq(a, b *lrec.Record, key string) bool {
+	av, bv := a.Get(key), b.Get(key)
+	return av != "" && textproc.Normalize(av) == textproc.Normalize(bv)
+}
+
+func parseRating(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+func sortRecs(out []Recommendation) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Record.ID < out[j].Record.ID
+	})
+}
+
+// PersonalizedRank re-ranks recommendations by the user's session focus and
+// historical interests — the §5.3 "matching content to a particular user in
+// a particular context". This is also the machinery behind the Birks
+// example: a user who has been viewing restaurants in zip 95054 ranks
+// Birk's Steakhouse above Birks & Mayors.
+func (rc *Recommender) PersonalizedRank(m *UserModel, recs []Recommendation) []Recommendation {
+	focus := m.SessionFocus()
+	hist := m.history
+	out := append([]Recommendation(nil), recs...)
+	for i := range out {
+		bonus := 0.0
+		for _, key := range m.interestKeys(Event{RecordID: out[i].Record.ID}) {
+			bonus += 2*focus[key] + 0.2*hist[key]
+		}
+		out[i].Score += bonus
+	}
+	sortRecs(out)
+	return out
+}

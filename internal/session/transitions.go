@@ -1,0 +1,237 @@
+package session
+
+import (
+	"sort"
+	"sync"
+
+	"conceptweb/internal/core"
+	"conceptweb/internal/search"
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgraph"
+)
+
+// Table 1 of the paper: "Technologies for Interconnecting Different Page
+// Types". Rows are the source page type p, columns the destination type q:
+//
+//	p↓ q⇒      Result                Concept                  Article
+//	Result     Assistance            Concept search           Vanilla search
+//	Concept    Search w/in concept   Concept recommendation   Semantic linking
+//	Article    —                     Semantic linking         Related pages
+//
+// Transitions materializes every implemented cell.
+
+// PageType is one of the three §5.4 page types.
+type PageType int
+
+// Page types.
+const (
+	ResultPage PageType = iota
+	ConceptPage
+	ArticlePage
+)
+
+// String names the page type.
+func (t PageType) String() string {
+	switch t {
+	case ResultPage:
+		return "result"
+	case ConceptPage:
+		return "concept"
+	default:
+		return "article"
+	}
+}
+
+// Link is one offered transition target.
+type Link struct {
+	// Target is a URL, a record ID, or a query string, per TargetKind.
+	Target string
+	// TargetKind is "url", "record", or "query".
+	TargetKind string
+	Label      string
+	Score      float64
+}
+
+// Transitions implements the Table 1 technology matrix over a built web of
+// concepts.
+type Transitions struct {
+	Woc    *core.WebOfConcepts
+	Engine *search.Engine
+	Rec    *Recommender
+
+	vecOnce sync.Once
+	vecs    map[string]textproc.Vector
+	vecURLs []string
+}
+
+// NewTransitions wires the matrix over an engine.
+func NewTransitions(e *search.Engine) *Transitions {
+	return &Transitions{Woc: e.Woc, Engine: e, Rec: &Recommender{Woc: e.Woc}}
+}
+
+// CellName returns the technology in cell (p, q), "" for the empty cell.
+func CellName(p, q PageType) string {
+	names := map[[2]PageType]string{
+		{ResultPage, ResultPage}:   "assistance",
+		{ResultPage, ConceptPage}:  "concept search",
+		{ResultPage, ArticlePage}:  "vanilla search",
+		{ConceptPage, ResultPage}:  "search within concept",
+		{ConceptPage, ConceptPage}: "concept recommendation",
+		{ConceptPage, ArticlePage}: "semantic linking",
+		{ArticlePage, ConceptPage}: "semantic linking",
+		{ArticlePage, ArticlePage}: "related pages",
+	}
+	return names[[2]PageType{p, q}]
+}
+
+// ResultToResult: assistance — reformulation suggestions for a query.
+func (tr *Transitions) ResultToResult(query string, k int) []Link {
+	parsed := tr.Engine.Parser.Parse(query)
+	var out []Link
+	for _, s := range tr.Engine.Parser.SuggestAssistance(parsed) {
+		out = append(out, Link{Target: s, TargetKind: "query", Label: s, Score: 1})
+	}
+	return cap_(out, k)
+}
+
+// ResultToConcept: concept search — records answering the query.
+func (tr *Transitions) ResultToConcept(query string, k int) []Link {
+	var out []Link
+	for _, h := range tr.Engine.ConceptSearch(query, nil, k) {
+		label := h.Record.Get("name")
+		if label == "" {
+			label = h.Record.Get("title")
+		}
+		out = append(out, Link{Target: h.Record.ID, TargetKind: "record", Label: label, Score: h.Score})
+	}
+	return out
+}
+
+// ResultToArticle: vanilla search — ranked documents.
+func (tr *Transitions) ResultToArticle(query string, k int) []Link {
+	var out []Link
+	for _, d := range tr.Engine.Search(query, k).Results {
+		out = append(out, Link{Target: d.URL, TargetKind: "url", Label: d.URL, Score: d.Score})
+	}
+	return out
+}
+
+// ConceptToResult: search within the concept's own web.
+func (tr *Transitions) ConceptToResult(recordID, query string, k int) []Link {
+	var out []Link
+	for _, d := range tr.Engine.SearchWithinConcept(recordID, query, k) {
+		out = append(out, Link{Target: d.URL, TargetKind: "url", Label: d.URL, Score: d.Score})
+	}
+	return out
+}
+
+// ConceptToConcept: concept recommendation (alternatives + augmentations).
+func (tr *Transitions) ConceptToConcept(recordID string, k int) []Link {
+	var out []Link
+	alts, _ := tr.Rec.Alternatives(recordID, k)
+	for _, r := range alts {
+		out = append(out, Link{Target: r.Record.ID, TargetKind: "record",
+			Label: "alternative: " + r.Record.Get("name"), Score: r.Score})
+	}
+	augs, _ := tr.Rec.Augmentations(recordID, k)
+	for _, r := range augs {
+		label := r.Record.Get("name")
+		if label == "" {
+			label = r.Record.Get("title")
+		}
+		out = append(out, Link{Target: r.Record.ID, TargetKind: "record",
+			Label: "augmentation: " + label, Score: r.Score})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return cap_(out, k)
+}
+
+// ConceptToArticle: semantic linking — articles mentioning the record.
+func (tr *Transitions) ConceptToArticle(recordID string, k int) []Link {
+	var out []Link
+	for _, u := range tr.Woc.PagesOf(recordID) {
+		out = append(out, Link{Target: u, TargetKind: "url", Label: u, Score: 1})
+	}
+	return cap_(out, k)
+}
+
+// ArticleToConcept: semantic linking — records the article is about.
+func (tr *Transitions) ArticleToConcept(url string, k int) []Link {
+	var out []Link
+	for _, id := range tr.Woc.AssocOf(url) {
+		label := id
+		if rec, err := tr.Woc.Records.Get(id); err == nil {
+			if n := rec.Get("name"); n != "" {
+				label = n
+			} else if t := rec.Get("title"); t != "" {
+				label = t
+			}
+		}
+		out = append(out, Link{Target: id, TargetKind: "record", Label: label, Score: 1})
+	}
+	return cap_(out, k)
+}
+
+// ArticleToArticle: related pages by TF-IDF cosine over page text, with
+// shared concept references as an extra feature ("perhaps employing concept
+// references as part of the feature vector"). The page vectors are built
+// lazily once and cached.
+func (tr *Transitions) ArticleToArticle(url string, k int) []Link {
+	tr.buildVectors()
+	srcVec, ok := tr.vecs[url]
+	if !ok {
+		return nil
+	}
+	srcConcepts := textproc.TokenSet(tr.Woc.AssocOf(url))
+	var out []Link
+	for _, other := range tr.vecURLs {
+		if other == url {
+			continue
+		}
+		sim := textproc.Cosine(srcVec, tr.vecs[other])
+		if sim <= 0.05 {
+			continue
+		}
+		shared := 0
+		for _, id := range tr.Woc.AssocOf(other) {
+			if srcConcepts[id] {
+				shared++
+			}
+		}
+		out = append(out, Link{Target: other, TargetKind: "url", Label: other,
+			Score: sim + 0.3*float64(shared)})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Target < out[j].Target
+	})
+	return cap_(out, k)
+}
+
+// buildVectors populates the cached TF-IDF vectors over all pages.
+func (tr *Transitions) buildVectors() {
+	tr.vecOnce.Do(func() {
+		corpus := textproc.NewCorpus()
+		toks := make(map[string][]string)
+		tr.Woc.Pages.Scan(func(p *webgraph.Page) bool {
+			ts := textproc.StemAll(textproc.RemoveStopwords(textproc.Tokenize(p.Doc.Text())))
+			toks[p.URL] = ts
+			corpus.Add(ts)
+			tr.vecURLs = append(tr.vecURLs, p.URL)
+			return true
+		})
+		tr.vecs = make(map[string]textproc.Vector, len(toks))
+		for u, ts := range toks {
+			tr.vecs[u] = corpus.Vectorize(ts)
+		}
+	})
+}
+
+func cap_(out []Link, k int) []Link {
+	if k > 0 && len(out) > k {
+		return out[:k]
+	}
+	return out
+}

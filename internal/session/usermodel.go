@@ -1,0 +1,147 @@
+// Package session implements the §5.3–5.4 applications: user modeling
+// (historical and session), content matching, concept recommendation
+// (alternatives vs. augmentations), semantic linking, and the full Table 1
+// matrix of page-to-page transition technologies.
+package session
+
+import (
+	"math"
+	"sort"
+
+	"conceptweb/internal/core"
+	"conceptweb/internal/textproc"
+)
+
+// Event is one observed user interaction, expressed in concept terms —
+// "this user consumed reviews for three steak restaurants in zipcode 95054
+// during the past hour" is a sequence of Events.
+type Event struct {
+	// RecordID is the concept instance involved ("" for pure queries).
+	RecordID string
+	// Query is the query text, if the event was a search.
+	Query string
+	// URL is the page visited, if any.
+	URL string
+	// Tick is the logical time of the event (caller-supplied, increasing).
+	Tick int
+}
+
+// UserModel maintains the two §5.3 components: a historical model of
+// long-standing interests and a session model of the current task.
+type UserModel struct {
+	Woc *core.WebOfConcepts
+	// HalfLife controls historical decay in ticks (default 1000).
+	HalfLife float64
+	// SessionWindow is how many recent events form the session (default 10).
+	SessionWindow int
+
+	history  map[string]float64 // interest key -> decayed weight
+	lastTick int
+	session  []Event
+}
+
+// NewUserModel returns an empty model over a built web of concepts.
+func NewUserModel(woc *core.WebOfConcepts) *UserModel {
+	return &UserModel{
+		Woc: woc, HalfLife: 1000, SessionWindow: 10,
+		history: make(map[string]float64),
+	}
+}
+
+// interestKeys derives the interest vocabulary of an event: the concept
+// name, the record's category-like attributes, and its city.
+func (m *UserModel) interestKeys(ev Event) []string {
+	var keys []string
+	if ev.RecordID != "" {
+		if rec, err := m.Woc.Records.Get(ev.RecordID); err == nil {
+			keys = append(keys, "concept:"+rec.Concept)
+			for _, attr := range []string{"cuisine", "kind", "city", "venue", "status"} {
+				if v := rec.Get(attr); v != "" {
+					keys = append(keys, attr+":"+textproc.Normalize(v))
+				}
+			}
+			if z := rec.Get("zip"); z != "" {
+				keys = append(keys, "zip:"+z)
+			}
+		}
+	}
+	for _, t := range textproc.RemoveStopwords(textproc.Tokenize(ev.Query)) {
+		keys = append(keys, "term:"+textproc.Stem(t))
+	}
+	return keys
+}
+
+// Observe folds one event into both models. Ticks must be non-decreasing.
+func (m *UserModel) Observe(ev Event) {
+	// Exponential decay of the historical model.
+	if ev.Tick > m.lastTick && len(m.history) > 0 {
+		dt := float64(ev.Tick - m.lastTick)
+		decay := math.Exp2(-dt / m.HalfLife)
+		for k := range m.history {
+			m.history[k] *= decay
+			if m.history[k] < 1e-6 {
+				delete(m.history, k)
+			}
+		}
+	}
+	m.lastTick = ev.Tick
+	for _, k := range m.interestKeys(ev) {
+		m.history[k]++
+	}
+	m.session = append(m.session, ev)
+	if len(m.session) > m.SessionWindow {
+		m.session = m.session[len(m.session)-m.SessionWindow:]
+	}
+}
+
+// Interest is one weighted interest key.
+type Interest struct {
+	Key    string
+	Weight float64
+}
+
+// TopInterests returns the n strongest historical interests.
+func (m *UserModel) TopInterests(n int) []Interest {
+	out := make([]Interest, 0, len(m.history))
+	for k, w := range m.history {
+		out = append(out, Interest{Key: k, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// SessionFocus summarizes the current session: the interest keys of the
+// recent events, weighted by recency (most recent weighs most).
+func (m *UserModel) SessionFocus() map[string]float64 {
+	focus := make(map[string]float64)
+	n := len(m.session)
+	for i, ev := range m.session {
+		w := float64(i+1) / float64(n)
+		for _, k := range m.interestKeys(ev) {
+			focus[k] += w
+		}
+	}
+	return focus
+}
+
+// SessionRecords returns the distinct record IDs in the session window,
+// most recent last.
+func (m *UserModel) SessionRecords() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, ev := range m.session {
+		if ev.RecordID != "" && !seen[ev.RecordID] {
+			seen[ev.RecordID] = true
+			out = append(out, ev.RecordID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+
+	"conceptweb/internal/textproc"
+)
+
+// Data-driven taxonomy construction (§2.3): "a collection of such concepts
+// may lend itself to hierarchical categorization techniques that yield a
+// data-driven taxonomy". We implement average-linkage hierarchical
+// agglomerative clustering over TF-IDF vectors of record text; cutting the
+// dendrogram at k clusters yields a flat categorization, and the merge tree
+// itself is the taxonomy.
+
+// Item is one object to cluster: an ID and its describing text.
+type Item struct {
+	ID   string
+	Text string
+}
+
+// Dendrogram is the result of hierarchical clustering.
+type Dendrogram struct {
+	items []Item
+	// merges[i] records the i-th merge: the two cluster indexes merged and
+	// the similarity at which it happened. Leaf clusters are 0..n-1; merge i
+	// creates cluster n+i.
+	merges []merge
+	vecs   []textproc.Vector
+	corpus *textproc.Corpus
+}
+
+type merge struct {
+	a, b int
+	sim  float64
+}
+
+// Cluster runs average-linkage agglomerative clustering (via centroid
+// cosine, a standard scalable approximation) until one cluster remains.
+func Cluster(items []Item) *Dendrogram {
+	d := &Dendrogram{items: items, corpus: textproc.NewCorpus()}
+	toks := make([][]string, len(items))
+	for i, it := range items {
+		toks[i] = textproc.StemAll(textproc.RemoveStopwords(textproc.Tokenize(it.Text)))
+		d.corpus.Add(toks[i])
+	}
+	type clust struct {
+		idx  int
+		vec  textproc.Vector
+		size int
+		dead bool
+	}
+	clusters := make([]*clust, len(items))
+	for i := range items {
+		vec := d.corpus.Vectorize(toks[i])
+		d.vecs = append(d.vecs, vec)
+		clusters[i] = &clust{idx: i, vec: vec, size: 1}
+	}
+	live := len(clusters)
+	for live > 1 {
+		// Find the most similar live pair (deterministic tie-breaks).
+		bi, bj, best := -1, -1, -1.0
+		for i := 0; i < len(clusters); i++ {
+			if clusters[i].dead {
+				continue
+			}
+			for j := i + 1; j < len(clusters); j++ {
+				if clusters[j].dead {
+					continue
+				}
+				s := textproc.Cosine(clusters[i].vec, clusters[j].vec)
+				if s > best {
+					bi, bj, best = i, j, s
+				}
+			}
+		}
+		a, b := clusters[bi], clusters[bj]
+		nv := make(textproc.Vector, len(a.vec)+len(b.vec))
+		for t, w := range a.vec {
+			nv[t] += w * float64(a.size)
+		}
+		for t, w := range b.vec {
+			nv[t] += w * float64(b.size)
+		}
+		total := float64(a.size + b.size)
+		for t := range nv {
+			nv[t] /= total
+		}
+		d.merges = append(d.merges, merge{a: a.idx, b: b.idx, sim: best})
+		a.dead, b.dead = true, true
+		clusters = append(clusters, &clust{
+			idx: len(d.items) + len(d.merges) - 1, vec: nv, size: a.size + b.size,
+		})
+		live--
+	}
+	return d
+}
+
+// Cut returns k clusters as slices of item IDs (each sorted; clusters sorted
+// by first member). k is clamped to [1, n].
+func (d *Dendrogram) Cut(k int) [][]string {
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// Apply the first n-k merges with union-find.
+	parent := make([]int, n+len(d.merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := 0; i < n-k && i < len(d.merges); i++ {
+		m := d.merges[i]
+		node := n + i
+		parent[find(m.a)] = node
+		parent[find(m.b)] = node
+	}
+	groups := make(map[int][]string)
+	for i, it := range d.items {
+		groups[find(i)] = append(groups[find(i)], it.ID)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, g := range groups {
+		sort.Strings(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Label summarizes a cluster (a set of item IDs) with its top TF-IDF terms.
+func (d *Dendrogram) Label(cluster []string, nTerms int) []string {
+	member := make(map[string]bool, len(cluster))
+	for _, id := range cluster {
+		member[id] = true
+	}
+	sum := make(textproc.Vector)
+	for i, it := range d.items {
+		if !member[it.ID] {
+			continue
+		}
+		for t, w := range d.vecs[i] {
+			sum[t] += w
+		}
+	}
+	return textproc.TopTerms(sum, nTerms)
+}
+
+// BuildTaxonomy converts a k-cut of the dendrogram into a Taxonomy: each
+// cluster becomes a node named by its label, each item an InstanceOf child,
+// and every cluster node an IsA child of root.
+func (d *Dendrogram) BuildTaxonomy(k int, root string) *Taxonomy {
+	t := New()
+	used := map[string]bool{root: true}
+	for ci, cluster := range d.Cut(k) {
+		terms := d.Label(cluster, 2)
+		name := root
+		if len(terms) > 0 {
+			name = terms[0]
+			if len(terms) > 1 {
+				name += "-" + terms[1]
+			}
+		}
+		// Distinct clusters must stay distinct even when their top terms
+		// coincide.
+		if used[name] {
+			name = fmt.Sprintf("%s-%d", name, ci)
+		}
+		used[name] = true
+		t.Add(name, IsA, root) //nolint:errcheck // fresh nodes cannot cycle
+		for _, id := range cluster {
+			t.Add(id, InstanceOf, name) //nolint:errcheck
+		}
+	}
+	return t
+}

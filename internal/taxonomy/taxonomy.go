@@ -1,0 +1,187 @@
+// Package taxonomy implements the concept-organization layer of §2.3: a
+// curated taxonomy of typed relations between concepts (is-a, part-of,
+// instance-of — the Nikon D40 example: a D40 is a kind of digital camera,
+// which is a kind of camera; a D40 is part of a camera package; a physical
+// unit is an instance of the D40 model) and a data-driven alternative built
+// by hierarchical agglomerative clustering over record text.
+package taxonomy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Relation is the type of an edge between taxonomy nodes.
+type Relation int
+
+// Relations.
+const (
+	IsA Relation = iota
+	PartOf
+	InstanceOf
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case IsA:
+		return "is-a"
+	case PartOf:
+		return "part-of"
+	case InstanceOf:
+		return "instance-of"
+	default:
+		return fmt.Sprintf("relation(%d)", int(r))
+	}
+}
+
+// ErrCycle is returned when adding an edge would create a cycle within one
+// relation type.
+var ErrCycle = errors.New("taxonomy: edge would create a cycle")
+
+type edge struct {
+	to  string
+	rel Relation
+}
+
+// Taxonomy is a DAG of typed relations over named nodes (concepts, concept
+// instances, or anything else the caller wants to organize).
+type Taxonomy struct {
+	out map[string][]edge
+	in  map[string][]edge
+}
+
+// New returns an empty taxonomy.
+func New() *Taxonomy {
+	return &Taxonomy{out: make(map[string][]edge), in: make(map[string][]edge)}
+}
+
+// Add asserts `from --rel--> to` (e.g. Add("nikon-d40", IsA, "digital camera")).
+// Adding a duplicate edge is a no-op; an edge that would close a cycle in
+// the same relation returns ErrCycle.
+func (t *Taxonomy) Add(from string, rel Relation, to string) error {
+	for _, e := range t.out[from] {
+		if e.to == to && e.rel == rel {
+			return nil
+		}
+	}
+	if t.reaches(to, from, rel) {
+		return fmt.Errorf("%w: %s %s %s", ErrCycle, from, rel, to)
+	}
+	t.out[from] = append(t.out[from], edge{to: to, rel: rel})
+	t.in[to] = append(t.in[to], edge{to: from, rel: rel})
+	return nil
+}
+
+// reaches reports whether start can reach goal following rel edges forward.
+func (t *Taxonomy) reaches(start, goal string, rel Relation) bool {
+	if start == goal {
+		return true
+	}
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range t.out[n] {
+			if e.rel != rel || seen[e.to] {
+				continue
+			}
+			if e.to == goal {
+				return true
+			}
+			seen[e.to] = true
+			stack = append(stack, e.to)
+		}
+	}
+	return false
+}
+
+// Ancestors returns every node reachable from n via rel edges, sorted.
+func (t *Taxonomy) Ancestors(n string, rel Relation) []string {
+	seen := make(map[string]bool)
+	stack := []string{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range t.out[cur] {
+			if e.rel == rel && !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Descendants returns every node that reaches n via rel edges, sorted.
+func (t *Taxonomy) Descendants(n string, rel Relation) []string {
+	seen := make(map[string]bool)
+	stack := []string{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range t.in[cur] {
+			if e.rel == rel && !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsKindOf reports whether a is (transitively) a kind of b.
+func (t *Taxonomy) IsKindOf(a, b string) bool { return t.reaches(a, b, IsA) }
+
+// Parents returns n's direct rel parents, sorted.
+func (t *Taxonomy) Parents(n string, rel Relation) []string {
+	var out []string
+	for _, e := range t.out[n] {
+		if e.rel == rel {
+			out = append(out, e.to)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InstancesOf returns the direct InstanceOf children of n, sorted.
+func (t *Taxonomy) InstancesOf(n string) []string {
+	var out []string
+	for _, e := range t.in[n] {
+		if e.rel == InstanceOf {
+			out = append(out, e.to)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Nodes returns every node mentioned by any edge, sorted.
+func (t *Taxonomy) Nodes() []string {
+	seen := make(map[string]bool)
+	for n := range t.out {
+		seen[n] = true
+	}
+	for n := range t.in {
+		seen[n] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

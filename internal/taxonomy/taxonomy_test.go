@@ -1,0 +1,195 @@
+package taxonomy
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"conceptweb/internal/webgen"
+)
+
+// TestCameraHierarchy encodes the paper's §2.3 Nikon D40 example verbatim.
+func TestCameraHierarchy(t *testing.T) {
+	tx := New()
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(tx.Add("nikon d40", IsA, "digital camera"))
+	check(tx.Add("digital camera", IsA, "camera"))
+	check(tx.Add("nikon d40", IsA, "nikon cameras"))
+	check(tx.Add("nikon d40", PartOf, "holiday camera package"))
+	check(tx.Add("unit-serial-123", InstanceOf, "nikon d40"))
+	check(tx.Add("unit-serial-456", InstanceOf, "nikon d40"))
+
+	if !tx.IsKindOf("nikon d40", "camera") {
+		t.Error("transitive is-a failed")
+	}
+	if tx.IsKindOf("camera", "nikon d40") {
+		t.Error("is-a is not symmetric")
+	}
+	if got := tx.Ancestors("nikon d40", IsA); !reflect.DeepEqual(got,
+		[]string{"camera", "digital camera", "nikon cameras"}) {
+		t.Errorf("ancestors = %v", got)
+	}
+	if got := tx.Descendants("camera", IsA); !reflect.DeepEqual(got,
+		[]string{"digital camera", "nikon d40"}) {
+		t.Errorf("descendants = %v", got)
+	}
+	if got := tx.InstancesOf("nikon d40"); len(got) != 2 {
+		t.Errorf("instances = %v", got)
+	}
+	if got := tx.Parents("nikon d40", PartOf); !reflect.DeepEqual(got, []string{"holiday camera package"}) {
+		t.Errorf("part-of = %v", got)
+	}
+}
+
+func TestCycleRejection(t *testing.T) {
+	tx := New()
+	tx.Add("a", IsA, "b")
+	tx.Add("b", IsA, "c")
+	if err := tx.Add("c", IsA, "a"); !errors.Is(err, ErrCycle) {
+		t.Errorf("err = %v", err)
+	}
+	if err := tx.Add("a", IsA, "a"); !errors.Is(err, ErrCycle) {
+		t.Errorf("self loop err = %v", err)
+	}
+	// A cycle in a different relation type is allowed (is-a up, part-of down).
+	if err := tx.Add("c", PartOf, "a"); err != nil {
+		t.Errorf("cross-relation err = %v", err)
+	}
+}
+
+func TestAddDuplicateEdge(t *testing.T) {
+	tx := New()
+	tx.Add("a", IsA, "b")
+	if err := tx.Add("a", IsA, "b"); err != nil {
+		t.Errorf("duplicate add err = %v", err)
+	}
+	if got := tx.Parents("a", IsA); len(got) != 1 {
+		t.Errorf("parents = %v", got)
+	}
+}
+
+func TestNodes(t *testing.T) {
+	tx := New()
+	tx.Add("x", IsA, "y")
+	if got := tx.Nodes(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("nodes = %v", got)
+	}
+}
+
+func TestClusterSeparatesTopics(t *testing.T) {
+	items := []Item{
+		{ID: "r1", Text: "margherita pizza pasta lasagna risotto italian trattoria"},
+		{ID: "r2", Text: "spaghetti carbonara pizza gnocchi italian kitchen"},
+		{ID: "r3", Text: "tacos salsa burrito carnitas mexican cantina"},
+		{ID: "r4", Text: "enchiladas guacamole tacos mexican taqueria"},
+		{ID: "r5", Text: "sushi ramen nigiri japanese izakaya"},
+		{ID: "r6", Text: "tempura udon sushi japanese bar"},
+	}
+	d := Cluster(items)
+	cut := d.Cut(3)
+	if len(cut) != 3 {
+		t.Fatalf("cut = %v", cut)
+	}
+	want := map[string]string{"r1": "r2", "r3": "r4", "r5": "r6"}
+	clusterOf := map[string]int{}
+	for ci, c := range cut {
+		for _, id := range c {
+			clusterOf[id] = ci
+		}
+	}
+	for a, b := range want {
+		if clusterOf[a] != clusterOf[b] {
+			t.Errorf("%s and %s in different clusters: %v", a, b, cut)
+		}
+	}
+	// Labels should surface topical terms.
+	for _, c := range cut {
+		terms := d.Label(c, 3)
+		if len(terms) == 0 {
+			t.Errorf("no label for %v", c)
+		}
+	}
+}
+
+func TestCutBounds(t *testing.T) {
+	items := []Item{{ID: "a", Text: "x"}, {ID: "b", Text: "y"}}
+	d := Cluster(items)
+	if got := d.Cut(0); len(got) != 1 {
+		t.Errorf("k=0 -> %v", got)
+	}
+	if got := d.Cut(10); len(got) != 2 {
+		t.Errorf("k=10 -> %v", got)
+	}
+	if got := Cluster(nil).Cut(1); got != nil {
+		t.Errorf("empty cluster cut = %v", got)
+	}
+}
+
+func TestBuildTaxonomyFromClusters(t *testing.T) {
+	items := []Item{
+		{ID: "r1", Text: "pizza pasta italian"},
+		{ID: "r2", Text: "pizza lasagna italian"},
+		{ID: "r3", Text: "tacos salsa mexican"},
+		{ID: "r4", Text: "burrito salsa mexican"},
+	}
+	d := Cluster(items)
+	tx := d.BuildTaxonomy(2, "restaurant")
+	// Every item must be an instance of some cluster that is-a restaurant.
+	for _, id := range []string{"r1", "r2", "r3", "r4"} {
+		parents := tx.Parents(id, InstanceOf)
+		if len(parents) != 1 {
+			t.Fatalf("%s parents = %v", id, parents)
+		}
+		if !tx.IsKindOf(parents[0], "restaurant") {
+			t.Errorf("cluster %s not under root", parents[0])
+		}
+	}
+}
+
+// Data-driven taxonomy over the synthetic world: restaurants cluster by
+// cuisine vocabulary.
+func TestClusterSyntheticRestaurants(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 40
+	cfg.ReviewArticles = 2
+	cfg.TVArticles = 2
+	w := webgen.Generate(cfg)
+	var items []Item
+	cuisineOf := map[string]string{}
+	for _, r := range w.Restaurants[:24] {
+		items = append(items, Item{
+			ID:   r.ID,
+			Text: r.Cuisine + " " + fmt.Sprint(r.Menu),
+		})
+		cuisineOf[r.ID] = r.Cuisine
+	}
+	d := Cluster(items)
+	cut := d.Cut(10)
+	// Purity: most clusters should be cuisine-pure.
+	pure, total := 0, 0
+	for _, c := range cut {
+		counts := map[string]int{}
+		for _, id := range c {
+			counts[cuisineOf[id]]++
+		}
+		maxN := 0
+		for _, n := range counts {
+			if n > maxN {
+				maxN = n
+			}
+		}
+		pure += maxN
+		total += len(c)
+	}
+	purity := float64(pure) / float64(total)
+	t.Logf("cluster purity over cuisines = %.3f", purity)
+	if purity < 0.7 {
+		t.Errorf("purity %.3f too low", purity)
+	}
+}

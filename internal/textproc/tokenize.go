@@ -1,0 +1,169 @@
+// Package textproc provides the text-processing substrate for the web of
+// concepts: tokenization, normalization, n-grams, string-similarity measures
+// (Levenshtein, Jaro–Winkler, Jaccard, cosine), and TF-IDF vectorization.
+//
+// Entity matching (§6 of the paper) is built on attribute-similarity scores,
+// and both the inverted index and the review→record language model consume
+// normalized token streams, so this package sits underneath internal/index,
+// internal/match, and internal/extract.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase word tokens. A token is a maximal run of
+// letters or digits; everything else is a separator. Apostrophes inside words
+// ("birk's") are dropped rather than splitting the word.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'' && b.Len() > 0:
+			// skip intra-word apostrophe
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// stopwords is a compact English stopword list. It intentionally excludes
+// words that carry meaning in queries for concepts (e.g. "best", "near").
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true,
+	"he": true, "in": true, "is": true, "it": true, "its": true, "of": true,
+	"on": true, "or": true, "that": true, "the": true, "to": true,
+	"was": true, "were": true, "will": true, "with": true, "this": true,
+	"i": true, "we": true, "you": true, "they": true, "my": true,
+}
+
+// IsStopword reports whether tok is a stopword (tok must be lowercase).
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// RemoveStopwords filters stopwords from toks, returning a new slice.
+func RemoveStopwords(toks []string) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if !stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Normalize lowercases s, strips punctuation, and collapses whitespace —
+// the canonical form used when comparing attribute values across sources.
+func Normalize(s string) string {
+	return strings.Join(Tokenize(s), " ")
+}
+
+// NormalizeKey aggressively normalizes s for blocking keys: lowercase
+// alphanumerics only, no separators.
+func NormalizeKey(s string) string {
+	return strings.Join(Tokenize(s), "")
+}
+
+// NGrams returns the n-grams of the token slice. If fewer than n tokens
+// exist, it returns a single gram joining all of them.
+func NGrams(toks []string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	if len(toks) < n {
+		return []string{strings.Join(toks, " ")}
+	}
+	out := make([]string, 0, len(toks)-n+1)
+	for i := 0; i+n <= len(toks); i++ {
+		out = append(out, strings.Join(toks[i:i+n], " "))
+	}
+	return out
+}
+
+// CharNGrams returns the character n-grams of s (after key normalization),
+// padded with '^' and '$' sentinels so prefixes and suffixes are
+// distinguished. Used for fuzzy blocking in entity matching.
+func CharNGrams(s string, n int) []string {
+	s = "^" + NormalizeKey(s) + "$"
+	if n <= 0 || len(s) < n {
+		return []string{s}
+	}
+	out := make([]string, 0, len(s)-n+1)
+	for i := 0; i+n <= len(s); i++ {
+		out = append(out, s[i:i+n])
+	}
+	return out
+}
+
+// TokenSet returns the set of distinct tokens in toks.
+func TokenSet(toks []string) map[string]bool {
+	set := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		set[t] = true
+	}
+	return set
+}
+
+// Stem applies a light suffix-stripping stemmer (a small subset of Porter's
+// rules) sufficient to conflate plurals and common verb forms in queries and
+// page text: restaurants→restaurant, ratings→rating, reviewed→review.
+func Stem(w string) string {
+	if len(w) <= 3 {
+		return w
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ss"):
+		return w
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "us"):
+		return w[:len(w)-1]
+	}
+	switch {
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		return undouble(w[:len(w)-3])
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		return undouble(w[:len(w)-2])
+	}
+	return w
+}
+
+// undouble removes a trailing doubled consonant left by suffix stripping
+// ("stopp" → "stop") but keeps legitimate doubles like "ll" in "grill".
+func undouble(w string) string {
+	n := len(w)
+	if n >= 2 && w[n-1] == w[n-2] {
+		switch w[n-1] {
+		case 'l', 's', 'z':
+			return w
+		}
+		return w[:n-1]
+	}
+	return w
+}
+
+// StemAll stems every token in toks, returning a new slice.
+func StemAll(toks []string) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = Stem(t)
+	}
+	return out
+}

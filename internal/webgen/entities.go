@@ -1,0 +1,277 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"conceptweb/internal/lrec"
+)
+
+// Entity ground truth. These structs are what the synthetic web is rendered
+// from, and what evaluation code scores extraction against. Application code
+// never sees them; it sees only pages and the extracted store.
+
+// Restaurant is the ground truth for one restaurant instance.
+type Restaurant struct {
+	ID       string
+	Name     string
+	Street   string
+	City     string
+	State    string
+	Zip      string
+	Phone    string
+	Cuisine  string
+	Price    string // "$".."$$$$"
+	Rating   float64
+	Hours    string
+	Menu     []string
+	Coupons  []string
+	Homepage string // "" if the restaurant has no official site
+
+	// OldPhone and OldStreet are pre-move values that stale sources still
+	// publish — the §7.3 "outdated and even contradictory information".
+	OldPhone  string
+	OldStreet string
+}
+
+// NameVariant returns one of the naming forms real sites use for the same
+// business: the full name, the name without its type suffix, or the name
+// with the cuisine prepended. variant is any integer (wrapped internally).
+func (r *Restaurant) NameVariant(variant int) string {
+	switch variant % 3 {
+	case 1:
+		// Drop the suffix word(s): "Blue Agave Cantina" -> "Blue Agave".
+		parts := strings.Split(r.Name, " ")
+		if len(parts) > 2 {
+			return strings.Join(parts[:2], " ")
+		}
+		return r.Name
+	case 2:
+		return r.Name + " " + titleCase(r.Cuisine) + " Restaurant"
+	default:
+		return r.Name
+	}
+}
+
+// Address returns the full postal address string.
+func (r *Restaurant) Address() string {
+	return fmt.Sprintf("%s, %s, %s %s", r.Street, r.City, r.State, r.Zip)
+}
+
+// Author is the ground truth for one researcher.
+type Author struct {
+	ID          string
+	Name        string
+	Affiliation string
+	Homepage    string
+	PaperIDs    []string
+}
+
+// Paper is the ground truth for one publication.
+type Paper struct {
+	ID        string
+	Title     string
+	Venue     string
+	Year      int
+	AuthorIDs []string
+}
+
+// Product is the ground truth for one shopping item (a camera model, per the
+// paper's Nikon D40 running example, or one of its accessories).
+type Product struct {
+	ID          string
+	Brand       string
+	Model       string
+	Name        string // brand + model + kind
+	Kind        string // "camera" or accessory kind
+	Price       string
+	Megapixels  float64 // cameras only
+	AccessoryOf string  // product ID this augments, "" for cameras
+}
+
+// Show is the ground truth for one TV series.
+type Show struct {
+	ID       string
+	Title    string
+	Years    string
+	ActorIDs []string
+	Ended    bool
+}
+
+// Actor is the ground truth for one performer.
+type Actor struct {
+	ID      string
+	Name    string
+	ShowIDs []string
+}
+
+// Event is the ground truth for one local event (city calendar entry).
+type Event struct {
+	ID    string
+	Name  string
+	City  string
+	Venue string
+	Date  string
+}
+
+// Hotel and Attraction are filler city-portal content whose only job is to
+// make page classification non-trivial.
+type Hotel struct {
+	ID, Name, City, Street, Phone string
+}
+
+// Attraction is a city point of interest.
+type Attraction struct {
+	ID, Name, City string
+}
+
+// Concept names used consistently across the system.
+const (
+	ConceptRestaurant = "restaurant"
+	ConceptReview     = "review"
+	ConceptAuthor     = "author"
+	ConceptPaper      = "publication"
+	ConceptProduct    = "product"
+	ConceptShow       = "tvshow"
+	ConceptActor      = "actor"
+	ConceptEvent      = "event"
+)
+
+// Domain names.
+const (
+	DomainLocal    = "local"
+	DomainAcademic = "academic"
+	DomainShopping = "shopping"
+	DomainMedia    = "media"
+)
+
+// RegisterConcepts registers the synthetic world's concept metadata — the
+// domain specifications of §4 ("a restaurant domain might specify the
+// concepts menu, location, review; an academic domain author, publication;
+// a shopping domain product, seller, review").
+func RegisterConcepts(reg *lrec.Registry) {
+	reg.Register(lrec.Concept{Name: ConceptRestaurant, Domain: DomainLocal, IDAttr: "address",
+		Attrs: []lrec.AttrSpec{
+			{Key: "name", Kind: lrec.KindName, Required: true},
+			{Key: "street", Kind: lrec.KindAddress, MaxValues: 1},
+			{Key: "city", Kind: lrec.KindCity},
+			{Key: "state", Kind: lrec.KindText},
+			{Key: "zip", Kind: lrec.KindZip, MaxValues: 1},
+			{Key: "phone", Kind: lrec.KindPhone, MaxValues: 2},
+			{Key: "cuisine", Kind: lrec.KindCategory},
+			{Key: "price", Kind: lrec.KindPrice},
+			{Key: "rating", Kind: lrec.KindNumber},
+			{Key: "hours", Kind: lrec.KindText},
+			{Key: "menu", Kind: lrec.KindText},
+			{Key: "homepage", Kind: lrec.KindURL, MaxValues: 1},
+		}})
+	reg.Register(lrec.Concept{Name: ConceptReview, Domain: DomainLocal,
+		Attrs: []lrec.AttrSpec{
+			{Key: "text", Kind: lrec.KindText, Required: true},
+			{Key: "about", Kind: lrec.KindText},
+			{Key: "source", Kind: lrec.KindURL},
+			{Key: "sentiment", Kind: lrec.KindCategory},
+		}})
+	reg.Register(lrec.Concept{Name: ConceptEvent, Domain: DomainLocal,
+		Attrs: []lrec.AttrSpec{
+			{Key: "name", Kind: lrec.KindName, Required: true},
+			{Key: "city", Kind: lrec.KindCity},
+			{Key: "venue", Kind: lrec.KindText},
+			{Key: "date", Kind: lrec.KindDate},
+		}})
+	reg.Register(lrec.Concept{Name: ConceptAuthor, Domain: DomainAcademic,
+		Attrs: []lrec.AttrSpec{
+			{Key: "name", Kind: lrec.KindName, Required: true},
+			{Key: "affiliation", Kind: lrec.KindText},
+			{Key: "homepage", Kind: lrec.KindURL, MaxValues: 1},
+		}})
+	reg.Register(lrec.Concept{Name: ConceptPaper, Domain: DomainAcademic,
+		Attrs: []lrec.AttrSpec{
+			{Key: "title", Kind: lrec.KindName, Required: true},
+			{Key: "venue", Kind: lrec.KindText},
+			{Key: "year", Kind: lrec.KindDate},
+			{Key: "authors", Kind: lrec.KindText},
+		}})
+	reg.Register(lrec.Concept{Name: ConceptProduct, Domain: DomainShopping,
+		Attrs: []lrec.AttrSpec{
+			{Key: "name", Kind: lrec.KindName, Required: true},
+			{Key: "brand", Kind: lrec.KindText},
+			{Key: "model", Kind: lrec.KindText},
+			{Key: "kind", Kind: lrec.KindCategory},
+			{Key: "price", Kind: lrec.KindPrice},
+			{Key: "megapixels", Kind: lrec.KindNumber},
+			{Key: "accessory_of", Kind: lrec.KindText},
+		}})
+	reg.Register(lrec.Concept{Name: ConceptShow, Domain: DomainMedia,
+		Attrs: []lrec.AttrSpec{
+			{Key: "title", Kind: lrec.KindName, Required: true},
+			{Key: "years", Kind: lrec.KindText},
+			{Key: "status", Kind: lrec.KindCategory},
+		}})
+	reg.Register(lrec.Concept{Name: ConceptActor, Domain: DomainMedia,
+		Attrs: []lrec.AttrSpec{
+			{Key: "name", Kind: lrec.KindName, Required: true},
+			{Key: "shows", Kind: lrec.KindText},
+		}})
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	words := strings.Fields(s)
+	for i, w := range words {
+		words[i] = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return strings.Join(words, " ")
+}
+
+func slugify(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// pick returns a deterministic pseudo-random element of list.
+func pick(rng *rand.Rand, list []string) string {
+	return list[rng.Intn(len(list))]
+}
+
+// pickN returns n distinct elements of list (fewer if list is short).
+func pickN(rng *rand.Rand, list []string, n int) []string {
+	if n >= len(list) {
+		out := make([]string, len(list))
+		copy(out, list)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	perm := rng.Perm(len(list))
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = list[perm[i]]
+	}
+	return out
+}
+
+// formatPhone renders a phone number in one of the formats used across the
+// synthetic web; style is any integer.
+func formatPhone(area, mid, last int, style int) string {
+	switch style % 4 {
+	case 1:
+		return fmt.Sprintf("(%03d) %03d-%04d", area, mid, last)
+	case 2:
+		return fmt.Sprintf("%03d.%03d.%04d", area, mid, last)
+	case 3:
+		return fmt.Sprintf("%03d %03d %04d", area, mid, last)
+	default:
+		return fmt.Sprintf("%03d-%03d-%04d", area, mid, last)
+	}
+}

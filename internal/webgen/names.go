@@ -1,0 +1,199 @@
+package webgen
+
+// Word lists for deterministic entity-name synthesis. The lists are chosen
+// so that generated names collide partially (shared tokens, chain names,
+// near-duplicates) — the ambiguity that makes entity matching (§6) a real
+// problem rather than string equality.
+
+var restaurantFirst = []string{
+	"Golden", "Blue", "Red", "Jade", "Silver", "Rustic", "Little", "Grand",
+	"Royal", "Happy", "Lucky", "Spicy", "Sweet", "Urban", "Old", "New",
+	"Crispy", "Smoky", "Green", "Sunny", "Coastal", "Twin", "Iron", "Copper",
+}
+
+var restaurantSecond = []string{
+	"Dragon", "Lantern", "Agave", "Olive", "Bamboo", "Pepper", "Basil",
+	"Harvest", "Anchor", "Orchid", "Maple", "Fig", "Saffron", "Ginger",
+	"Lotus", "Barrel", "Hearth", "Garden", "Palm", "Cedar", "Willow",
+	"Falcon", "Tortilla", "Noodle",
+}
+
+var restaurantSuffix = []string{
+	"Grill", "Bistro", "Kitchen", "House", "Cafe", "Tavern", "Diner",
+	"Eatery", "Cantina", "Trattoria", "Brasserie", "Steakhouse", "Taqueria",
+	"Pizzeria", "Noodle Bar", "Sushi Bar", "BBQ", "Bakery", "Chophouse",
+	"Tapas",
+}
+
+// Cuisines returns the cuisine vocabulary of the synthetic world, for use
+// as a gazetteer in extraction and query parsing.
+func Cuisines() []string {
+	out := make([]string, len(cuisines))
+	copy(out, cuisines)
+	return out
+}
+
+var cuisines = []string{
+	"italian", "mexican", "chinese", "japanese", "indian", "thai",
+	"american", "french", "mediterranean", "korean", "vietnamese", "greek",
+	"spanish", "bbq", "seafood", "vegetarian",
+}
+
+// menuItems maps cuisine -> dish names used to populate menus; overlapping
+// dishes across cuisines give the bootstrapping extractor honest ambiguity.
+var menuItems = map[string][]string{
+	"italian": {"margherita pizza", "spaghetti carbonara", "lasagna",
+		"risotto ai funghi", "tiramisu", "bruschetta", "gnocchi", "penne arrabbiata",
+		"osso buco", "panna cotta", "caprese salad", "minestrone"},
+	"mexican": {"carne asada tacos", "chicken enchiladas", "guacamole",
+		"pozole", "chiles rellenos", "salsa verde", "carnitas burrito",
+		"quesadilla", "tamales", "elote", "flan", "tortilla soup"},
+	"chinese": {"kung pao chicken", "mapo tofu", "dumplings", "chow mein",
+		"hot and sour soup", "peking duck", "fried rice", "dan dan noodles",
+		"spring rolls", "char siu", "egg drop soup", "scallion pancake"},
+	"japanese": {"salmon nigiri", "tonkotsu ramen", "chicken katsu",
+		"miso soup", "tempura udon", "california roll", "gyoza", "unagi don",
+		"edamame", "matcha ice cream", "okonomiyaki", "yakitori"},
+	"indian": {"butter chicken", "palak paneer", "lamb vindaloo", "samosa",
+		"chana masala", "garlic naan", "biryani", "tandoori chicken",
+		"dal makhani", "gulab jamun", "aloo gobi", "mango lassi"},
+	"thai": {"pad thai", "green curry", "tom yum soup", "papaya salad",
+		"massaman curry", "basil fried rice", "satay skewers", "larb",
+		"mango sticky rice", "drunken noodles", "tom kha gai", "spring rolls"},
+	"american": {"cheeseburger", "buffalo wings", "mac and cheese",
+		"pulled pork sandwich", "caesar salad", "clam chowder", "ribeye steak",
+		"apple pie", "fried chicken", "cobb salad", "meatloaf", "milkshake"},
+	"french": {"coq au vin", "french onion soup", "duck confit", "ratatouille",
+		"croque monsieur", "beef bourguignon", "creme brulee", "quiche lorraine",
+		"escargots", "souffle", "nicoise salad", "tarte tatin"},
+	"mediterranean": {"hummus", "falafel wrap", "shakshuka", "lamb kebab",
+		"tabbouleh", "dolmas", "baba ganoush", "greek salad", "baklava",
+		"shawarma plate", "spanakopita", "grilled halloumi"},
+	"korean": {"bibimbap", "bulgogi", "kimchi stew", "japchae",
+		"korean fried chicken", "tteokbokki", "galbi", "soondubu jjigae",
+		"kimbap", "pajeon", "samgyeopsal", "naengmyeon"},
+	"vietnamese": {"pho bo", "banh mi", "spring rolls", "bun cha",
+		"com tam", "banh xeo", "vermicelli bowl", "ca phe sua da",
+		"goi cuon", "hu tieu", "lemongrass chicken", "che ba mau"},
+	"greek": {"moussaka", "gyro plate", "souvlaki", "greek salad",
+		"spanakopita", "dolmades", "tzatziki", "pastitsio", "saganaki",
+		"loukoumades", "avgolemono soup", "grilled octopus"},
+	"spanish": {"paella valenciana", "patatas bravas", "gambas al ajillo",
+		"tortilla espanola", "jamon iberico", "churros", "gazpacho",
+		"croquetas", "pulpo a la gallega", "albondigas", "pan con tomate", "sangria"},
+	"bbq": {"brisket plate", "pulled pork", "baby back ribs", "smoked sausage",
+		"burnt ends", "cornbread", "coleslaw", "mac and cheese",
+		"smoked turkey", "banana pudding", "baked beans", "rib tips"},
+	"seafood": {"grilled salmon", "fish and chips", "lobster roll",
+		"shrimp scampi", "oysters on the half shell", "crab cakes", "cioppino",
+		"clam chowder", "seared ahi tuna", "fried calamari", "mussels marinara", "swordfish steak"},
+	"vegetarian": {"veggie burger", "buddha bowl", "eggplant parmesan",
+		"lentil soup", "stuffed peppers", "quinoa salad", "mushroom risotto",
+		"falafel plate", "tofu stir fry", "kale caesar", "sweet potato tacos", "ratatouille"},
+}
+
+// cities are the localities of the synthetic world, with zip prefixes; all
+// restaurants and city portals live here.
+var cityNames = []string{
+	"Cupertino", "San Jose", "Santa Clara", "Sunnyvale", "Mountain View",
+	"Palo Alto", "Los Gatos", "Campbell", "Milpitas", "Saratoga",
+}
+
+var cityZipBase = map[string]int{
+	"Cupertino": 95014, "San Jose": 95112, "Santa Clara": 95050,
+	"Sunnyvale": 94085, "Mountain View": 94040, "Palo Alto": 94301,
+	"Los Gatos": 95030, "Campbell": 95008, "Milpitas": 95035,
+	"Saratoga": 95070,
+}
+
+var streetNames = []string{
+	"Main St", "1st Ave", "Stevens Creek Blvd", "El Camino Real",
+	"Castro St", "Winchester Blvd", "Homestead Rd", "De Anza Blvd",
+	"Lincoln Ave", "University Ave", "Bascom Ave", "Saratoga Ave",
+	"Park Ave", "Market St", "Almaden Expy", "Blossom Hill Rd",
+}
+
+var personFirst = []string{
+	"Alice", "Bhaskar", "Carlos", "Diana", "Elena", "Feng", "Grace",
+	"Hiro", "Irene", "Jorge", "Kavita", "Liam", "Mei", "Nikhil", "Olga",
+	"Priya", "Quentin", "Rosa", "Sanjay", "Tara", "Uma", "Victor",
+	"Wei", "Ximena", "Yusuf", "Zoe",
+}
+
+var personLast = []string{
+	"Anderson", "Bhatt", "Chen", "Dasgupta", "Evans", "Fernandez",
+	"Gupta", "Huang", "Ivanova", "Johnson", "Kumar", "Li", "Martinez",
+	"Nakamura", "Olsen", "Patel", "Qureshi", "Rodriguez", "Singh",
+	"Tanaka", "Ueda", "Varga", "Wang", "Xu", "Yamamoto", "Zhang",
+}
+
+var affiliations = []string{
+	"Bayshore University", "Valley Institute of Technology",
+	"Pacific Research Labs", "Northgate College", "Almaden Research Center",
+	"Foothill University", "Redwood Computing Institute", "Mission Bay University",
+}
+
+var paperTopicA = []string{
+	"Scalable", "Probabilistic", "Incremental", "Distributed", "Adaptive",
+	"Robust", "Efficient", "Unsupervised", "Collective", "Declarative",
+}
+
+var paperTopicB = []string{
+	"Entity Resolution", "Wrapper Induction", "Query Processing",
+	"Information Extraction", "Schema Matching", "Record Linkage",
+	"Index Maintenance", "Data Integration", "View Maintenance",
+	"Concept Discovery", "Web Search", "Log Analysis",
+}
+
+var paperTopicC = []string{
+	"over Evolving Web Data", "for the Deep Web", "at Scale",
+	"with Minimal Supervision", "in Dataspace Systems", "using Domain Knowledge",
+	"for Vertical Search", "with Lineage Tracking", "under Uncertainty",
+	"via Bootstrapping",
+}
+
+var venues = []string{
+	"PODS", "SIGMOD", "VLDB", "ICDE", "KDD", "WWW", "WSDM", "CIDR",
+}
+
+var cameraBrands = []string{"Nicon", "Canox", "Pentar", "Olympia", "Sonar"}
+
+var cameraAccessories = []string{
+	"battery pack", "camera bag", "tripod", "memory card", "lens hood",
+	"remote shutter", "cleaning kit", "strap",
+}
+
+var tvShowWords = []string{
+	"Deadwood Creek", "Kings Road", "Harbor Lights", "The Precinct",
+	"Silver Canyon", "Night Dispatch", "The Annex", "Foggy Shore",
+	"Granite Falls", "The Residency", "Paper Trail", "Low Orbit",
+}
+
+var eventKinds = []string{
+	"farmers market", "jazz concert", "food festival", "art walk",
+	"5k fun run", "book fair", "wine tasting", "comedy night",
+	"tech meetup", "holiday parade",
+}
+
+var hotelWords = []string{
+	"Grand Plaza Hotel", "Parkside Inn", "The Meridian", "Bayview Suites",
+	"Orchard House Hotel", "The Alameda", "Summit Lodge", "Courtyard Nine",
+}
+
+var attractionWords = []string{
+	"history museum", "rose garden", "science center", "observation tower",
+	"railroad park", "art gallery", "botanical garden", "aquarium",
+}
+
+var reviewPhrasesPositive = []string{
+	"absolutely loved the", "cannot stop thinking about the",
+	"best %s I have had in years", "the %s alone is worth the trip",
+	"generous portions and friendly staff", "hidden gem of the neighborhood",
+	"the service was quick and warm", "perfect spot for a date night",
+}
+
+var reviewPhrasesNegative = []string{
+	"was disappointed by the", "waited forty minutes for the",
+	"the %s arrived cold", "overpriced for what you get",
+	"service was slow on a weeknight", "parking is a nightmare",
+}

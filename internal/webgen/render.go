@@ -1,0 +1,87 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+
+	"conceptweb/internal/htmlx"
+)
+
+// hb is a tiny HTML builder used by the site templates. Text is escaped;
+// markup is emitted verbatim. It exists so the generators read like the
+// templates they simulate.
+type hb struct {
+	b strings.Builder
+}
+
+func (h *hb) raw(s string)                 { h.b.WriteString(s) }
+func (h *hb) text(s string)                { h.b.WriteString(htmlx.EscapeText(s)) }
+func (h *hb) f(format string, args ...any) { fmt.Fprintf(&h.b, format, args...) }
+func (h *hb) open(tag, attrs string) {
+	h.b.WriteByte('<')
+	h.b.WriteString(tag)
+	if attrs != "" {
+		h.b.WriteByte(' ')
+		h.b.WriteString(attrs)
+	}
+	h.b.WriteByte('>')
+}
+func (h *hb) close(tag string) {
+	h.b.WriteString("</")
+	h.b.WriteString(tag)
+	h.b.WriteByte('>')
+}
+func (h *hb) el(tag, attrs, text string) {
+	h.open(tag, attrs)
+	h.text(text)
+	h.close(tag)
+}
+func (h *hb) a(href, text string) {
+	h.f(`<a href="%s">`, htmlx.EscapeAttr(href))
+	h.text(text)
+	h.close("a")
+}
+func (h *hb) String() string { return h.b.String() }
+
+// pageShell wraps body markup in a standard page skeleton with a title, a
+// site-wide nav bar (a decoy list for the extractor), and a footer.
+func pageShell(title, host string, nav [][2]string, body string) string {
+	var h hb
+	h.raw("<!DOCTYPE html><html><head>")
+	h.el("title", "", title)
+	h.raw(`<meta charset="utf-8"></head><body>`)
+	h.open("div", `class="topnav"`)
+	h.open("ul", `class="nav"`)
+	for _, n := range nav {
+		h.open("li", `class="nav-item"`)
+		h.a(n[0], n[1])
+		h.close("li")
+	}
+	h.close("ul")
+	h.close("div")
+	h.raw(body)
+	h.open("div", `class="footer"`)
+	h.el("p", "", "© 2009 "+host+" — terms of service — privacy policy")
+	h.close("div")
+	h.raw("</body></html>")
+	return h.String()
+}
+
+// stdNav returns the boilerplate nav links for a host.
+func stdNav(host string) [][2]string {
+	return [][2]string{
+		{host + "/", "Home"},
+		{host + "/about", "About"},
+		{host + "/contact", "Contact"},
+		{host + "/help", "Help"},
+	}
+}
+
+// truthAttrs is shorthand for building PageTruth.Attrs maps.
+func truthAttrs(kv ...string) map[string]string {
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}

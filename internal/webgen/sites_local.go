@@ -1,0 +1,579 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// aggSpec describes one restaurant-aggregator website. The three aggregators
+// differ in HTML template family, coverage, naming convention, phone format,
+// and staleness — the cross-source diversity that makes domain-centric
+// extraction (as opposed to per-site wrappers) necessary.
+type aggSpec struct {
+	host        string
+	style       string
+	coverage    float64
+	phoneStyle  int
+	nameVariant int
+	stale       bool // publishes OldPhone/OldStreet when the business moved
+}
+
+var aggregators = []aggSpec{
+	{host: "welp.example", style: "card", coverage: 0.95, phoneStyle: 1, nameVariant: 0},
+	{host: "citysift.example", style: "table", coverage: 0.75, phoneStyle: 2, nameVariant: 1},
+	{host: "yellowfile.example", style: "dl", coverage: 0.55, phoneStyle: 3, nameVariant: 2, stale: true},
+}
+
+// PrimaryAggregator is the host whose click-through URLs the E1 study
+// classifies (the paper's yelp.com stand-in).
+const PrimaryAggregator = "welp.example"
+
+// rephone re-renders a canonical "408-555-0123" phone in another style.
+func rephone(phone string, style int) string {
+	digits := make([]byte, 0, 10)
+	for i := 0; i < len(phone); i++ {
+		if phone[i] >= '0' && phone[i] <= '9' {
+			digits = append(digits, phone[i])
+		}
+	}
+	if len(digits) != 10 {
+		return phone
+	}
+	n := func(s []byte) int {
+		v := 0
+		for _, c := range s {
+			v = v*10 + int(c-'0')
+		}
+		return v
+	}
+	return formatPhone(n(digits[0:3]), n(digits[3:6]), n(digits[6:10]), style)
+}
+
+// BizURL returns the aggregator biz-page URL for a restaurant on host.
+func BizURL(host string, r *Restaurant) string {
+	return host + "/biz/" + slugify(r.Name)
+}
+
+// CategoryURL returns the aggregator category-page URL for (city, cuisine).
+func CategoryURL(host, city, cuisine string) string {
+	return host + "/c/" + slugify(city) + "-" + slugify(cuisine)
+}
+
+// SearchURL returns the aggregator search-results URL for a query.
+func SearchURL(host, query string) string {
+	return host + "/search/" + slugify(query)
+}
+
+func (w *World) buildAggregatorSites() {
+	for _, spec := range aggregators {
+		site := w.addSite(spec.host, spec.style)
+		covered := make([]*Restaurant, 0, len(w.Restaurants))
+		for _, r := range w.Restaurants {
+			if w.rng.Float64() < spec.coverage {
+				covered = append(covered, r)
+			}
+		}
+		for _, r := range covered {
+			w.buildBizPage(site, spec, r)
+		}
+		// Category pages: one per (city, cuisine) with coverage.
+		byCat := make(map[[2]string][]*Restaurant)
+		for _, r := range covered {
+			k := [2]string{r.City, r.Cuisine}
+			byCat[k] = append(byCat[k], r)
+		}
+		for _, city := range w.Cities() {
+			for _, cuisine := range cuisines {
+				rs := byCat[[2]string{city, cuisine}]
+				if len(rs) == 0 {
+					continue
+				}
+				w.buildAggListPage(site, spec, city, cuisine, rs, KindCategory,
+					"/c/"+slugify(city)+"-"+slugify(cuisine),
+					fmt.Sprintf("%s Restaurants in %s", titleCase(cuisine), city))
+				w.buildAggListPage(site, spec, city, cuisine, rs, KindSearch,
+					"/search/"+slugify(cuisine+" "+city),
+					fmt.Sprintf("Search results for %q", cuisine+" "+city))
+			}
+		}
+		// Name searches: a search page per covered restaurant (navigational).
+		for _, r := range covered {
+			w.buildAggListPage(site, spec, r.City, r.Cuisine, []*Restaurant{r}, KindSearch,
+				"/search/"+slugify(r.Name+" "+r.City),
+				fmt.Sprintf("Search results for %q", r.Name+" "+r.City))
+		}
+	}
+}
+
+// bizAttrs computes the attribute values a given aggregator exposes for r,
+// applying its naming variant, phone style, and staleness.
+func bizAttrs(spec aggSpec, r *Restaurant) (name, street, phone string, stale bool) {
+	name = r.NameVariant(spec.nameVariant)
+	street, phone = r.Street, r.Phone
+	if spec.stale && r.OldPhone != "" {
+		street, phone = r.OldStreet, r.OldPhone
+		stale = true
+	}
+	phone = rephone(phone, spec.phoneStyle)
+	return name, street, phone, stale
+}
+
+func (w *World) buildBizPage(site *Site, spec aggSpec, r *Restaurant) {
+	name, street, phone, stale := bizAttrs(spec, r)
+	var h hb
+	switch spec.style {
+	case "card":
+		h.open("div", `class="biz-card"`)
+		h.el("h1", `class="biz-name"`, name)
+		h.el("span", `class="rating"`, fmt.Sprintf("%.1f stars", r.Rating))
+		h.open("div", `class="biz-info"`)
+		h.el("span", `class="address"`, street)
+		h.raw(", ")
+		h.el("span", `class="city"`, r.City)
+		h.raw(", CA ")
+		h.el("span", `class="zip"`, r.Zip)
+		h.raw(" ")
+		h.el("span", `class="phone"`, phone)
+		h.raw(" ")
+		h.el("span", `class="cuisine"`, titleCase(r.Cuisine))
+		h.raw(" · ")
+		h.el("span", `class="price"`, r.Price)
+		h.close("div")
+		h.open("div", `class="reviews"`)
+		for i, rev := range w.userReviews(r, 1+w.rng.Intn(3)) {
+			h.open("div", `class="review"`)
+			h.el("p", "", rev)
+			h.el("span", `class="stars"`, fmt.Sprintf("%d", 2+(i+len(r.Name))%4))
+			h.close("div")
+		}
+		h.close("div")
+		if r.Homepage != "" {
+			h.f(`<a class="homepage" href="%s">Official site</a>`, r.Homepage)
+		}
+		h.close("div")
+	case "table":
+		h.open("table", `class="detail"`)
+		row := func(k, v string) {
+			h.open("tr", "")
+			h.el("th", "", k)
+			h.el("td", "", v)
+			h.close("tr")
+		}
+		row("Name", name)
+		row("Address", fmt.Sprintf("%s, %s, CA %s", street, r.City, r.Zip))
+		row("Phone", phone)
+		row("Cuisine", titleCase(r.Cuisine))
+		row("Hours", r.Hours)
+		row("Price", r.Price)
+		if r.Homepage != "" {
+			h.open("tr", "")
+			h.el("th", "", "Website")
+			h.open("td", "")
+			h.a(r.Homepage, r.Homepage)
+			h.close("td")
+			h.close("tr")
+		}
+		h.close("table")
+	default: // "dl"
+		h.open("dl", `class="listing"`)
+		pair := func(k, v string) {
+			h.el("dt", "", k)
+			h.el("dd", "", v)
+		}
+		pair("Business", name)
+		pair("Street", street)
+		pair("City", r.City+", CA")
+		pair("Zip", r.Zip)
+		pair("Telephone", phone)
+		pair("Category", titleCase(r.Cuisine)+" Restaurants")
+		h.close("dl")
+	}
+	truth := PageTruth{
+		Kind:      KindBiz,
+		Category:  CatRestaurants,
+		EntityIDs: []string{r.ID},
+		Stale:     stale,
+		Attrs: truthAttrs(
+			"name", name, "street", street, "city", r.City, "zip", r.Zip,
+			"phone", phone, "cuisine", r.Cuisine, "price", r.Price),
+	}
+	html := pageShell(name+" - "+site.Host, site.Host, stdNav(site.Host), h.String())
+	w.addPage(site, "/biz/"+slugify(r.Name), html, truth)
+}
+
+// buildAggListPage renders a category or search results page: the repeated
+// structure the domain-centric list extractor must find among decoys.
+func (w *World) buildAggListPage(site *Site, spec aggSpec, city, cuisine string, rs []*Restaurant, kind, path, title string) {
+	var h hb
+	h.el("h1", "", title)
+	// Decoy list: related searches (no addresses — statistics reject it).
+	h.open("div", `class="related"`)
+	h.open("ul", `class="related-searches"`)
+	for _, q := range []string{"best " + cuisine, cuisine + " delivery", cuisine + " near me", "cheap " + cuisine} {
+		h.open("li", "")
+		// All variants resolve to the site's canonical search for the pair.
+		h.a(SearchURL(site.Host, cuisine+" "+city), q+" "+city)
+		h.close("li")
+	}
+	h.close("ul")
+	h.close("div")
+
+	var ids []string
+	switch spec.style {
+	case "table":
+		h.open("table", `class="results"`)
+		h.open("tr", "")
+		for _, th := range []string{"Restaurant", "Address", "Zip", "Phone"} {
+			h.el("th", "", th)
+		}
+		h.close("tr")
+		for _, r := range rs {
+			name, street, phone, _ := bizAttrs(spec, r)
+			ids = append(ids, r.ID)
+			h.open("tr", `class="result-row"`)
+			h.open("td", "")
+			h.a(BizURL(site.Host, r), name)
+			h.close("td")
+			h.el("td", "", street)
+			h.el("td", "", r.Zip)
+			h.el("td", "", phone)
+			h.close("tr")
+		}
+		h.close("table")
+	default:
+		h.open("ul", `class="results"`)
+		for _, r := range rs {
+			name, street, phone, _ := bizAttrs(spec, r)
+			ids = append(ids, r.ID)
+			h.open("li", `class="result"`)
+			h.f(`<a class="name" href="%s">`, BizURL(site.Host, r))
+			h.text(name)
+			h.close("a")
+			h.el("span", `class="addr"`, street)
+			h.el("span", `class="zip"`, r.Zip)
+			h.el("span", `class="phone"`, phone)
+			h.close("li")
+		}
+		h.close("ul")
+	}
+	truth := PageTruth{
+		Kind:      kind,
+		Category:  CatRestaurants,
+		EntityIDs: ids,
+		Attrs:     truthAttrs("city", city, "cuisine", cuisine),
+	}
+	html := pageShell(title, site.Host, stdNav(site.Host), h.String())
+	w.addPage(site, path, html, truth)
+}
+
+// userReviews generates short user-review snippets for a restaurant,
+// mentioning real menu items.
+func (w *World) userReviews(r *Restaurant, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		dish := r.Menu[w.rng.Intn(len(r.Menu))]
+		var tmpl string
+		if w.rng.Float64() < 0.75 {
+			tmpl = reviewPhrasesPositive[w.rng.Intn(len(reviewPhrasesPositive))]
+		} else {
+			tmpl = reviewPhrasesNegative[w.rng.Intn(len(reviewPhrasesNegative))]
+		}
+		var s string
+		if strings.Contains(tmpl, "%s") {
+			s = fmt.Sprintf(tmpl, dish)
+		} else {
+			s = tmpl + " " + dish
+		}
+		out = append(out, titleCase(s[:1])+s[1:]+".")
+	}
+	return out
+}
+
+// HomepageHost returns the official-site host for a restaurant ("" if none).
+func HomepageHost(r *Restaurant) string {
+	if r.Homepage == "" {
+		return ""
+	}
+	return strings.TrimSuffix(r.Homepage, "/")
+}
+
+func (w *World) buildHomepageSites() {
+	for _, r := range w.Restaurants {
+		host := HomepageHost(r)
+		if host == "" {
+			continue
+		}
+		site := w.addSite(host, "home")
+		menuPath := "/menu"
+		if w.rng.Float64() < 0.25 {
+			menuPath = "/food"
+		}
+		nav := [][2]string{
+			{host + "/", "Home"},
+			{host + menuPath, "Menu"},
+			{host + "/location", "Location & Directions"},
+		}
+		if len(r.Coupons) > 0 {
+			nav = append(nav, [2]string{host + "/coupons", "Coupons"})
+		}
+
+		// Home page.
+		var h hb
+		h.el("h1", `class="name"`, r.Name)
+		h.el("p", `class="tagline"`, fmt.Sprintf(
+			"Family-owned %s restaurant in %s. Try our famous %s!",
+			r.Cuisine, r.City, r.Menu[0]))
+		h.open("div", `class="contact"`)
+		h.el("span", `class="street"`, r.Street)
+		h.raw(" · ")
+		h.el("span", `class="citystate"`, fmt.Sprintf("%s, CA %s", r.City, r.Zip))
+		h.raw(" · ")
+		h.el("span", `class="tel"`, r.Phone)
+		h.close("div")
+		h.el("p", `class="hours"`, "Hours of operation: "+r.Hours)
+		w.addPage(site, "/", pageShell(r.Name, host, nav, h.String()), PageTruth{
+			Kind: KindHome, Category: CatRestaurants, EntityIDs: []string{r.ID},
+			Attrs: truthAttrs("name", r.Name, "street", r.Street, "city", r.City,
+				"zip", r.Zip, "phone", r.Phone, "hours", r.Hours),
+		})
+
+		// Menu page: the repeated dish/price structure bootstrapping mines.
+		var m hb
+		m.el("h1", "", r.Name+" Menu")
+		m.open("ul", `class="menu"`)
+		for _, dish := range r.Menu {
+			price := fmt.Sprintf("$%d.%02d", 7+w.rng.Intn(18), 25*w.rng.Intn(4))
+			m.open("li", `class="dish"`)
+			m.el("span", `class="dish-name"`, titleCase(dish))
+			m.el("span", `class="dish-price"`, price)
+			m.close("li")
+		}
+		m.close("ul")
+		w.addPage(site, menuPath, pageShell(r.Name+" Menu", host, nav, m.String()), PageTruth{
+			Kind: KindMenu, Category: CatRestaurants, EntityIDs: []string{r.ID},
+			Attrs: truthAttrs("menu", strings.Join(r.Menu, "; "), "cuisine", r.Cuisine),
+		})
+
+		// Location page.
+		var l hb
+		l.el("h1", "", "Find "+r.Name)
+		l.el("p", `class="address"`, r.Address())
+		l.el("p", `class="phone"`, "Call us: "+r.Phone)
+		l.el("p", "", fmt.Sprintf("We are located on %s in downtown %s, two blocks from the %s exit.",
+			r.Street, r.City, pick(w.rng, streetNames)))
+		w.addPage(site, "/location", pageShell("Location - "+r.Name, host, nav, l.String()), PageTruth{
+			Kind: KindLocation, Category: CatRestaurants, EntityIDs: []string{r.ID},
+			Attrs: truthAttrs("street", r.Street, "city", r.City, "zip", r.Zip, "phone", r.Phone),
+		})
+
+		// Coupons page.
+		if len(r.Coupons) > 0 {
+			var c hb
+			c.el("h1", "", "Coupons and Specials")
+			c.open("ul", `class="coupons"`)
+			for _, cp := range r.Coupons {
+				c.open("li", `class="coupon"`)
+				c.text(cp)
+				c.close("li")
+			}
+			c.close("ul")
+			w.addPage(site, "/coupons", pageShell("Coupons - "+r.Name, host, nav, c.String()), PageTruth{
+				Kind: KindCoupons, Category: CatRestaurants, EntityIDs: []string{r.ID},
+				Attrs: truthAttrs("coupons", strings.Join(r.Coupons, "; ")),
+			})
+		}
+	}
+}
+
+// PortalHost returns a city portal's host name.
+func PortalHost(city string) string { return slugify(city) + ".example" }
+
+// Portal editorial voices: each city portal phrases its leaf pages in one of
+// three styles with largely disjoint vocabulary. A global classifier trained
+// on a subset of portals therefore degrades on unseen-voice portals — the
+// "vastly different content in the large collection of sites" of §4.2 —
+// while the directory structure stays informative for refinement.
+var diningVoice = []string{
+	"%s is a popular %s spot on %s. Call %s for reservations. Known for %s.",
+	"Locals rate %s among the best tables in town; the %s menu and friendly service on %s draw crowds. Phone %s. Signature dish: %s.",
+	"Stop in at %s for hearty %s plates. Find them on %s or ring %s. Regulars always order the %s.",
+}
+
+var eventVoice = []string{
+	"Join us for the %s at %s on %s. Food and drinks available; local restaurants will cater.",
+	"The annual %s returns to %s on %s; gates open at noon and admission is free.",
+	"Mark your calendar: %s happens at %s on %s, with live performances all afternoon.",
+}
+
+var hotelVoice = []string{
+	"%s offers comfortable rooms on %s, an on-site restaurant, and event space for conferences. Reservations: %s.",
+	"Stay at %s: newly renovated suites on %s, complimentary breakfast, and a rooftop lounge. Front desk: %s.",
+	"%s welcomes guests on %s with spacious accommodations and meeting facilities. Book by phone at %s.",
+}
+
+var attractionVoice = []string{
+	"The %s is one of %s's favorite attractions, hosting seasonal events and school visits year round.",
+	"Visitors flock to the %s, a beloved %s landmark open daily with guided tours.",
+	"Spend an afternoon at the %s — %s's most photographed destination, free on weekends.",
+}
+
+func (w *World) buildCityPortals() {
+	for ci, city := range w.Cities() {
+		voice := ci % 3
+		host := PortalHost(city)
+		site := w.addSite(host, "portal")
+		nav := stdNav(host)
+
+		type leaf struct {
+			dir, slug, title, body, category, kind string
+			entityIDs                              []string
+		}
+		var leaves []leaf
+
+		for _, r := range w.RestaurantsInCity(city) {
+			var b hb
+			b.el("h2", "", r.Name)
+			b.el("p", "", fmt.Sprintf(diningVoice[voice],
+				r.Name, r.Cuisine, r.Street, r.Phone, r.Menu[0]))
+			// Cross-category flavour text: some dining pages read like event
+			// announcements, the realistic ambiguity that makes a global
+			// text classifier noisy (§4.2) and relational refinement useful.
+			if w.rng.Float64() < 0.3 {
+				b.el("p", "", "Hosts live jazz concert nights and a tasting festival every month; tickets at the door for these special events.")
+			}
+			leaves = append(leaves, leaf{"dining", slugify(r.Name), r.Name,
+				b.String(), CatRestaurants, KindPortalLeaf, []string{r.ID}})
+		}
+		for _, e := range w.Events {
+			if e.City != city {
+				continue
+			}
+			var b hb
+			b.el("h2", "", e.Name)
+			b.el("p", "", fmt.Sprintf(eventVoice[voice], e.Name, e.Venue, e.Date))
+			if w.rng.Float64() < 0.3 {
+				b.el("p", "", "Sample menu items from a dozen kitchens: tacos, pizza, noodle bowls, and bbq plates from your favorite local dining spots and cafes.")
+			}
+			b.el("p", `class="when"`, "When: "+e.Date)
+			b.el("p", `class="where"`, "Where: "+e.Venue)
+			leaves = append(leaves, leaf{"calendar", slugify(e.Name) + "-" + e.Date, e.Name,
+				b.String(), CatEvents, KindEvent, []string{e.ID}})
+		}
+		for _, hot := range w.Hotels {
+			if hot.City != city {
+				continue
+			}
+			var b hb
+			b.el("h2", "", hot.Name)
+			b.el("p", "", fmt.Sprintf(hotelVoice[voice], hot.Name, hot.Street, hot.Phone))
+			leaves = append(leaves, leaf{"hotels", slugify(hot.Name), hot.Name,
+				b.String(), CatHotels, KindPortalLeaf, nil})
+		}
+		for _, at := range w.Attractions {
+			if at.City != city {
+				continue
+			}
+			var b hb
+			b.el("h2", "", at.Name)
+			b.el("p", "", fmt.Sprintf(attractionVoice[voice], at.Name, city))
+			leaves = append(leaves, leaf{"attractions", slugify(at.Name), at.Name,
+				b.String(), CatAttractions, KindPortalLeaf, nil})
+		}
+
+		// Directory indexes + leaves.
+		dirs := map[string][]leaf{}
+		for _, lf := range leaves {
+			dirs[lf.dir] = append(dirs[lf.dir], lf)
+		}
+		dirCat := map[string]string{
+			"dining": CatRestaurants, "calendar": CatEvents,
+			"hotels": CatHotels, "attractions": CatAttractions,
+		}
+		for _, dir := range []string{"dining", "calendar", "hotels", "attractions"} {
+			ls := dirs[dir]
+			var idx hb
+			idx.el("h1", "", titleCase(dir)+" in "+city)
+			idx.open("ul", `class="dir-list"`)
+			for _, lf := range ls {
+				idx.open("li", "")
+				idx.a(host+"/"+lf.dir+"/"+lf.slug, lf.title)
+				idx.close("li")
+			}
+			idx.close("ul")
+			w.addPage(site, "/"+dir+"/", pageShell(titleCase(dir)+" - "+city, host, nav, idx.String()),
+				PageTruth{Kind: KindPortalIndex, Category: dirCat[dir]})
+			for _, lf := range ls {
+				backlink := fmt.Sprintf(`<p class="breadcrumb"><a href="%s/%s/">Back to %s</a></p>`,
+					host, lf.dir, titleCase(lf.dir))
+				w.addPage(site, "/"+lf.dir+"/"+lf.slug,
+					pageShell(lf.title+" - "+city, host, nav, lf.body+backlink),
+					PageTruth{Kind: lf.kind, Category: lf.category, EntityIDs: lf.entityIDs})
+			}
+		}
+
+		// Front page and boilerplate.
+		var front hb
+		front.el("h1", "", "Welcome to "+city)
+		front.open("ul", `class="sections"`)
+		for _, dir := range []string{"dining", "calendar", "hotels", "attractions"} {
+			front.open("li", "")
+			front.a(host+"/"+dir+"/", titleCase(dir))
+			front.close("li")
+		}
+		front.close("ul")
+		w.addPage(site, "/", pageShell(city+" City Guide", host, nav, front.String()),
+			PageTruth{Kind: KindPortalIndex, Category: CatOther})
+		for _, p := range []string{"/about", "/contact", "/help"} {
+			var b hb
+			b.el("h1", "", titleCase(strings.TrimPrefix(p, "/")))
+			b.el("p", "", "Information about the "+city+" city guide, our staff, and how to reach the editorial team.")
+			w.addPage(site, p, pageShell(titleCase(strings.TrimPrefix(p, "/")), host, nav, b.String()),
+				PageTruth{Kind: KindPortalLeaf, Category: CatOther})
+		}
+	}
+}
+
+// Review-blog hosts.
+var blogHosts = []string{"tastediary.example", "chowburb.example"}
+
+func (w *World) buildReviewBlogs() {
+	perBlog := w.Cfg.ReviewArticles / len(blogHosts)
+	for bi, host := range blogHosts {
+		site := w.addSite(host, "blog")
+		nav := stdNav(host)
+		for i := 0; i < perBlog; i++ {
+			n := 1
+			if w.rng.Float64() < 0.3 {
+				n = 2
+			}
+			// Bias toward one city per article, like a real local blog post.
+			city := w.Cities()[w.rng.Intn(w.Cfg.Cities)]
+			pool := w.RestaurantsInCity(city)
+			if len(pool) == 0 {
+				pool = w.Restaurants
+			}
+			var subjects []*Restaurant
+			for j := 0; j < n && j < len(pool); j++ {
+				subjects = append(subjects, pool[w.rng.Intn(len(pool))])
+			}
+			var b hb
+			title := fmt.Sprintf("Dinner notes: %s", subjects[0].NameVariant(w.rng.Intn(3)))
+			b.el("h1", `class="post-title"`, title)
+			var ids []string
+			for _, r := range subjects {
+				ids = append(ids, r.ID)
+				mention := r.NameVariant(w.rng.Intn(3))
+				dish := r.Menu[w.rng.Intn(len(r.Menu))]
+				dish2 := r.Menu[w.rng.Intn(len(r.Menu))]
+				b.el("p", "", fmt.Sprintf(
+					"Stopped by %s in %s last week. The %s was outstanding and the %s is arguably the best %s in %s. %s",
+					mention, r.City, dish, dish2, dish2, r.City,
+					titleCase(w.userReviews(r, 1)[0])))
+			}
+			url := fmt.Sprintf("/post/%d", bi*1000+i)
+			w.addPage(site, url, pageShell(title, host, nav, b.String()),
+				PageTruth{Kind: KindReviewPost, Category: CatOther, EntityIDs: ids})
+			w.ReviewTruth[host+url] = ids
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package webgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hosts of the non-local-domain sites.
+const (
+	ScholarHost   = "scholarhub.example"
+	ShopHost      = "shopfinder.example"
+	CamReviewHost = "camreview.example"
+	MediaHost     = "screenfile.example"
+	TVNewsHost    = "tvdaily.example"
+)
+
+// citationStyle renders a paper citation string in one of the formats real
+// publication lists use; the sequence tagger (§4.1 CRF baseline) must
+// segment these into title/venue/year/authors.
+func (w *World) citationStyle(p *Paper, style int) string {
+	names := make([]string, len(p.AuthorIDs))
+	for i, aid := range p.AuthorIDs {
+		a := w.authByID[aid]
+		switch style % 3 {
+		case 1:
+			parts := strings.Fields(a.Name)
+			names[i] = parts[0][:1] + ". " + parts[len(parts)-1]
+		default:
+			names[i] = a.Name
+		}
+	}
+	authors := strings.Join(names, ", ")
+	switch style % 3 {
+	case 1:
+		return fmt.Sprintf("%s. %s. In Proceedings of %s, %d.", authors, p.Title, p.Venue, p.Year)
+	case 2:
+		return fmt.Sprintf("%s (%d). %s. %s.", authors, p.Year, p.Title, p.Venue)
+	default:
+		return fmt.Sprintf("%s. %s. %s %d.", authors, p.Title, p.Venue, p.Year)
+	}
+}
+
+// PaperURL returns the scholarhub detail page URL for a paper.
+func PaperURL(p *Paper) string { return ScholarHost + "/paper/" + slugify(p.Title) }
+
+// AuthorHubURL returns the scholarhub profile URL for an author.
+func AuthorHubURL(a *Author) string { return ScholarHost + "/author/" + slugify(a.Name) }
+
+func (w *World) buildAcademicSites() {
+	// scholarhub: the academic aggregator (a DBLife/DBLP stand-in).
+	hub := w.addSite(ScholarHost, "scholar")
+	nav := stdNav(ScholarHost)
+	for _, p := range w.Papers {
+		var h hb
+		h.el("h1", `class="paper-title"`, p.Title)
+		h.open("div", `class="meta"`)
+		h.el("span", `class="venue"`, p.Venue)
+		h.el("span", `class="year"`, fmt.Sprintf("%d", p.Year))
+		h.close("div")
+		h.open("ul", `class="authors"`)
+		for _, aid := range p.AuthorIDs {
+			a := w.authByID[aid]
+			h.open("li", `class="author"`)
+			h.a(AuthorHubURL(a), a.Name)
+			h.close("li")
+		}
+		h.close("ul")
+		w.addPage(hub, "/paper/"+slugify(p.Title),
+			pageShell(p.Title, ScholarHost, nav, h.String()),
+			PageTruth{Kind: KindPaper, Category: CatOther, EntityIDs: []string{p.ID},
+				Attrs: truthAttrs("title", p.Title, "venue", p.Venue,
+					"year", fmt.Sprintf("%d", p.Year))})
+	}
+	for _, a := range w.Authors {
+		var h hb
+		h.el("h1", `class="author-name"`, a.Name)
+		h.el("p", `class="affiliation"`, a.Affiliation)
+		h.open("ul", `class="pubs"`)
+		ids := []string{a.ID}
+		for _, pid := range a.PaperIDs {
+			p := w.papByID[pid]
+			ids = append(ids, p.ID)
+			h.open("li", `class="pub"`)
+			h.a(PaperURL(p), p.Title)
+			h.el("span", `class="pub-venue"`, p.Venue)
+			h.el("span", `class="pub-year"`, fmt.Sprintf("%d", p.Year))
+			h.close("li")
+		}
+		h.close("ul")
+		w.addPage(hub, "/author/"+slugify(a.Name),
+			pageShell(a.Name, ScholarHost, nav, h.String()),
+			PageTruth{Kind: KindAuthorHome, Category: CatOther, EntityIDs: ids,
+				Attrs: truthAttrs("name", a.Name, "affiliation", a.Affiliation)})
+	}
+	// Venue year indexes.
+	byVenueYear := map[string][]*Paper{}
+	for _, p := range w.Papers {
+		k := fmt.Sprintf("%s-%d", p.Venue, p.Year)
+		byVenueYear[k] = append(byVenueYear[k], p)
+	}
+	venueKeys := make([]string, 0, len(byVenueYear))
+	for k := range byVenueYear {
+		venueKeys = append(venueKeys, k)
+	}
+	sort.Strings(venueKeys)
+	for _, k := range venueKeys {
+		ps := byVenueYear[k]
+		var h hb
+		h.el("h1", "", strings.ToUpper(k)+" accepted papers")
+		h.open("ul", `class="venue-list"`)
+		var ids []string
+		for _, p := range ps {
+			ids = append(ids, p.ID)
+			h.open("li", "")
+			h.a(PaperURL(p), p.Title)
+			h.close("li")
+		}
+		h.close("ul")
+		w.addPage(hub, "/venue/"+slugify(k),
+			pageShell(k, ScholarHost, nav, h.String()),
+			PageTruth{Kind: KindVenueIndex, Category: CatOther, EntityIDs: ids})
+	}
+
+	// Personal homepages, one site per affiliation, one page per author.
+	// Each affiliation uses its own citation style — cross-site format
+	// diversity for the sequence tagger.
+	byAffil := map[string][]*Author{}
+	for _, a := range w.Authors {
+		byAffil[a.Affiliation] = append(byAffil[a.Affiliation], a)
+	}
+	styleOf := map[string]int{}
+	for i, affil := range affiliations {
+		styleOf[affil] = i
+	}
+	for _, affil := range affiliations {
+		as := byAffil[affil]
+		if len(as) == 0 {
+			continue
+		}
+		host := "people." + slugify(affil) + ".example"
+		site := w.addSite(host, fmt.Sprintf("homepage-style-%d", styleOf[affil]%3))
+		for _, a := range as {
+			var h hb
+			h.el("h1", "", a.Name)
+			h.el("p", `class="bio"`, fmt.Sprintf(
+				"I am a researcher at %s working on data management and web information extraction.", affil))
+			h.el("h2", "", "Publications")
+			h.open("ul", `class="publications"`)
+			ids := []string{a.ID}
+			for _, pid := range a.PaperIDs {
+				p := w.papByID[pid]
+				ids = append(ids, p.ID)
+				h.open("li", `class="cite"`)
+				h.text(w.citationStyle(p, styleOf[affil]))
+				h.close("li")
+			}
+			h.close("ul")
+			w.addPage(site, "/~"+slugify(a.Name),
+				pageShell(a.Name, host, stdNav(host), h.String()),
+				PageTruth{Kind: KindAuthorHome, Category: CatOther, EntityIDs: ids,
+					Attrs: truthAttrs("name", a.Name, "affiliation", affil)})
+		}
+	}
+}
+
+// ProductURL returns the shopfinder detail page URL for a product.
+func ProductURL(p *Product) string { return ShopHost + "/p/" + slugify(p.Name) }
+
+func (w *World) buildShoppingSites() {
+	shop := w.addSite(ShopHost, "shop")
+	nav := stdNav(ShopHost)
+	var cameras, accessories []*Product
+	for _, p := range w.Products {
+		if p.Kind == "camera" {
+			cameras = append(cameras, p)
+		} else {
+			accessories = append(accessories, p)
+		}
+	}
+	listPage := func(path, title string, ps []*Product) {
+		var h hb
+		h.el("h1", "", title)
+		h.open("table", `class="catalog"`)
+		h.open("tr", "")
+		h.el("th", "", "Product")
+		h.el("th", "", "Price")
+		h.close("tr")
+		var ids []string
+		for _, p := range ps {
+			ids = append(ids, p.ID)
+			h.open("tr", `class="item"`)
+			h.open("td", "")
+			h.a(ProductURL(p), p.Name)
+			h.close("td")
+			h.el("td", `class="price"`, p.Price)
+			h.close("tr")
+		}
+		h.close("table")
+		w.addPage(shop, path, pageShell(title, ShopHost, nav, h.String()),
+			PageTruth{Kind: KindProductList, Category: CatOther, EntityIDs: ids})
+	}
+	listPage("/cameras", "Digital Cameras", cameras)
+	listPage("/accessories", "Camera Accessories", accessories)
+
+	accOf := map[string][]*Product{}
+	for _, p := range accessories {
+		accOf[p.AccessoryOf] = append(accOf[p.AccessoryOf], p)
+	}
+	for _, p := range w.Products {
+		var h hb
+		h.el("h1", `class="product-name"`, p.Name)
+		h.open("table", `class="specs"`)
+		row := func(k, v string) {
+			h.open("tr", "")
+			h.el("th", "", k)
+			h.el("td", "", v)
+			h.close("tr")
+		}
+		row("Brand", p.Brand)
+		row("Model", p.Model)
+		row("Price", p.Price)
+		if p.Megapixels > 0 {
+			row("Resolution", fmt.Sprintf("%.0f megapixels", p.Megapixels))
+		}
+		h.close("table")
+		if also := accOf[p.ID]; len(also) > 0 {
+			h.el("h2", "", "Customers also bought")
+			h.open("ul", `class="also-bought"`)
+			for _, acc := range also {
+				h.open("li", "")
+				h.a(ProductURL(acc), acc.Name)
+				h.close("li")
+			}
+			h.close("ul")
+		}
+		w.addPage(shop, "/p/"+slugify(p.Name),
+			pageShell(p.Name, ShopHost, nav, h.String()),
+			PageTruth{Kind: KindProduct, Category: CatOther, EntityIDs: []string{p.ID},
+				Attrs: truthAttrs("name", p.Name, "brand", p.Brand,
+					"model", p.Model, "price", p.Price)})
+	}
+
+	// Camera review site (the dpreview.com stand-in).
+	rev := w.addSite(CamReviewHost, "review")
+	for _, p := range cameras {
+		var h hb
+		h.el("h1", "", p.Name+" Review")
+		h.el("p", "", fmt.Sprintf(
+			"We spent two weeks with the %s. At %s it delivers %.0f megapixel images that punch well above its price class. The %s remains the model to beat for enthusiasts.",
+			p.Name, p.Price, p.Megapixels, p.Model))
+		h.el("p", `class="verdict"`, fmt.Sprintf("Verdict: %d/10", 6+len(p.Model)%4))
+		w.addPage(rev, "/review/"+slugify(p.Name),
+			pageShell(p.Name+" Review", CamReviewHost, stdNav(CamReviewHost), h.String()),
+			PageTruth{Kind: KindProductRev, Category: CatOther, EntityIDs: []string{p.ID}})
+	}
+}
+
+// ShowURL returns the media-site page URL for a show.
+func ShowURL(s *Show) string { return MediaHost + "/title/" + slugify(s.Title) }
+
+// ActorURL returns the media-site page URL for an actor.
+func ActorURL(a *Actor) string { return MediaHost + "/name/" + slugify(a.Name) }
+
+func (w *World) buildMediaSites() {
+	media := w.addSite(MediaHost, "media")
+	nav := stdNav(MediaHost)
+	for _, s := range w.Shows {
+		var h hb
+		h.el("h1", `class="show-title"`, s.Title)
+		status := "running"
+		if s.Ended {
+			status = "ended"
+		}
+		h.el("p", `class="years"`, s.Years+" ("+status+")")
+		h.el("h2", "", "Cast")
+		h.open("ul", `class="cast"`)
+		ids := []string{s.ID}
+		for _, aid := range s.ActorIDs {
+			a := w.actByID[aid]
+			ids = append(ids, a.ID)
+			h.open("li", `class="cast-member"`)
+			h.a(ActorURL(a), a.Name)
+			h.close("li")
+		}
+		h.close("ul")
+		w.addPage(media, "/title/"+slugify(s.Title),
+			pageShell(s.Title, MediaHost, nav, h.String()),
+			PageTruth{Kind: KindShow, Category: CatOther, EntityIDs: ids,
+				Attrs: truthAttrs("title", s.Title, "years", s.Years, "status", status)})
+	}
+	for _, a := range w.Actors {
+		if len(a.ShowIDs) == 0 {
+			continue
+		}
+		var h hb
+		h.el("h1", `class="actor-name"`, a.Name)
+		h.el("h2", "", "Known for")
+		h.open("ul", `class="filmography"`)
+		ids := []string{a.ID}
+		for _, sid := range a.ShowIDs {
+			s := w.showByID[sid]
+			ids = append(ids, s.ID)
+			h.open("li", "")
+			h.a(ShowURL(s), s.Title)
+			h.close("li")
+		}
+		h.close("ul")
+		w.addPage(media, "/name/"+slugify(a.Name),
+			pageShell(a.Name, MediaHost, nav, h.String()),
+			PageTruth{Kind: KindActor, Category: CatOther, EntityIDs: ids,
+				Attrs: truthAttrs("name", a.Name)})
+	}
+
+	// Entertainment articles cross-linking shows and actors — the raw
+	// material for semantic linking and the §5.3 browsing scenario.
+	news := w.addSite(TVNewsHost, "articles")
+	for i := 0; i < w.Cfg.TVArticles && len(w.Shows) > 0; i++ {
+		s := w.Shows[w.rng.Intn(len(w.Shows))]
+		var other *Show
+		var shared *Actor
+		// Find a second show sharing an actor, if any (the Deadwood pivot).
+		for _, aid := range s.ActorIDs {
+			a := w.actByID[aid]
+			for _, sid2 := range a.ShowIDs {
+				if sid2 != s.ID {
+					other = w.showByID[sid2]
+					shared = a
+					break
+				}
+			}
+			if other != nil {
+				break
+			}
+		}
+		var h hb
+		title := fmt.Sprintf("Will %s be renewed?", s.Title)
+		h.el("h1", `class="headline"`, title)
+		ids := []string{s.ID}
+		if shared != nil && other != nil {
+			ids = append(ids, shared.ID, other.ID)
+			h.open("p", "")
+			h.text(fmt.Sprintf("The possible demise of %s has fans worried. ", s.Title))
+			h.a(ActorURL(shared), shared.Name)
+			h.text(fmt.Sprintf(", who also appeared in %s, told reporters the cast remains hopeful.", other.Title))
+			h.close("p")
+		} else if len(s.ActorIDs) > 0 {
+			a := w.actByID[s.ActorIDs[0]]
+			ids = append(ids, a.ID)
+			h.open("p", "")
+			h.text("Star ")
+			h.a(ActorURL(a), a.Name)
+			h.text(fmt.Sprintf(" said the %s writers are already at work on a new season.", s.Title))
+			h.close("p")
+		}
+		w.addPage(news, fmt.Sprintf("/article/%d", i),
+			pageShell(title, TVNewsHost, stdNav(TVNewsHost), h.String()),
+			PageTruth{Kind: KindTVArticle, Category: CatOther, EntityIDs: ids})
+	}
+}

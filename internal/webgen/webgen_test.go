@@ -1,0 +1,335 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+
+	"conceptweb/internal/htmlx"
+	"conceptweb/internal/lrec"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Restaurants = 40
+	cfg.Authors = 12
+	cfg.Papers = 25
+	cfg.Cameras = 5
+	cfg.Shows = 5
+	cfg.Actors = 12
+	cfg.ReviewArticles = 20
+	cfg.TVArticles = 8
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1 := Generate(smallConfig())
+	w2 := Generate(smallConfig())
+	p1, p2 := w1.Pages(), w2.Pages()
+	if len(p1) != len(p2) {
+		t.Fatalf("page counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].URL != p2[i].URL || p1[i].HTML != p2[i].HTML {
+			t.Fatalf("page %d differs: %s vs %s", i, p1[i].URL, p2[i].URL)
+		}
+	}
+}
+
+func TestGenerateSeedChangesWorld(t *testing.T) {
+	cfg := smallConfig()
+	w1 := Generate(cfg)
+	cfg.Seed = 99
+	w2 := Generate(cfg)
+	if w1.Restaurants[0].Name == w2.Restaurants[0].Name &&
+		w1.Restaurants[1].Name == w2.Restaurants[1].Name &&
+		w1.Restaurants[2].Name == w2.Restaurants[2].Name {
+		t.Error("different seeds produced identical restaurants")
+	}
+}
+
+func TestWorldCounts(t *testing.T) {
+	cfg := smallConfig()
+	w := Generate(cfg)
+	if len(w.Restaurants) != cfg.Restaurants {
+		t.Errorf("restaurants = %d", len(w.Restaurants))
+	}
+	if len(w.Authors) != cfg.Authors || len(w.Papers) != cfg.Papers {
+		t.Errorf("authors/papers = %d/%d", len(w.Authors), len(w.Papers))
+	}
+	if len(w.Products) < cfg.Cameras {
+		t.Errorf("products = %d", len(w.Products))
+	}
+	if len(w.Events) != cfg.Cities*cfg.EventsPerCity {
+		t.Errorf("events = %d", len(w.Events))
+	}
+	if len(w.Pages()) < 200 {
+		t.Errorf("only %d pages generated", len(w.Pages()))
+	}
+}
+
+func TestAllPagesParse(t *testing.T) {
+	w := Generate(smallConfig())
+	for _, p := range w.Pages() {
+		doc := htmlx.Parse(p.HTML)
+		if doc.FindFirst("body") == nil {
+			t.Fatalf("page %s has no body", p.URL)
+		}
+		if doc.FindFirst("title") == nil {
+			t.Fatalf("page %s has no title", p.URL)
+		}
+	}
+}
+
+func TestPageTruthConsistency(t *testing.T) {
+	w := Generate(smallConfig())
+	for _, p := range w.Pages() {
+		if p.Truth.Site == "" {
+			t.Fatalf("page %s has no site", p.URL)
+		}
+		if !strings.HasPrefix(p.URL, p.Truth.Site) {
+			t.Fatalf("page URL %s does not start with site %s", p.URL, p.Truth.Site)
+		}
+		for _, id := range p.Truth.EntityIDs {
+			if _, ok := w.TruthRecord(id); !ok {
+				t.Fatalf("page %s references unknown entity %s", p.URL, id)
+			}
+		}
+	}
+}
+
+func TestBizPagesExposeTrueAttributes(t *testing.T) {
+	w := Generate(smallConfig())
+	checked := 0
+	for _, p := range w.Pages() {
+		if p.Truth.Kind != KindBiz || p.Truth.Stale {
+			continue
+		}
+		r, ok := w.RestaurantByID(p.Truth.EntityIDs[0])
+		if !ok {
+			t.Fatalf("biz page %s has bad entity", p.URL)
+		}
+		text := htmlx.Parse(p.HTML).Text()
+		if !strings.Contains(text, r.Zip) {
+			t.Errorf("page %s missing zip %s", p.URL, r.Zip)
+		}
+		if !strings.Contains(text, r.City) {
+			t.Errorf("page %s missing city %s", p.URL, r.City)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Errorf("only %d fresh biz pages", checked)
+	}
+}
+
+func TestStaleSourceUsesOldValues(t *testing.T) {
+	w := Generate(smallConfig())
+	foundStale := false
+	for _, p := range w.Pages() {
+		if !p.Truth.Stale {
+			continue
+		}
+		foundStale = true
+		r, _ := w.RestaurantByID(p.Truth.EntityIDs[0])
+		if r.OldPhone == "" {
+			t.Fatalf("stale page %s for restaurant without old phone", p.URL)
+		}
+		// The current phone must not appear on the stale page.
+		if strings.Contains(p.HTML, r.Phone) {
+			t.Errorf("stale page %s leaks current phone", p.URL)
+		}
+	}
+	if !foundStale {
+		t.Error("no stale pages generated (staleness experiment impossible)")
+	}
+}
+
+func TestAggregatorCoverageOrdering(t *testing.T) {
+	w := Generate(DefaultConfig())
+	counts := map[string]int{}
+	for _, p := range w.Pages() {
+		if p.Truth.Kind == KindBiz {
+			counts[p.Truth.Site]++
+		}
+	}
+	if !(counts["welp.example"] > counts["citysift.example"] &&
+		counts["citysift.example"] > counts["yellowfile.example"]) {
+		t.Errorf("coverage ordering violated: %v", counts)
+	}
+}
+
+func TestHomepageSubpages(t *testing.T) {
+	w := Generate(smallConfig())
+	menus, locations, coupons := 0, 0, 0
+	for _, p := range w.Pages() {
+		switch p.Truth.Kind {
+		case KindMenu:
+			menus++
+			doc := htmlx.Parse(p.HTML)
+			if len(doc.FindByClass("dish")) < 3 {
+				t.Errorf("menu page %s has too few dishes", p.URL)
+			}
+		case KindLocation:
+			locations++
+		case KindCoupons:
+			coupons++
+		}
+	}
+	if menus == 0 || locations == 0 || coupons == 0 {
+		t.Errorf("menus=%d locations=%d coupons=%d", menus, locations, coupons)
+	}
+	if menus != locations {
+		t.Errorf("every homepage should have both menu and location: %d vs %d", menus, locations)
+	}
+}
+
+func TestPortalCategories(t *testing.T) {
+	w := Generate(smallConfig())
+	cats := map[string]int{}
+	for _, p := range w.Pages() {
+		if strings.HasSuffix(p.Truth.Site, ".example") && p.Truth.Site == PortalHost("Cupertino") {
+			cats[p.Truth.Category]++
+		}
+	}
+	for _, c := range []string{CatRestaurants, CatEvents, CatHotels, CatAttractions, CatOther} {
+		if cats[c] == 0 {
+			t.Errorf("portal has no %s pages: %v", c, cats)
+		}
+	}
+}
+
+func TestTruthRecords(t *testing.T) {
+	w := Generate(smallConfig())
+	r := w.Restaurants[0]
+	rec, ok := w.TruthRecord(r.ID)
+	if !ok || rec.Concept != ConceptRestaurant {
+		t.Fatalf("truth record missing for %s", r.ID)
+	}
+	if rec.Get("name") != r.Name || rec.Get("zip") != r.Zip {
+		t.Errorf("truth mismatch: %s", rec)
+	}
+	if _, ok := w.TruthRecord("nonexistent"); ok {
+		t.Error("bogus ID resolved")
+	}
+	for _, id := range []string{w.Authors[0].ID, w.Papers[0].ID, w.Products[0].ID,
+		w.Shows[0].ID, w.Actors[0].ID, w.Events[0].ID} {
+		if _, ok := w.TruthRecord(id); !ok {
+			t.Errorf("truth record missing for %s", id)
+		}
+	}
+}
+
+func TestRegisterConcepts(t *testing.T) {
+	reg := lrec.NewRegistry()
+	RegisterConcepts(reg)
+	for _, c := range []string{ConceptRestaurant, ConceptReview, ConceptAuthor,
+		ConceptPaper, ConceptProduct, ConceptShow, ConceptActor, ConceptEvent} {
+		if _, ok := reg.Lookup(c); !ok {
+			t.Errorf("concept %s not registered", c)
+		}
+	}
+	rc, _ := reg.Lookup(ConceptRestaurant)
+	if spec, ok := rc.Spec("zip"); !ok || spec.MaxValues != 1 {
+		t.Error("restaurant zip spec wrong")
+	}
+	if got := reg.Domain(DomainLocal); len(got) != 3 {
+		t.Errorf("local domain = %v", got)
+	}
+}
+
+func TestReviewTruthLinks(t *testing.T) {
+	w := Generate(smallConfig())
+	if len(w.ReviewTruth) == 0 {
+		t.Fatal("no review truth")
+	}
+	for url, ids := range w.ReviewTruth {
+		p, ok := w.PageByURL(url)
+		if !ok {
+			t.Fatalf("review truth references missing page %s", url)
+		}
+		if p.Truth.Kind != KindReviewPost {
+			t.Fatalf("review truth page %s has kind %s", url, p.Truth.Kind)
+		}
+		if len(ids) == 0 {
+			t.Fatalf("review %s has no subjects", url)
+		}
+	}
+}
+
+func TestNameVariants(t *testing.T) {
+	r := &Restaurant{Name: "Blue Agave Cantina", Cuisine: "mexican"}
+	if r.NameVariant(0) != "Blue Agave Cantina" {
+		t.Error("variant 0 should be full name")
+	}
+	if r.NameVariant(1) != "Blue Agave" {
+		t.Errorf("variant 1 = %q", r.NameVariant(1))
+	}
+	if !strings.Contains(r.NameVariant(2), "Mexican") {
+		t.Errorf("variant 2 = %q", r.NameVariant(2))
+	}
+}
+
+func TestRephone(t *testing.T) {
+	if got := rephone("408-555-0123", 1); got != "(408) 555-0123" {
+		t.Errorf("style 1 = %q", got)
+	}
+	if got := rephone("408-555-0123", 2); got != "408.555.0123" {
+		t.Errorf("style 2 = %q", got)
+	}
+	if got := rephone("not a phone", 1); got != "not a phone" {
+		t.Errorf("junk = %q", got)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	if got := slugify("Birk's Steak-House №9"); got != "birks-steak-house-9" {
+		t.Errorf("slugify = %q", got)
+	}
+}
+
+func TestSharedActorAcrossShows(t *testing.T) {
+	w := Generate(DefaultConfig())
+	found := false
+	for _, a := range w.Actors {
+		if len(a.ShowIDs) > 1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no actor appears in multiple shows; browse-pivot scenario impossible")
+	}
+}
+
+func TestAccessoryRelations(t *testing.T) {
+	w := Generate(smallConfig())
+	accs := 0
+	for _, p := range w.Products {
+		if p.AccessoryOf != "" {
+			accs++
+			if _, ok := w.ProductByID(p.AccessoryOf); !ok {
+				t.Errorf("accessory %s references missing camera", p.ID)
+			}
+		}
+	}
+	if accs == 0 {
+		t.Error("no accessories generated")
+	}
+}
+
+func TestSiteLookupAndURLHelpers(t *testing.T) {
+	w := Generate(smallConfig())
+	if _, ok := w.SiteByHost(PrimaryAggregator); !ok {
+		t.Error("primary aggregator missing")
+	}
+	if _, ok := w.SiteByHost("nonexistent.example"); ok {
+		t.Error("bogus site resolved")
+	}
+	r := w.Restaurants[0]
+	if got := BizURL("welp.example", r); !strings.HasPrefix(got, "welp.example/biz/") {
+		t.Errorf("BizURL = %q", got)
+	}
+	if got := CategoryURL("welp.example", "San Jose", "italian"); got != "welp.example/c/san-jose-italian" {
+		t.Errorf("CategoryURL = %q", got)
+	}
+}

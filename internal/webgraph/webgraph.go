@@ -1,0 +1,321 @@
+// Package webgraph provides the crawl substrate: a Fetcher abstraction over
+// a corpus of pages, a concurrent breadth-first crawler, a page store with
+// content hashing for change detection (§7.3), and the site link graph used
+// by relational classification (§4.2).
+package webgraph
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"conceptweb/internal/htmlx"
+)
+
+// ErrNotFound is returned when a URL cannot be fetched or found.
+var ErrNotFound = errors.New("webgraph: page not found")
+
+// Fetcher retrieves the HTML of a URL. Implementations include the synthetic
+// world (webgen) and, in a production deployment, an HTTP client.
+// Implementations must be safe for concurrent use: the crawler calls Fetch
+// from several workers at once.
+type Fetcher interface {
+	Fetch(url string) (html string, err error)
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(url string) (string, error)
+
+// Fetch implements Fetcher.
+func (f FetcherFunc) Fetch(url string) (string, error) { return f(url) }
+
+// Page is one crawled page: raw HTML, its parsed DOM, outlinks, and a
+// content hash used to detect modification across recrawls.
+type Page struct {
+	URL      string
+	Host     string
+	Path     string
+	HTML     string
+	Doc      *htmlx.Node
+	Outlinks []string
+	Hash     uint64
+}
+
+// Host splits a URL of the form "host/path..." used throughout the system.
+func splitURL(url string) (host, path string) {
+	if i := strings.IndexByte(url, '/'); i >= 0 {
+		return url[:i], url[i:]
+	}
+	return url, "/"
+}
+
+// HashContent returns the FNV-1a hash of a page body.
+func HashContent(html string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(html))
+	return h.Sum64()
+}
+
+// NewPage parses raw HTML into a Page: DOM, resolved outlinks, content hash.
+func NewPage(url, html string) *Page {
+	host, path := splitURL(url)
+	doc := htmlx.Parse(html)
+	links := doc.Links()
+	// Resolve relative links against the host.
+	resolved := make([]string, 0, len(links))
+	for _, l := range links {
+		switch {
+		case strings.HasPrefix(l, "http://"):
+			l = strings.TrimPrefix(l, "http://")
+		case strings.HasPrefix(l, "https://"):
+			l = strings.TrimPrefix(l, "https://")
+		}
+		if strings.HasPrefix(l, "/") {
+			l = host + l
+		}
+		resolved = append(resolved, l)
+	}
+	return &Page{
+		URL: url, Host: host, Path: path,
+		HTML: html, Doc: doc, Outlinks: resolved,
+		Hash: HashContent(html),
+	}
+}
+
+// Store holds crawled pages, indexed by URL and host. Safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	pages  map[string]*Page
+	byHost map[string][]string
+}
+
+// NewStore returns an empty page store.
+func NewStore() *Store {
+	return &Store{pages: make(map[string]*Page), byHost: make(map[string][]string)}
+}
+
+// Put adds or replaces a page. It reports whether the content changed
+// (true for new pages and modified bodies).
+func (s *Store) Put(p *Page) (changed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.pages[p.URL]
+	if ok && old.Hash == p.Hash {
+		return false
+	}
+	if !ok {
+		s.byHost[p.Host] = append(s.byHost[p.Host], p.URL)
+	}
+	s.pages[p.URL] = p
+	return true
+}
+
+// Get returns the page at url.
+func (s *Store) Get(url string) (*Page, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[url]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	return p, nil
+}
+
+// Len returns the number of stored pages.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// URLs returns all stored URLs, sorted.
+func (s *Store) URLs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.pages))
+	for u := range s.pages {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hosts returns all hosts with at least one page, sorted.
+func (s *Store) Hosts() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byHost))
+	for h := range s.byHost {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostPages returns the URLs of a host's pages, sorted.
+func (s *Store) HostPages(host string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]string(nil), s.byHost[host]...)
+	sort.Strings(out)
+	return out
+}
+
+// Scan calls fn for each page in sorted-URL order; return false to stop.
+func (s *Store) Scan(fn func(*Page) bool) {
+	for _, u := range s.URLs() {
+		p, err := s.Get(u)
+		if err != nil {
+			continue
+		}
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// Crawler performs a bounded-concurrency BFS crawl.
+type Crawler struct {
+	Fetcher Fetcher
+	Store   *Store
+	// MaxPages bounds the crawl (0 = unlimited).
+	MaxPages int
+	// Workers is the number of concurrent fetches (default 8).
+	Workers int
+	// SameHostOnly restricts the frontier to the seeds' hosts.
+	SameHostOnly bool
+}
+
+// Crawl runs BFS from seeds and returns the number of pages fetched.
+// Fetch errors (dead links) are counted but do not abort the crawl.
+func (c *Crawler) Crawl(seeds []string) (fetched int, failed int) {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	seedHosts := make(map[string]bool)
+	for _, s := range seeds {
+		h, _ := splitURL(s)
+		seedHosts[h] = true
+	}
+
+	seen := make(map[string]bool)
+	frontier := append([]string(nil), seeds...)
+	for _, u := range seeds {
+		seen[u] = true
+	}
+
+	for len(frontier) > 0 {
+		if c.MaxPages > 0 && fetched >= c.MaxPages {
+			break
+		}
+		batch := frontier
+		if c.MaxPages > 0 && fetched+len(batch) > c.MaxPages {
+			batch = batch[:c.MaxPages-fetched]
+		}
+		frontier = nil
+
+		type result struct {
+			page *Page
+			err  error
+		}
+		results := make([]result, len(batch))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, u := range batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, u string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				html, err := c.Fetcher.Fetch(u)
+				if err != nil {
+					results[i] = result{err: err}
+					return
+				}
+				results[i] = result{page: NewPage(u, html)}
+			}(i, u)
+		}
+		wg.Wait()
+
+		for _, res := range results {
+			if res.err != nil {
+				failed++
+				continue
+			}
+			fetched++
+			c.Store.Put(res.page)
+			for _, l := range res.page.Outlinks {
+				if seen[l] {
+					continue
+				}
+				h, _ := splitURL(l)
+				if c.SameHostOnly && !seedHosts[h] {
+					continue
+				}
+				seen[l] = true
+				frontier = append(frontier, l)
+			}
+		}
+		sort.Strings(frontier) // deterministic order across runs
+	}
+	return fetched, failed
+}
+
+// Graph is the directed link graph over crawled pages.
+type Graph struct {
+	Out map[string][]string
+	In  map[string][]string
+}
+
+// BuildGraph constructs the link graph restricted to pages present in the
+// store (external links are dropped).
+func BuildGraph(s *Store) *Graph {
+	g := &Graph{Out: make(map[string][]string), In: make(map[string][]string)}
+	s.Scan(func(p *Page) bool {
+		for _, l := range p.Outlinks {
+			if _, err := s.Get(l); err != nil {
+				continue
+			}
+			if l == p.URL {
+				continue
+			}
+			g.Out[p.URL] = append(g.Out[p.URL], l)
+			g.In[l] = append(g.In[l], p.URL)
+		}
+		return true
+	})
+	for _, m := range []map[string][]string{g.Out, g.In} {
+		for k := range m {
+			m[k] = dedupSorted(m[k])
+		}
+	}
+	return g
+}
+
+func dedupSorted(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	var prev string
+	for i, s := range in {
+		if i == 0 || s != prev {
+			out = append(out, s)
+		}
+		prev = s
+	}
+	return out
+}
+
+// Directory returns the first path segment of a URL's path ("" for root) —
+// the "pages in a directory called calendar" signal of §4.2.
+func Directory(url string) string {
+	_, path := splitURL(url)
+	path = strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return ""
+}

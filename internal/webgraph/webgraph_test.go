@@ -1,0 +1,216 @@
+package webgraph
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"conceptweb/internal/webgen"
+)
+
+// miniWeb is a hand-built fetcher for focused crawler tests.
+type miniWeb map[string]string
+
+func (m miniWeb) Fetch(url string) (string, error) {
+	html, ok := m[url]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	return html, nil
+}
+
+func linked(links ...string) string {
+	out := "<html><body>"
+	for _, l := range links {
+		out += `<a href="` + l + `">x</a>`
+	}
+	return out + "</body></html>"
+}
+
+func TestCrawlBFS(t *testing.T) {
+	web := miniWeb{
+		"a.example/":   linked("/p1", "/p2"),
+		"a.example/p1": linked("/p2", "b.example/"),
+		"a.example/p2": linked(),
+		"b.example/":   linked(),
+	}
+	st := NewStore()
+	c := &Crawler{Fetcher: web, Store: st}
+	fetched, failed := c.Crawl([]string{"a.example/"})
+	if fetched != 4 || failed != 0 {
+		t.Fatalf("fetched=%d failed=%d", fetched, failed)
+	}
+	if st.Len() != 4 {
+		t.Errorf("store len = %d", st.Len())
+	}
+}
+
+func TestCrawlSameHostOnly(t *testing.T) {
+	web := miniWeb{
+		"a.example/":   linked("/p1", "b.example/"),
+		"a.example/p1": linked(),
+		"b.example/":   linked(),
+	}
+	st := NewStore()
+	c := &Crawler{Fetcher: web, Store: st, SameHostOnly: true}
+	fetched, _ := c.Crawl([]string{"a.example/"})
+	if fetched != 2 {
+		t.Errorf("fetched = %d, want 2", fetched)
+	}
+	if _, err := st.Get("b.example/"); !errors.Is(err, ErrNotFound) {
+		t.Error("cross-host page crawled despite SameHostOnly")
+	}
+}
+
+func TestCrawlMaxPages(t *testing.T) {
+	web := miniWeb{}
+	for i := 0; i < 50; i++ {
+		web[fmt.Sprintf("a.example/p%d", i)] = linked(fmt.Sprintf("/p%d", i+1))
+	}
+	st := NewStore()
+	c := &Crawler{Fetcher: web, Store: st, MaxPages: 10}
+	fetched, _ := c.Crawl([]string{"a.example/p0"})
+	if fetched != 10 {
+		t.Errorf("fetched = %d, want 10", fetched)
+	}
+}
+
+func TestCrawlDeadLinks(t *testing.T) {
+	web := miniWeb{"a.example/": linked("/missing", "/p1"), "a.example/p1": linked()}
+	st := NewStore()
+	c := &Crawler{Fetcher: web, Store: st}
+	fetched, failed := c.Crawl([]string{"a.example/"})
+	if fetched != 2 || failed != 1 {
+		t.Errorf("fetched=%d failed=%d", fetched, failed)
+	}
+}
+
+func TestStoreChangeDetection(t *testing.T) {
+	st := NewStore()
+	p1 := NewPage("a.example/x", "<html><body>v1</body></html>")
+	if !st.Put(p1) {
+		t.Error("new page should report changed")
+	}
+	if st.Put(NewPage("a.example/x", "<html><body>v1</body></html>")) {
+		t.Error("identical content should report unchanged")
+	}
+	if !st.Put(NewPage("a.example/x", "<html><body>v2</body></html>")) {
+		t.Error("modified content should report changed")
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d", st.Len())
+	}
+}
+
+func TestStoreHostIndex(t *testing.T) {
+	st := NewStore()
+	st.Put(NewPage("a.example/1", linked()))
+	st.Put(NewPage("a.example/2", linked()))
+	st.Put(NewPage("b.example/1", linked()))
+	if got := st.Hosts(); !reflect.DeepEqual(got, []string{"a.example", "b.example"}) {
+		t.Errorf("Hosts = %v", got)
+	}
+	if got := st.HostPages("a.example"); len(got) != 2 {
+		t.Errorf("HostPages = %v", got)
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	st := NewStore()
+	st.Put(NewPage("a.example/1", linked("/2", "/2", "external.example/")))
+	st.Put(NewPage("a.example/2", linked("/1")))
+	g := BuildGraph(st)
+	if !reflect.DeepEqual(g.Out["a.example/1"], []string{"a.example/2"}) {
+		t.Errorf("Out = %v (dups/externals should be gone)", g.Out["a.example/1"])
+	}
+	if !reflect.DeepEqual(g.In["a.example/1"], []string{"a.example/2"}) {
+		t.Errorf("In = %v", g.In["a.example/1"])
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	cases := map[string]string{
+		"a.example/calendar/ev-1": "calendar",
+		"a.example/":              "",
+		"a.example/about":         "", // root-level leaf: no directory
+		"a.example/dir/sub/leaf":  "dir",
+		"a.example":               "",
+	}
+	for url, want := range cases {
+		if got := Directory(url); got != want {
+			t.Errorf("Directory(%q) = %q, want %q", url, got, want)
+		}
+	}
+}
+
+func TestRelativeLinkResolution(t *testing.T) {
+	p := NewPage("h.example/dir/page", `<html><body><a href="/abs">a</a><a href="http://x.example/y">b</a></body></html>`)
+	if !reflect.DeepEqual(p.Outlinks, []string{"h.example/abs", "x.example/y"}) {
+		t.Errorf("Outlinks = %v", p.Outlinks)
+	}
+}
+
+// WorldFetcher adapts a webgen.World — this is the integration seam used by
+// the whole pipeline, so test it here.
+func worldFetcher(w *webgen.World) Fetcher {
+	return FetcherFunc(func(url string) (string, error) {
+		p, ok := w.PageByURL(url)
+		if !ok {
+			return "", fmt.Errorf("%w: %s", ErrNotFound, url)
+		}
+		return p.HTML, nil
+	})
+}
+
+func TestCrawlSyntheticWorld(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 30
+	cfg.ReviewArticles = 10
+	w := webgen.Generate(cfg)
+	st := NewStore()
+	c := &Crawler{Fetcher: worldFetcher(w), Store: st, SameHostOnly: true}
+	fetched, _ := c.Crawl([]string{webgen.PrimaryAggregator + "/c/cupertino-italian"})
+	if fetched == 0 {
+		t.Skip("no italian restaurants in cupertino at this seed")
+	}
+	// Crawling the whole primary aggregator from its category pages.
+	site, _ := w.SiteByHost(webgen.PrimaryAggregator)
+	var seeds []string
+	for _, p := range site.Pages {
+		if p.Truth.Kind == webgen.KindCategory {
+			seeds = append(seeds, p.URL)
+		}
+	}
+	st2 := NewStore()
+	c2 := &Crawler{Fetcher: worldFetcher(w), Store: st2, SameHostOnly: true}
+	c2.Crawl(seeds)
+	if st2.Len() < len(seeds) {
+		t.Errorf("crawled %d < %d seeds", st2.Len(), len(seeds))
+	}
+	// Every crawled page should parse and have a host.
+	st2.Scan(func(p *Page) bool {
+		if p.Host == "" || p.Doc == nil {
+			t.Errorf("bad page %s", p.URL)
+		}
+		return true
+	})
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	web := miniWeb{
+		"a.example/":  linked("/b", "/c"),
+		"a.example/b": linked("/d"),
+		"a.example/c": linked("/d"),
+		"a.example/d": linked(),
+	}
+	run := func() []string {
+		st := NewStore()
+		c := &Crawler{Fetcher: web, Store: st, Workers: 3}
+		c.Crawl([]string{"a.example/"})
+		return st.URLs()
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Error("crawl not deterministic")
+	}
+}

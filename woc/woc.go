@@ -1,0 +1,374 @@
+// Package woc is the public API of the web-of-concepts system: build a
+// concept-centric view of a document web from any page fetcher, then query
+// it — web search with concept boxes, concept search, aggregation pages,
+// recommendations, lineage, and incremental maintenance.
+//
+// The heavy machinery (extraction, entity matching, classification, the
+// lrec store) lives in internal packages; this facade exposes plain view
+// types so downstream users never touch internals:
+//
+//	sys, err := woc.Build(fetcher, seeds, woc.WithLocalDomain(cities, cuisines))
+//	page := sys.Search("gochi cupertino", 10)
+//	if page.Box != nil { fmt.Println(page.Box.Name, page.Box.Address) }
+package woc
+
+import (
+	"errors"
+	"fmt"
+
+	"conceptweb/internal/core"
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/search"
+	"conceptweb/internal/session"
+	"conceptweb/internal/webgen"
+	"conceptweb/internal/webgraph"
+)
+
+// ErrNotFound is returned when a record ID does not exist.
+var ErrNotFound = errors.New("woc: record not found")
+
+// Fetcher retrieves the HTML of a URL. URLs are "host/path" strings.
+type Fetcher func(url string) (html string, err error)
+
+// Option configures a Build.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	cities   []string
+	cuisines []string
+	maxPages int
+	storeDir string
+}
+
+// WithLocalDomain sets the local-domain gazetteer knowledge (cities and
+// cuisine categories) used by extraction and query parsing.
+func WithLocalDomain(cities, cuisines []string) Option {
+	return func(c *buildConfig) {
+		c.cities = cities
+		c.cuisines = cuisines
+	}
+}
+
+// WithMaxPages bounds the crawl.
+func WithMaxPages(n int) Option {
+	return func(c *buildConfig) { c.maxPages = n }
+}
+
+// WithStoreDir persists the concept store durably in dir (WAL + snapshots);
+// call Close when done.
+func WithStoreDir(dir string) Option {
+	return func(c *buildConfig) { c.storeDir = dir }
+}
+
+// System is a built web of concepts with its application layers.
+type System struct {
+	builder *core.Builder
+	woc     *core.WebOfConcepts
+	engine  *search.Engine
+	trans   *session.Transitions
+	stats   *core.BuildStats
+}
+
+// Build crawls from seeds through the fetcher and constructs the system.
+func Build(fetch Fetcher, seeds []string, opts ...Option) (*System, error) {
+	var cfg buildConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	coreCfg := core.StandardConfig(reg, cfg.cities, cfg.cuisines)
+	coreCfg.MaxPages = cfg.maxPages
+	coreCfg.StoreDir = cfg.storeDir
+	b := &core.Builder{Fetcher: webgraph.FetcherFunc(fetch), Cfg: coreCfg}
+	built, stats, err := b.Build(seeds)
+	if err != nil {
+		return nil, fmt.Errorf("woc: build: %w", err)
+	}
+	built.Reconcile("restaurant", core.PreferSupport)
+	b.EnrichMenus(built)
+	eng := search.NewEngine(built, search.NewParser(cfg.cities, cfg.cuisines))
+	return &System{
+		builder: b, woc: built, engine: eng,
+		trans: session.NewTransitions(eng), stats: stats,
+	}, nil
+}
+
+// Stats summarizes what the build did.
+type Stats struct {
+	PagesFetched  int
+	Candidates    int
+	RecordsStored int
+	PagesLinked   int
+}
+
+// Stats returns the build statistics.
+func (s *System) Stats() Stats {
+	return Stats{
+		PagesFetched:  s.stats.PagesFetched,
+		Candidates:    s.stats.Candidates,
+		RecordsStored: s.stats.RecordsStored,
+		PagesLinked:   s.stats.PagesLinked,
+	}
+}
+
+// Record is the public view of an lrec: its best attribute values.
+type Record struct {
+	ID         string
+	Concept    string
+	Attrs      map[string]string
+	Confidence float64
+}
+
+func viewRecord(r *lrec.Record) Record {
+	out := Record{ID: r.ID, Concept: r.Concept, Attrs: map[string]string{},
+		Confidence: r.Confidence()}
+	for _, k := range r.Keys() {
+		out.Attrs[k] = r.Get(k)
+	}
+	return out
+}
+
+// Record fetches one record by ID.
+func (s *System) Record(id string) (Record, error) {
+	r, err := s.woc.Records.Get(id)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return viewRecord(r), nil
+}
+
+// Records lists the records of a concept.
+func (s *System) Records(concept string) []Record {
+	rs := s.woc.Records.ByConcept(concept)
+	out := make([]Record, len(rs))
+	for i, r := range rs {
+		out[i] = viewRecord(r)
+	}
+	return out
+}
+
+// Box is the concept box shown above web results (Figure 1 of the paper).
+type Box struct {
+	Record   Record
+	Name     string
+	Address  string
+	Phone    string
+	Rating   string
+	Homepage string
+	Reviews  []string
+	// RequestedKey/RequestedValue carry the attribute the query asked for
+	// ("<name> menu"), when known.
+	RequestedKey   string
+	RequestedValue string
+	Confidence     float64
+}
+
+// Doc is one ranked web result.
+type Doc struct {
+	URL        string
+	Score      float64
+	IsHomepage bool
+	RecordIDs  []string
+}
+
+// Page is a full search response.
+type Page struct {
+	Box        *Box
+	Results    []Doc
+	Assistance []string
+}
+
+// Search answers a web query with concept-aware ranking.
+func (s *System) Search(query string, k int) *Page {
+	res := s.engine.Search(query, k)
+	page := &Page{Assistance: res.Assistance}
+	if res.Box != nil {
+		page.Box = &Box{
+			Record: viewRecord(res.Box.Record), Name: res.Box.Name,
+			Address: res.Box.Address, Phone: res.Box.Phone,
+			Rating: res.Box.Rating, Homepage: res.Box.Homepage,
+			Reviews: res.Box.Reviews, Confidence: res.Box.Confidence,
+			RequestedKey:   res.Box.Requested.Key,
+			RequestedValue: res.Box.Requested.Value,
+		}
+	}
+	for _, d := range res.Results {
+		page.Results = append(page.Results, Doc{URL: d.URL, Score: d.Score,
+			IsHomepage: d.IsHomepage, RecordIDs: d.RecordIDs})
+	}
+	return page
+}
+
+// Hit is one concept-search result.
+type Hit struct {
+	Record Record
+	Score  float64
+}
+
+// ConceptSearch retrieves records (not documents) answering the query.
+func (s *System) ConceptSearch(query string, k int) []Hit {
+	var out []Hit
+	for _, h := range s.engine.ConceptSearch(query, nil, k) {
+		out = append(out, Hit{Record: viewRecord(h.Record), Score: h.Score})
+	}
+	return out
+}
+
+// Aggregation is the unified everything-about-one-instance page.
+type Aggregation struct {
+	Title string
+	Attrs map[string]string
+	// Conflicts maps attributes to values that disagree with the chosen one.
+	Conflicts map[string][]string
+	Sources   []Source
+	Reviews   []string
+}
+
+// Source is one contributing source with trust metadata.
+type Source struct {
+	URL   string
+	Kind  string
+	Trust float64
+}
+
+// Aggregate builds the aggregation page for a record.
+func (s *System) Aggregate(id string) (*Aggregation, error) {
+	p, err := s.engine.Aggregate(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	out := &Aggregation{Title: p.Title, Attrs: map[string]string{},
+		Conflicts: map[string][]string{}, Reviews: p.Reviews}
+	for _, av := range p.Attrs {
+		out.Attrs[av.Key] = av.Value
+		if len(av.Conflicts) > 0 {
+			out.Conflicts[av.Key] = av.Conflicts
+		}
+	}
+	for _, src := range p.Sources {
+		out.Sources = append(out.Sources, Source{URL: src.URL, Kind: src.Kind, Trust: src.Trust})
+	}
+	return out, nil
+}
+
+// Suggestion is one recommended record.
+type Suggestion struct {
+	Record Record
+	Reason string
+	Score  float64
+}
+
+// Alternatives recommends substitutes for a record (same city/cuisine,
+// not clearly worse).
+func (s *System) Alternatives(id string, k int) ([]Suggestion, error) {
+	recs, err := s.trans.Rec.Alternatives(id, k)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return viewSuggestions(recs), nil
+}
+
+// Augmentations recommends complements for a record (accessories, nearby
+// events).
+func (s *System) Augmentations(id string, k int) ([]Suggestion, error) {
+	recs, err := s.trans.Rec.Augmentations(id, k)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return viewSuggestions(recs), nil
+}
+
+func viewSuggestions(recs []session.Recommendation) []Suggestion {
+	out := make([]Suggestion, len(recs))
+	for i, r := range recs {
+		out[i] = Suggestion{Record: viewRecord(r.Record), Reason: r.Reason, Score: r.Score}
+	}
+	return out
+}
+
+// PagesAbout returns the URLs semantically linked to a record.
+func (s *System) PagesAbout(id string) []string { return s.woc.PagesOf(id) }
+
+// RecordsOn returns the record IDs a page is about.
+func (s *System) RecordsOn(url string) []string { return s.woc.AssocOf(url) }
+
+// Lineage explains where every value of a record came from (§7.3).
+func (s *System) Lineage(id string) ([]string, error) {
+	lines, err := s.woc.Lineage(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return lines, nil
+}
+
+// RefreshStats reports an incremental maintenance pass.
+type RefreshStats struct {
+	PagesChecked   int
+	PagesUnchanged int
+	PagesChanged   int
+	RecordsUpdated int
+	RecordsCreated int
+}
+
+// Refresh re-fetches the given URLs, skipping extraction on unmodified pages
+// and folding changes into existing records.
+func (s *System) Refresh(urls []string) (RefreshStats, error) {
+	st, err := s.builder.Refresh(s.woc, urls)
+	if err != nil {
+		return RefreshStats{}, err
+	}
+	return RefreshStats{
+		PagesChecked: st.PagesChecked, PagesUnchanged: st.PagesUnchanged,
+		PagesChanged: st.PagesChanged, RecordsUpdated: st.RecordsUpdated,
+		RecordsCreated: st.RecordsCreated,
+	}, nil
+}
+
+// Reconcile trims attribute values violating the concept's multiplicity
+// constraints, preferring well-supported values. Returns records changed.
+func (s *System) Reconcile(concept string) int {
+	return s.woc.Reconcile(concept, core.PreferSupport)
+}
+
+// Close flushes and closes the underlying store (needed for WithStoreDir
+// builds; a no-op otherwise).
+func (s *System) Close() error { return s.woc.Close() }
+
+// SearchWithin searches documents restricted to the pages associated with a
+// record — Table 1's "search within concept".
+func (s *System) SearchWithin(id, query string, k int) []Doc {
+	var out []Doc
+	for _, d := range s.engine.SearchWithinConcept(id, query, k) {
+		out = append(out, Doc{URL: d.URL, Score: d.Score, RecordIDs: d.RecordIDs})
+	}
+	return out
+}
+
+// Related returns pages similar to the given page (Table 1's "related
+// pages"), by text similarity plus shared concept references.
+func (s *System) Related(url string, k int) []string {
+	var out []string
+	for _, l := range s.trans.ArticleToArticle(url, k) {
+		out = append(out, l.Target)
+	}
+	return out
+}
+
+// Categories organizes a concept's records into data-driven sub-concepts
+// (§2.3's data-driven taxonomy): records cluster by the text of the given
+// attributes, and the result maps each discovered sub-concept label to its
+// member record IDs.
+func (s *System) Categories(concept string, k int, attrs ...string) map[string][]string {
+	tax := s.woc.DataTaxonomy(concept, concept, k, attrs...)
+	out := make(map[string][]string)
+	for _, node := range tax.Nodes() {
+		if node == concept {
+			continue
+		}
+		if members := tax.InstancesOf(node); len(members) > 0 {
+			out[node] = members
+		}
+	}
+	return out
+}

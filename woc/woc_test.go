@@ -1,0 +1,262 @@
+package woc
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/webgen"
+)
+
+var (
+	once sync.Once
+	tsys *System
+	tw   *webgen.World
+)
+
+func system(t *testing.T) (*webgen.World, *System) {
+	t.Helper()
+	once.Do(func() {
+		cfg := webgen.DefaultConfig()
+		cfg.Restaurants = 50
+		cfg.ReviewArticles = 20
+		cfg.TVArticles = 4
+		w := webgen.Generate(cfg)
+		sys, err := Build(w.Fetch, w.SeedURLs(),
+			WithLocalDomain(w.Cities(), webgen.Cuisines()))
+		if err != nil {
+			panic(err)
+		}
+		tw, tsys = w, sys
+	})
+	return tw, tsys
+}
+
+func pickRestaurant(t *testing.T) (*webgen.Restaurant, Record) {
+	w, sys := system(t)
+	for _, r := range w.Restaurants {
+		if r.Homepage == "" {
+			continue
+		}
+		for _, rec := range sys.Records("restaurant") {
+			if rec.Attrs["phone"] == r.Phone && rec.Attrs["homepage"] != "" {
+				return r, rec
+			}
+		}
+	}
+	t.Fatal("no suitable restaurant")
+	return nil, Record{}
+}
+
+func TestBuildStats(t *testing.T) {
+	_, sys := system(t)
+	st := sys.Stats()
+	if st.PagesFetched == 0 || st.RecordsStored == 0 || st.Candidates == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFacadeSearch(t *testing.T) {
+	r, rec := pickRestaurant(t)
+	_, sys := system(t)
+	page := sys.Search(r.Name+" "+r.City, 5)
+	if page.Box == nil {
+		t.Fatalf("no box for %q", r.Name)
+	}
+	if page.Box.Record.ID != rec.ID {
+		t.Errorf("box record %s, want %s", page.Box.Record.ID, rec.ID)
+	}
+	if len(page.Results) == 0 || !page.Results[0].IsHomepage {
+		t.Error("homepage not first")
+	}
+	if len(page.Assistance) == 0 {
+		t.Error("no assistance")
+	}
+}
+
+func TestFacadeConceptSearchAndRecord(t *testing.T) {
+	r, rec := pickRestaurant(t)
+	_, sys := system(t)
+	hits := sys.ConceptSearch(r.Cuisine+" "+strings.ToLower(r.City), 10)
+	if len(hits) == 0 {
+		t.Fatal("no concept hits")
+	}
+	got, err := sys.Record(rec.ID)
+	if err != nil || got.Concept != "restaurant" {
+		t.Fatalf("record = %+v, %v", got, err)
+	}
+	if _, err := sys.Record("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFacadeAggregateAndLineage(t *testing.T) {
+	_, rec := pickRestaurant(t)
+	_, sys := system(t)
+	agg, err := sys.Aggregate(rec.ID)
+	if err != nil || agg.Title == "" || len(agg.Sources) == 0 {
+		t.Fatalf("agg = %+v, %v", agg, err)
+	}
+	lines, err := sys.Lineage(rec.ID)
+	if err != nil || len(lines) == 0 {
+		t.Fatalf("lineage = %v, %v", lines, err)
+	}
+	if _, err := sys.Aggregate("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFacadeRecommendations(t *testing.T) {
+	_, rec := pickRestaurant(t)
+	_, sys := system(t)
+	if _, err := sys.Alternatives(rec.ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Augmentations(rec.ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Alternatives("nope", 5); !errors.Is(err, ErrNotFound) {
+		t.Error("missing-id alternatives should fail")
+	}
+}
+
+func TestFacadeLinks(t *testing.T) {
+	_, rec := pickRestaurant(t)
+	_, sys := system(t)
+	pages := sys.PagesAbout(rec.ID)
+	if len(pages) == 0 {
+		t.Fatal("no pages about record")
+	}
+	back := sys.RecordsOn(pages[0])
+	found := false
+	for _, id := range back {
+		if id == rec.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("assoc not symmetric")
+	}
+}
+
+func TestFacadeRefresh(t *testing.T) {
+	_, sys := system(t)
+	urls := sys.PagesAbout(sys.Records("restaurant")[0].ID)
+	if len(urls) == 0 {
+		t.Skip("no pages")
+	}
+	st, err := sys.Refresh(urls[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesChecked != 1 || st.PagesUnchanged != 1 {
+		t.Errorf("refresh = %+v", st)
+	}
+}
+
+func TestFacadeReconcile(t *testing.T) {
+	_, sys := system(t)
+	// Already reconciled once at Build; a second pass is a no-op.
+	if n := sys.Reconcile("restaurant"); n != 0 {
+		t.Errorf("second reconcile changed %d records", n)
+	}
+}
+
+func TestDurableBuild(t *testing.T) {
+	dir := t.TempDir()
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 15
+	cfg.ReviewArticles = 4
+	cfg.TVArticles = 2
+	w := webgen.Generate(cfg)
+	sys, err := Build(w.Fetch, w.SeedURLs(),
+		WithLocalDomain(w.Cities(), webgen.Cuisines()),
+		WithStoreDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(sys.Records("restaurant"))
+	if n == 0 {
+		t.Fatal("no records")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The store survives the process: reopen it directly.
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	st, err := lrec.Open(dir, lrec.WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.CountByConcept("restaurant"); got != n {
+		t.Errorf("reopened store has %d restaurants, want %d", got, n)
+	}
+}
+
+func TestBuildMaxPages(t *testing.T) {
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 15
+	cfg.ReviewArticles = 4
+	cfg.TVArticles = 2
+	w := webgen.Generate(cfg)
+	sys, err := Build(w.Fetch, w.SeedURLs(),
+		WithLocalDomain(w.Cities(), webgen.Cuisines()), WithMaxPages(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Stats().PagesFetched; got > 50 {
+		t.Errorf("fetched %d pages, cap was 50", got)
+	}
+}
+
+func TestFacadeSearchWithinAndRelated(t *testing.T) {
+	r, rec := pickRestaurant(t)
+	_, sys := system(t)
+	docs := sys.SearchWithin(rec.ID, r.Menu[0], 5)
+	if len(docs) == 0 {
+		t.Skipf("no in-concept docs for %q", r.Menu[0])
+	}
+	pages := sys.PagesAbout(rec.ID)
+	member := map[string]bool{}
+	for _, u := range pages {
+		member[u] = true
+	}
+	for _, d := range docs {
+		if !member[d.URL] {
+			t.Errorf("result %s outside the concept", d.URL)
+		}
+	}
+	if len(pages) > 0 {
+		rel := sys.Related(pages[0], 3)
+		if len(rel) == 0 {
+			t.Error("no related pages")
+		}
+	}
+}
+
+func TestFacadeCategories(t *testing.T) {
+	_, sys := system(t)
+	cats := sys.Categories("restaurant", 8, "cuisine", "menu")
+	if len(cats) < 4 {
+		t.Fatalf("only %d categories", len(cats))
+	}
+	seen := map[string]bool{}
+	for name, members := range cats {
+		if name == "restaurant" {
+			t.Error("root leaked into categories")
+		}
+		for _, id := range members {
+			if seen[id] {
+				t.Errorf("record %s in two categories", id)
+			}
+			seen[id] = true
+			if _, err := sys.Record(id); err != nil {
+				t.Errorf("category member %s not a record", id)
+			}
+		}
+	}
+}
