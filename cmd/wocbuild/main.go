@@ -23,7 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world generation seed")
 	restaurants := flag.Int("restaurants", 120, "number of restaurants in the world")
 	out := flag.String("out", "", "directory to persist the concept store (optional)")
-	verbose := flag.Bool("v", false, "print per-concept record counts")
+	verbose := flag.Bool("v", false, "print the per-stage timing table and per-concept record counts")
 	flag.Parse()
 
 	cfg := webgen.DefaultConfig()
@@ -51,6 +51,9 @@ func main() {
 	fmt.Printf("reconcile: %d records trimmed to constraints\n", changed)
 
 	if *verbose {
+		if stats.Trace != nil {
+			fmt.Printf("\n%s\n", stats.Trace.Table())
+		}
 		for _, c := range woc.Records.Concepts() {
 			fmt.Printf("  %-12s %d records\n", c, woc.Records.CountByConcept(c))
 		}

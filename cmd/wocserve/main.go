@@ -9,16 +9,35 @@
 //	GET /augmentations?id=...    complement recommendations
 //	GET /lineage?id=...          provenance explanation
 //	GET /healthz                 liveness
+//	GET /metrics                 JSON metrics snapshot (counters, gauges,
+//	                             per-endpoint latency histograms)
+//	GET /debug/vars              expvar (same snapshot + runtime memstats)
+//	GET /debug/pprof/...         CPU/heap/goroutine profiling (with -pprof)
+//
+// Every endpoint is wrapped in observability middleware: request counts,
+// in-flight gauge, status-code counters, and latency histograms, all in the
+// system's shared obs registry. The server runs with read/write/idle
+// timeouts and drains in-flight requests on SIGINT/SIGTERM, logging uptime
+// and a final metrics snapshot on exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os/signal"
 	"strconv"
+	"sync"
+	"syscall"
+	"time"
 
+	"conceptweb/internal/obs"
 	"conceptweb/internal/webgen"
 	"conceptweb/woc"
 )
@@ -27,6 +46,7 @@ func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", "127.0.0.1:8639", "listen address")
 	seed := flag.Int64("seed", 1, "world seed")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	cfg := webgen.DefaultConfig()
@@ -37,21 +57,100 @@ func main() {
 		log.Fatalf("build: %v", err)
 	}
 	log.Printf("built: %+v", sys.Stats())
-	mux := newMux(sys)
-	log.Printf("serving on http://%s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if tr := sys.BuildTrace(); tr != nil {
+		log.Printf("build stages:\n%s", tr.Table())
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(sys, *enablePprof),
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on http://%s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain in-flight requests, then report what the process did.
+	log.Printf("shutdown: draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	snap, _ := json.Marshal(sys.Metrics().Snapshot())
+	log.Printf("uptime %s, final metrics: %s", time.Since(start).Round(time.Millisecond), snap)
 }
 
-// newMux wires the JSON API over a built system.
-func newMux(sys *woc.System) *http.ServeMux {
-	writeJSON := func(rw http.ResponseWriter, v any) {
-		rw.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(rw).Encode(v); err != nil {
+// statusWriter captures the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h with per-endpoint observability: request counter,
+// in-flight gauge, status-code counters, and a latency histogram.
+func instrument(reg *obs.Registry, name string, h http.HandlerFunc) http.HandlerFunc {
+	requests := reg.Counter("http.req." + name)
+	inflight := reg.Gauge("http.inflight")
+	latency := reg.Histogram("http.latency." + name)
+	return func(rw http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: rw, status: http.StatusOK}
+		defer func() {
+			latency.ObserveDuration(time.Since(start))
+			inflight.Add(-1)
+			reg.Counter(fmt.Sprintf("http.status.%s.%d", name, sw.status)).Inc()
+		}()
+		h(sw, r)
+	}
+}
+
+// expvarOnce guards expvar.Publish, which panics on duplicate names when
+// newMux is called more than once (tests).
+var expvarOnce sync.Once
+
+// newMux wires the JSON API over a built system, instrumenting every
+// endpoint into the system's metrics registry.
+func newMux(sys *woc.System, enablePprof bool) *http.ServeMux {
+	reg := sys.Metrics()
+
+	writeJSON := func(rw http.ResponseWriter, code int, v any) {
+		// Encode first so a marshal failure can still change the status code;
+		// the header must be written before the body.
+		body, err := json.Marshal(v)
+		if err != nil {
 			log.Printf("encode: %v", err)
+			code, body = http.StatusInternalServerError, []byte(`{"error":"encoding failed"}`)
 		}
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(code)
+		rw.Write(body) //nolint:errcheck // client gone; nothing to do
 	}
 	fail := func(rw http.ResponseWriter, code int, err error) {
-		http.Error(rw, fmt.Sprintf(`{"error":%q}`, err.Error()), code)
+		writeJSON(rw, code, map[string]string{"error": err.Error()})
 	}
 	kOf := func(r *http.Request) int {
 		if k, err := strconv.Atoi(r.URL.Query().Get("k")); err == nil && k > 0 {
@@ -61,64 +160,85 @@ func newMux(sys *woc.System) *http.ServeMux {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
-		writeJSON(rw, map[string]any{"ok": true, "stats": sys.Stats()})
+	handle := func(name string, h http.HandlerFunc) {
+		mux.HandleFunc("/"+name, instrument(reg, name, h))
+	}
+
+	handle("healthz", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]any{"ok": true, "stats": sys.Stats()})
 	})
-	mux.HandleFunc("/search", func(rw http.ResponseWriter, r *http.Request) {
+	handle("search", func(rw http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		if q == "" {
-			fail(rw, http.StatusBadRequest, fmt.Errorf("missing q"))
+			fail(rw, http.StatusBadRequest, errors.New("missing q"))
 			return
 		}
-		writeJSON(rw, sys.Search(q, kOf(r)))
+		writeJSON(rw, http.StatusOK, sys.Search(q, kOf(r)))
 	})
-	mux.HandleFunc("/concepts", func(rw http.ResponseWriter, r *http.Request) {
+	handle("concepts", func(rw http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		if q == "" {
-			fail(rw, http.StatusBadRequest, fmt.Errorf("missing q"))
+			fail(rw, http.StatusBadRequest, errors.New("missing q"))
 			return
 		}
-		writeJSON(rw, sys.ConceptSearch(q, kOf(r)))
+		writeJSON(rw, http.StatusOK, sys.ConceptSearch(q, kOf(r)))
 	})
-	mux.HandleFunc("/record", func(rw http.ResponseWriter, r *http.Request) {
+	handle("record", func(rw http.ResponseWriter, r *http.Request) {
 		rec, err := sys.Record(r.URL.Query().Get("id"))
 		if err != nil {
 			fail(rw, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(rw, rec)
+		writeJSON(rw, http.StatusOK, rec)
 	})
-	mux.HandleFunc("/aggregate", func(rw http.ResponseWriter, r *http.Request) {
+	handle("aggregate", func(rw http.ResponseWriter, r *http.Request) {
 		page, err := sys.Aggregate(r.URL.Query().Get("id"))
 		if err != nil {
 			fail(rw, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(rw, page)
+		writeJSON(rw, http.StatusOK, page)
 	})
-	mux.HandleFunc("/alternatives", func(rw http.ResponseWriter, r *http.Request) {
+	handle("alternatives", func(rw http.ResponseWriter, r *http.Request) {
 		recs, err := sys.Alternatives(r.URL.Query().Get("id"), kOf(r))
 		if err != nil {
 			fail(rw, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(rw, recs)
+		writeJSON(rw, http.StatusOK, recs)
 	})
-	mux.HandleFunc("/augmentations", func(rw http.ResponseWriter, r *http.Request) {
+	handle("augmentations", func(rw http.ResponseWriter, r *http.Request) {
 		recs, err := sys.Augmentations(r.URL.Query().Get("id"), kOf(r))
 		if err != nil {
 			fail(rw, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(rw, recs)
+		writeJSON(rw, http.StatusOK, recs)
 	})
-	mux.HandleFunc("/lineage", func(rw http.ResponseWriter, r *http.Request) {
+	handle("lineage", func(rw http.ResponseWriter, r *http.Request) {
 		lines, err := sys.Lineage(r.URL.Query().Get("id"))
 		if err != nil {
 			fail(rw, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(rw, lines)
+		writeJSON(rw, http.StatusOK, lines)
 	})
+
+	// Observability surfaces. /metrics serves the registry snapshot as JSON;
+	// /debug/vars serves the same through expvar alongside cmdline/memstats.
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, reg.Snapshot())
+	})
+	expvarOnce.Do(func() {
+		expvar.Publish("woc", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"sync"
 	"testing"
 
@@ -33,7 +34,7 @@ func server(t *testing.T) (*webgen.World, *httptest.Server) {
 		}
 		tsys = sys
 	})
-	srv := httptest.NewServer(newMux(tsys))
+	srv := httptest.NewServer(newMux(tsys, true))
 	t.Cleanup(srv.Close)
 	return tw, srv
 }
@@ -133,5 +134,116 @@ func TestNotFoundEndpoints(t *testing.T) {
 		if code := getJSON(t, srv, path, nil); code != http.StatusNotFound {
 			t.Errorf("%s status = %d, want 404", path, code)
 		}
+	}
+}
+
+// TestErrorBodyIsValidJSON guards the writeJSON fix: error responses must be
+// well-formed JSON (the old fmt.Sprintf path double-escaped quotes) and must
+// carry the status code set before the body.
+func TestErrorBodyIsValidJSON(t *testing.T) {
+	_, srv := server(t)
+	resp, err := http.Get(srv.URL + `/record?id=no"such"id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not valid JSON: %v", err)
+	}
+	if !strings.Contains(body.Error, `no"such"id`) {
+		t.Errorf("error = %q, want the raw id preserved", body.Error)
+	}
+}
+
+// TestMetricsEndpoint drives traffic through instrumented handlers and
+// checks that /metrics reports per-endpoint request counts, status-code
+// counters, the in-flight gauge, and latency quantiles.
+func TestMetricsEndpoint(t *testing.T) {
+	w, srv := server(t)
+	q := url.QueryEscape(w.Restaurants[0].Name + " " + w.Restaurants[0].City)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if code := getJSON(t, srv, "/search?q="+q, nil); code != 200 {
+			t.Fatalf("search status = %d", code)
+		}
+	}
+	getJSON(t, srv, "/record?id=nope", nil) // one 404 for the status counters
+
+	var snap struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count int64   `json:"count"`
+			P50   float64 `json:"p50"`
+			P99   float64 `json:"p99"`
+			Max   float64 `json:"max"`
+		} `json:"histograms"`
+	}
+	if code := getJSON(t, srv, "/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status = %d", code)
+	}
+	if got := snap.Counters["http.req.search"]; got < n {
+		t.Errorf("http.req.search = %d, want >= %d", got, n)
+	}
+	if got := snap.Counters["http.status.search.200"]; got < n {
+		t.Errorf("http.status.search.200 = %d, want >= %d", got, n)
+	}
+	if got := snap.Counters["http.status.record.404"]; got < 1 {
+		t.Errorf("http.status.record.404 = %d, want >= 1", got)
+	}
+	if _, ok := snap.Gauges["http.inflight"]; !ok {
+		t.Error("missing http.inflight gauge")
+	}
+	h, ok := snap.Histograms["http.latency.search"]
+	if !ok || h.Count < n {
+		t.Fatalf("http.latency.search = %+v", h)
+	}
+	if h.P50 <= 0 || h.P99 < h.P50 || h.Max < h.P99 {
+		t.Errorf("latency quantiles inconsistent: %+v", h)
+	}
+	// The engine's own instruments flow into the same registry.
+	if got := snap.Counters["search.queries"]; got < n {
+		t.Errorf("search.queries = %d, want >= %d", got, n)
+	}
+	if got := snap.Counters["lrec.puts"]; got == 0 {
+		t.Error("lrec.puts = 0, want build-time store traffic")
+	}
+	for _, name := range []string{"build.crawl", "build.extract", "build.resolve",
+		"build.link", "build.index"} {
+		if h := snap.Histograms[name]; h.Count == 0 {
+			t.Errorf("missing pipeline stage histogram %s", name)
+		}
+	}
+}
+
+func TestDebugVarsAndPprof(t *testing.T) {
+	_, srv := server(t)
+	var vars struct {
+		Woc *struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"woc"`
+	}
+	if code := getJSON(t, srv, "/debug/vars", &vars); code != 200 {
+		t.Fatalf("debug/vars status = %d", code)
+	}
+	if vars.Woc == nil {
+		t.Fatal("expvar missing woc snapshot")
+	}
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
 	}
 }

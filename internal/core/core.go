@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"conceptweb/internal/index"
 	"conceptweb/internal/lrec"
 	"conceptweb/internal/match"
+	"conceptweb/internal/obs"
 	"conceptweb/internal/textproc"
 	"conceptweb/internal/webgraph"
 )
@@ -44,6 +46,10 @@ type Config struct {
 	// StoreDir, when set, backs the concept store durably (write-ahead log
 	// plus snapshots) in that directory instead of memory.
 	StoreDir string
+	// Metrics, when non-nil, receives pipeline counters, store counters, and
+	// per-stage latency histograms. Stage traces in BuildStats/RefreshStats
+	// are produced regardless.
+	Metrics *obs.Registry
 }
 
 // WebOfConcepts is the built artifact: the unified concept store plus the
@@ -82,6 +88,9 @@ type BuildStats struct {
 	ClustersMerged int // candidate records absorbed into clusters
 	PagesLinked    int // free-text pages linked to records
 	ReviewRecords  int
+	// Trace is the per-stage timing tree of the build
+	// (crawl/extract/resolve/link/index); render it with Trace.Table().
+	Trace *obs.TraceReport
 }
 
 // Builder runs builds against a fetcher.
@@ -90,14 +99,19 @@ type Builder struct {
 	Cfg     Config
 }
 
-// Build crawls from seeds and constructs the web of concepts.
+// Build crawls from seeds and constructs the web of concepts. Each pipeline
+// stage (crawl, extract, resolve, link, index) is timed into a trace tree
+// returned on BuildStats.Trace and, when Cfg.Metrics is set, into per-stage
+// latency histograms named "build.<stage>".
 func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 	if b.Cfg.Registry == nil {
 		return nil, nil, fmt.Errorf("core: nil registry")
 	}
-	records := lrec.NewMemStore(lrec.WithRegistry(b.Cfg.Registry))
+	records := lrec.NewMemStore(lrec.WithRegistry(b.Cfg.Registry),
+		lrec.WithMetrics(b.Cfg.Metrics))
 	if b.Cfg.StoreDir != "" {
-		durable, err := lrec.Open(b.Cfg.StoreDir, lrec.WithRegistry(b.Cfg.Registry))
+		durable, err := lrec.Open(b.Cfg.StoreDir,
+			lrec.WithRegistry(b.Cfg.Registry), lrec.WithMetrics(b.Cfg.Metrics))
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: open store: %w", err)
 		}
@@ -113,20 +127,63 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 		RevAssoc: make(map[string][]string),
 	}
 	stats := &BuildStats{}
+	ctx, root := pipelineCtx("build")
 
-	crawler := &webgraph.Crawler{
-		Fetcher: b.Fetcher, Store: woc.Pages, MaxPages: b.Cfg.MaxPages,
-	}
-	stats.PagesFetched, stats.FetchFailures = crawler.Crawl(seeds)
-	woc.Graph = webgraph.BuildGraph(woc.Pages)
+	b.stage(ctx, "crawl", func(context.Context) {
+		crawler := &webgraph.Crawler{
+			Fetcher: b.Fetcher, Store: woc.Pages, MaxPages: b.Cfg.MaxPages,
+		}
+		stats.PagesFetched, stats.FetchFailures = crawler.Crawl(seeds)
+		woc.Graph = webgraph.BuildGraph(woc.Pages)
+	})
 
-	cands := b.extractAll(woc.Pages)
-	stats.Candidates = len(cands)
+	var cands []*extract.Candidate
+	b.stage(ctx, "extract", func(context.Context) {
+		cands = b.extractAll(woc.Pages)
+		stats.Candidates = len(cands)
+	})
+	b.stage(ctx, "resolve", func(context.Context) {
+		b.resolveAndStore(woc, cands, stats)
+	})
+	b.stage(ctx, "link", func(context.Context) {
+		b.linkText(woc, stats)
+	})
+	b.stage(ctx, "index", func(context.Context) {
+		b.buildIndexes(woc)
+	})
 
-	b.resolveAndStore(woc, cands, stats)
-	b.linkText(woc, stats)
-	b.buildIndexes(woc)
+	root.End()
+	stats.Trace = root.Report()
+	m := b.Cfg.Metrics
+	m.Counter("build.runs").Inc()
+	m.Counter("build.pages.fetched").Add(int64(stats.PagesFetched))
+	m.Counter("build.candidates").Add(int64(stats.Candidates))
+	m.Counter("build.records.stored").Add(int64(stats.RecordsStored))
+	m.Counter("build.pages.linked").Add(int64(stats.PagesLinked))
 	return woc, stats, nil
+}
+
+// stage runs fn inside a child span of ctx named name, mirroring its
+// duration into the "<pipeline>.<name>" latency histogram (pipeline being
+// the enclosing root span: build or refresh) when metrics are on.
+func (b *Builder) stage(ctx context.Context, name string, fn func(context.Context)) {
+	sctx, span := obs.Start(ctx, name)
+	fn(sctx)
+	d := span.End()
+	prefix := "build"
+	if r, ok := ctx.Value(rootNameKey{}).(string); ok {
+		prefix = r
+	}
+	b.Cfg.Metrics.Histogram(prefix + "." + name).ObserveDuration(d)
+}
+
+type rootNameKey struct{}
+
+// pipelineCtx opens the root span for a pipeline run and tags the context
+// with its name so stage() can prefix metrics correctly.
+func pipelineCtx(name string) (context.Context, *obs.Span) {
+	ctx := context.WithValue(context.Background(), rootNameKey{}, name)
+	return obs.Start(ctx, name)
 }
 
 // extractAll runs domain-centric extraction over every site: list extraction

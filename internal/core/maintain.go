@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"conceptweb/internal/extract"
 	"conceptweb/internal/index"
 	"conceptweb/internal/lrec"
+	"conceptweb/internal/obs"
 	"conceptweb/internal/webgraph"
 )
 
@@ -24,6 +26,8 @@ type RefreshStats struct {
 	PagesGone      int // fetch failed: page removed from retrieval
 	RecordsUpdated int
 	RecordsCreated int
+	// Trace is the per-stage timing tree of the pass (refetch/extract/upsert).
+	Trace *obs.TraceReport
 }
 
 // Refresh re-fetches the given URLs against the builder's fetcher, skipping
@@ -31,31 +35,44 @@ type RefreshStats struct {
 // changed pages' candidates into existing records via entity matching.
 func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, error) {
 	stats := &RefreshStats{}
+	ctx, root := pipelineCtx("refresh")
+	defer func() {
+		root.End()
+		stats.Trace = root.Report()
+		m := b.Cfg.Metrics
+		m.Counter("refresh.runs").Inc()
+		m.Counter("refresh.pages.checked").Add(int64(stats.PagesChecked))
+		m.Counter("refresh.pages.unchanged").Add(int64(stats.PagesUnchanged))
+		m.Counter("refresh.pages.changed").Add(int64(stats.PagesChanged))
+	}()
+
 	var changed []*webgraph.Page
-	for _, u := range urls {
-		stats.PagesChecked++
-		html, err := b.Fetcher.Fetch(u)
-		if err != nil {
-			// The page is gone ("restaurants close down", §7.3): drop it
-			// from retrieval and sever its associations. Its contribution
-			// to records remains, flagged by lineage, until reconciliation
-			// or re-extraction supersedes it.
-			stats.PagesGone++
-			woc.DocIndex.Remove(u)
-			for _, id := range woc.Assoc[u] {
-				woc.RevAssoc[id] = removeString(woc.RevAssoc[id], u)
+	b.stage(ctx, "refetch", func(context.Context) {
+		for _, u := range urls {
+			stats.PagesChecked++
+			html, err := b.Fetcher.Fetch(u)
+			if err != nil {
+				// The page is gone ("restaurants close down", §7.3): drop it
+				// from retrieval and sever its associations. Its contribution
+				// to records remains, flagged by lineage, until reconciliation
+				// or re-extraction supersedes it.
+				stats.PagesGone++
+				woc.DocIndex.Remove(u)
+				for _, id := range woc.Assoc[u] {
+					woc.RevAssoc[id] = removeString(woc.RevAssoc[id], u)
+				}
+				delete(woc.Assoc, u)
+				continue
 			}
-			delete(woc.Assoc, u)
-			continue
+			p := webgraph.NewPage(u, html)
+			if !woc.Pages.Put(p) {
+				stats.PagesUnchanged++
+				continue
+			}
+			stats.PagesChanged++
+			changed = append(changed, p)
 		}
-		p := webgraph.NewPage(u, html)
-		if !woc.Pages.Put(p) {
-			stats.PagesUnchanged++
-			continue
-		}
-		stats.PagesChanged++
-		changed = append(changed, p)
-	}
+	})
 	if len(changed) == 0 {
 		return stats, nil
 	}
@@ -64,34 +81,38 @@ func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, err
 	// record pages that dominate change traffic; list items on changed pages
 	// are re-harvested too, without re-running the whole site.
 	var cands []*extract.Candidate
-	for _, p := range changed {
-		for _, d := range b.Cfg.Domains {
-			le := &extract.ListExtractor{Domain: d}
-			listCands := le.Extract(p)
-			cands = append(cands, listCands...)
-			// Detail-extract only when the page shows no listing signal: no
-			// list records now and no multi-record association from the
-			// original build (single-result listing pages keep their shape).
-			if len(listCands) == 0 && len(woc.Assoc[p.URL]) < 2 {
-				cands = append(cands, (&extract.DetailExtractor{Domain: d}).Extract(p)...)
+	b.stage(ctx, "extract", func(context.Context) {
+		for _, p := range changed {
+			for _, d := range b.Cfg.Domains {
+				le := &extract.ListExtractor{Domain: d}
+				listCands := le.Extract(p)
+				cands = append(cands, listCands...)
+				// Detail-extract only when the page shows no listing signal: no
+				// list records now and no multi-record association from the
+				// original build (single-result listing pages keep their shape).
+				if len(listCands) == 0 && len(woc.Assoc[p.URL]) < 2 {
+					cands = append(cands, (&extract.DetailExtractor{Domain: d}).Extract(p)...)
+				}
 			}
+			// Keep the document index current.
+			title := ""
+			if t := p.Doc.FindFirst("title"); t != nil {
+				title = t.Text()
+			}
+			woc.DocIndex.Add(index.Document{ID: p.URL, Fields: []index.Field{
+				{Name: "title", Text: title, Boost: 2.5},
+				{Name: "body", Text: p.Doc.Text()},
+			}})
 		}
-		// Keep the document index current.
-		title := ""
-		if t := p.Doc.FindFirst("title"); t != nil {
-			title = t.Text()
-		}
-		woc.DocIndex.Add(index.Document{ID: p.URL, Fields: []index.Field{
-			{Name: "title", Text: title, Boost: 2.5},
-			{Name: "body", Text: p.Doc.Text()},
-		}})
-	}
+	})
 
-	for _, c := range cands {
-		created, updated := b.upsert(woc, c)
-		stats.RecordsCreated += created
-		stats.RecordsUpdated += updated
-	}
+	b.stage(ctx, "upsert", func(context.Context) {
+		for _, c := range cands {
+			created, updated := b.upsert(woc, c)
+			stats.RecordsCreated += created
+			stats.RecordsUpdated += updated
+		}
+	})
 	return stats, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"conceptweb/internal/obs"
 	"conceptweb/internal/textproc"
 )
 
@@ -38,6 +39,7 @@ type Store struct {
 	logW    *bufio.Writer
 
 	registry *Registry
+	metrics  *obs.Registry // nil-safe; counts puts/gets/WAL appends/compactions
 }
 
 // StoreOption configures a Store.
@@ -51,6 +53,13 @@ func WithRegistry(r *Registry) StoreOption {
 // WithMaxVersions caps retained superseded versions per record (default 4).
 func WithMaxVersions(n int) StoreOption {
 	return func(s *Store) { s.maxVersions = n }
+}
+
+// WithMetrics attaches an observability registry; the store then counts
+// puts, gets, deletes, WAL appends, and compactions into it. A nil registry
+// keeps the store un-instrumented.
+func WithMetrics(m *obs.Registry) StoreOption {
+	return func(s *Store) { s.metrics = m }
 }
 
 // NewMemStore returns a purely in-memory store (no durability), used by
@@ -156,6 +165,7 @@ func (s *Store) Put(r *Record) error {
 			return fmt.Errorf("%w: %q", ErrUnknownConcept, r.Concept)
 		}
 	}
+	s.metrics.Counter("lrec.puts").Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cp := r.Clone()
@@ -186,6 +196,7 @@ func (s *Store) pushHistory(old *Record) {
 
 // Delete removes the record (a tombstone is logged so replay converges).
 func (s *Store) Delete(id string) error {
+	s.metrics.Counter("lrec.deletes").Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old, ok := s.recs[id]
@@ -215,6 +226,7 @@ func (s *Store) logOp(op byte, r *Record) error {
 	if err := writeFrame(s.logW, op, r); err != nil {
 		return fmt.Errorf("lrec: log write: %w", err)
 	}
+	s.metrics.Counter("lrec.wal.appends").Inc()
 	return nil
 }
 
@@ -264,6 +276,7 @@ func (s *Store) unindex(r *Record) {
 
 // Get returns a copy of the record with the given id.
 func (s *Store) Get(id string) (*Record, error) {
+	s.metrics.Counter("lrec.gets").Inc()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	r, ok := s.recs[id]
@@ -391,6 +404,7 @@ func (s *Store) Compact() error {
 	if s.dir == "" {
 		return nil
 	}
+	s.metrics.Counter("lrec.compactions").Inc()
 	tmp := filepath.Join(s.dir, snapName+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {

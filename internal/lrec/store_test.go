@@ -9,6 +9,8 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"conceptweb/internal/obs"
 )
 
 func testRecord(id, name, city string) *Record {
@@ -428,4 +430,46 @@ func TestStoreModelBased(t *testing.T) {
 	}
 	checkAgainstModel(400)
 	s.Close()
+}
+
+// TestStoreMetrics checks the observability wiring: a durable store with a
+// metrics registry counts puts, gets, deletes, WAL appends, and compactions.
+func TestStoreMetrics(t *testing.T) {
+	m := obs.NewRegistry()
+	s, err := Open(t.TempDir(), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testRecord(fmt.Sprintf("r%d", i), "N", "C")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Get("r0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("r2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	want := map[string]int64{
+		"lrec.puts": 3, "lrec.gets": 1, "lrec.deletes": 1,
+		"lrec.wal.appends": 4, // 3 puts + 1 tombstone
+		"lrec.compactions": 1,
+	}
+	for name, n := range want {
+		if got := snap.Counters[name]; got != n {
+			t.Errorf("%s = %d, want %d", name, got, n)
+		}
+	}
+
+	// An un-instrumented store keeps working with zero metric overhead.
+	plain := NewMemStore()
+	if err := plain.Put(testRecord("p", "N", "C")); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("puts")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("puts") != c {
+		t.Error("counter not shared by name")
+	}
+	g := r.Gauge("inflight")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %d, want 2", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+// TestConcurrentInstruments exercises every instrument type from many
+// goroutines; run with -race.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("ops").Inc()
+				r.Gauge("level").Add(1)
+				r.Gauge("level").Add(-1)
+				r.Histogram("lat").Observe(float64(i%100) / 1000)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					_ = r.Histogram("lat").Quantile(0.5)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("ops").Value(); got != workers*perWorker {
+		t.Errorf("ops = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("level").Value(); got != 0 {
+		t.Errorf("level = %d, want 0", got)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*perWorker {
+		t.Errorf("lat count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramQuantiles checks quantile estimates on a known uniform
+// distribution; error must stay within the enclosing bucket's width.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// Uniform over (0, 1]s in 1ms steps.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	if got, want := h.Sum(), 500.5; math.Abs(got-want) > 0.01 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	// Bucket widths around the true quantile bound the error: p50 (0.5s) sits
+	// in the (0.25, 0.5] bucket, p90 (0.9s) and p99 (0.99s) in (0.5, 1].
+	cases := []struct{ q, want, tol float64 }{
+		{0.50, 0.50, 0.25},
+		{0.90, 0.90, 0.50},
+		{0.99, 0.99, 0.50},
+		{1.00, 1.00, 0.001},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("q%v = %v, want %v ± %v", c.q, got, c.want, c.tol)
+		}
+	}
+	s := h.Snapshot()
+	if s.Min != 0.001 || s.Max != 1 {
+		t.Errorf("min/max = %v/%v, want 0.001/1", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-0.5005) > 0.001 {
+		t.Errorf("mean = %v, want 0.5005", s.Mean)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewRegistry().HistogramWith("h", []float64{1, 2})
+	h.Observe(50) // beyond the last bound
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("overflow quantile = %v, want 50 (observed max)", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	r.Time("x")()
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter = %d", got)
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	var sp *Span
+	sp.End()
+	if sp.Report() != nil {
+		t.Error("nil span report should be nil")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	ctx, root := Start(context.Background(), "build")
+	ctx2, crawl := Start(ctx, "crawl")
+	_, fetch := Start(ctx2, "fetch")
+	time.Sleep(time.Millisecond)
+	fetch.End()
+	crawl.End()
+	_, idx := Start(ctx, "index")
+	idx.End()
+	root.End()
+
+	rep := root.Report()
+	if rep.Name != "build" || len(rep.Children) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Children[0].Name != "crawl" || rep.Children[1].Name != "index" {
+		t.Errorf("children = %s, %s", rep.Children[0].Name, rep.Children[1].Name)
+	}
+	if f := rep.Find("fetch"); f == nil || f.Duration <= 0 {
+		t.Errorf("fetch = %+v", f)
+	}
+	if rep.Duration < rep.Children[0].Duration {
+		t.Error("root shorter than child")
+	}
+	table := rep.Table()
+	for _, want := range []string{"stage", "build", "  crawl", "    fetch", "100.0%"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	ctx, root := Start(context.Background(), "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := Start(ctx, "child")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Report().Children); got != 16 {
+		t.Errorf("children = %d, want 16", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Histogram("h").Observe(0.01)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 1 || back.Histograms["h"].Count != 1 {
+		t.Errorf("roundtrip = %+v", back)
+	}
+}
+
+func TestRegistryTime(t *testing.T) {
+	r := NewRegistry()
+	done := r.Time("op")
+	time.Sleep(2 * time.Millisecond)
+	done()
+	s := r.Histogram("op").Snapshot()
+	if s.Count != 1 || s.Max < 0.001 {
+		t.Errorf("timed op = %+v", s)
+	}
+}

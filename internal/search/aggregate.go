@@ -43,6 +43,8 @@ type AggregationPage struct {
 
 // Aggregate builds the aggregation page for a record ID.
 func (e *Engine) Aggregate(recordID string) (*AggregationPage, error) {
+	defer e.Metrics.Time("search.aggregate.latency")()
+	e.Metrics.Counter("search.aggregate.calls").Inc()
 	rec, err := e.Woc.Records.Get(recordID)
 	if err != nil {
 		return nil, err

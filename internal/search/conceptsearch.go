@@ -30,6 +30,8 @@ type Filter struct {
 // geographic/category constraints plus any explicit filters, ranked by
 // index score with attribute-agreement bonuses.
 func (e *Engine) ConceptSearch(query string, filters []Filter, k int) []RecordHit {
+	defer e.Metrics.Time("search.concept.latency")()
+	e.Metrics.Counter("search.concept.queries").Inc()
 	parsed := e.Parser.Parse(query)
 	// Retrieval: the raw query against the record index; for pure set
 	// queries the category+city string retrieves better than decorations

@@ -6,6 +6,7 @@ import (
 
 	"conceptweb/internal/core"
 	"conceptweb/internal/lrec"
+	"conceptweb/internal/obs"
 	"conceptweb/internal/textproc"
 )
 
@@ -23,6 +24,9 @@ type Engine struct {
 	// with it.
 	HomepageBoost float64
 	AssocBoost    float64
+	// Metrics, when non-nil, receives query counters and latency histograms
+	// for the engine's hot paths (search, concept search, aggregation).
+	Metrics *obs.Registry
 }
 
 // NewEngine builds an engine over a built web of concepts.
@@ -72,11 +76,14 @@ type ResultPage struct {
 // Search answers a query with a concept box (when triggered), augmented
 // document ranking, and query assistance.
 func (e *Engine) Search(query string, k int) *ResultPage {
+	defer e.Metrics.Time("search.latency")()
+	e.Metrics.Counter("search.queries").Inc()
 	parsed := e.Parser.Parse(query)
 	page := &ResultPage{Query: parsed, Assistance: e.Parser.SuggestAssistance(parsed)}
 
 	rec, conf := e.Trigger(parsed)
 	if rec != nil {
+		e.Metrics.Counter("search.box.triggered").Inc()
 		page.Box = e.buildBox(rec, conf)
 		// Attribute intent: surface the asked-for attribute directly in the
 		// box (§3: "users explicitly search for different attributes of a
@@ -145,6 +152,7 @@ func (e *Engine) Trigger(q Parsed) (*lrec.Record, float64) {
 // path for misspelled instance queries. The best name must be clearly
 // similar and clearly ahead of the runner-up.
 func (e *Engine) fuzzyTrigger(q Parsed) (*lrec.Record, float64) {
+	e.Metrics.Counter("search.trigger.fuzzy").Inc()
 	needle := textproc.Normalize(strings.Join(q.NameTokens, " "))
 	if needle == "" {
 		return nil, 0

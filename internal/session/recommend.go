@@ -6,6 +6,7 @@ import (
 
 	"conceptweb/internal/core"
 	"conceptweb/internal/lrec"
+	"conceptweb/internal/obs"
 	"conceptweb/internal/textproc"
 )
 
@@ -26,6 +27,8 @@ type Recommendation struct {
 // concepts.
 type Recommender struct {
 	Woc *core.WebOfConcepts
+	// Metrics, when non-nil, counts and times recommendation calls.
+	Metrics *obs.Registry
 }
 
 // Alternatives recommends substitutes for a record: same concept, same
@@ -34,6 +37,8 @@ type Recommender struct {
 // the system is to suppress recommendations that the user finds less
 // preferable overall").
 func (rc *Recommender) Alternatives(recordID string, k int) ([]Recommendation, error) {
+	defer rc.Metrics.Time("rec.alternatives.latency")()
+	rc.Metrics.Counter("rec.alternatives.calls").Inc()
 	cur, err := rc.Woc.Records.Get(recordID)
 	if err != nil {
 		return nil, err
@@ -89,6 +94,8 @@ func (rc *Recommender) Alternatives(recordID string, k int) ([]Recommendation, e
 // interest conditioned on engagement with the primary record"; no
 // suppression applies.
 func (rc *Recommender) Augmentations(recordID string, k int) ([]Recommendation, error) {
+	defer rc.Metrics.Time("rec.augmentations.latency")()
+	rc.Metrics.Counter("rec.augmentations.calls").Inc()
 	cur, err := rc.Woc.Records.Get(recordID)
 	if err != nil {
 		return nil, err

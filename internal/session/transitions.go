@@ -66,7 +66,10 @@ type Transitions struct {
 
 // NewTransitions wires the matrix over an engine.
 func NewTransitions(e *search.Engine) *Transitions {
-	return &Transitions{Woc: e.Woc, Engine: e, Rec: &Recommender{Woc: e.Woc}}
+	// The recommender inherits the engine's metrics registry so all
+	// application-layer instruments land in one namespace.
+	return &Transitions{Woc: e.Woc, Engine: e,
+		Rec: &Recommender{Woc: e.Woc, Metrics: e.Metrics}}
 }
 
 // CellName returns the technology in cell (p, q), "" for the empty cell.

@@ -18,6 +18,7 @@ import (
 
 	"conceptweb/internal/core"
 	"conceptweb/internal/lrec"
+	"conceptweb/internal/obs"
 	"conceptweb/internal/search"
 	"conceptweb/internal/session"
 	"conceptweb/internal/webgen"
@@ -67,6 +68,7 @@ type System struct {
 	engine  *search.Engine
 	trans   *session.Transitions
 	stats   *core.BuildStats
+	metrics *obs.Registry
 }
 
 // Build crawls from seeds through the fetcher and constructs the system.
@@ -77,9 +79,11 @@ func Build(fetch Fetcher, seeds []string, opts ...Option) (*System, error) {
 	}
 	reg := lrec.NewRegistry()
 	webgen.RegisterConcepts(reg)
+	metrics := obs.NewRegistry()
 	coreCfg := core.StandardConfig(reg, cfg.cities, cfg.cuisines)
 	coreCfg.MaxPages = cfg.maxPages
 	coreCfg.StoreDir = cfg.storeDir
+	coreCfg.Metrics = metrics
 	b := &core.Builder{Fetcher: webgraph.FetcherFunc(fetch), Cfg: coreCfg}
 	built, stats, err := b.Build(seeds)
 	if err != nil {
@@ -88,11 +92,23 @@ func Build(fetch Fetcher, seeds []string, opts ...Option) (*System, error) {
 	built.Reconcile("restaurant", core.PreferSupport)
 	b.EnrichMenus(built)
 	eng := search.NewEngine(built, search.NewParser(cfg.cities, cfg.cuisines))
+	eng.Metrics = metrics
 	return &System{
 		builder: b, woc: built, engine: eng,
-		trans: session.NewTransitions(eng), stats: stats,
+		trans: session.NewTransitions(eng), stats: stats, metrics: metrics,
 	}, nil
 }
+
+// Metrics returns the system's observability registry: build-stage latency
+// histograms, store counters (lrec puts/gets/WAL appends/compactions), and
+// query-layer counters and latencies. Servers can register their own
+// instruments (e.g. per-endpoint HTTP histograms) into the same registry so
+// one snapshot covers the whole system.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// BuildTrace returns the per-stage timing tree of the construction run
+// (crawl/extract/resolve/link/index); render it with Table().
+func (s *System) BuildTrace() *obs.TraceReport { return s.stats.Trace }
 
 // Stats summarizes what the build did.
 type Stats struct {
@@ -181,6 +197,7 @@ type Page struct {
 
 // Search answers a web query with concept-aware ranking.
 func (s *System) Search(query string, k int) *Page {
+	defer s.metrics.Time("api.search")()
 	res := s.engine.Search(query, k)
 	page := &Page{Assistance: res.Assistance}
 	if res.Box != nil {
@@ -208,6 +225,7 @@ type Hit struct {
 
 // ConceptSearch retrieves records (not documents) answering the query.
 func (s *System) ConceptSearch(query string, k int) []Hit {
+	defer s.metrics.Time("api.concepts")()
 	var out []Hit
 	for _, h := range s.engine.ConceptSearch(query, nil, k) {
 		out = append(out, Hit{Record: viewRecord(h.Record), Score: h.Score})
@@ -234,6 +252,7 @@ type Source struct {
 
 // Aggregate builds the aggregation page for a record.
 func (s *System) Aggregate(id string) (*Aggregation, error) {
+	defer s.metrics.Time("api.aggregate")()
 	p, err := s.engine.Aggregate(id)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -314,6 +333,7 @@ type RefreshStats struct {
 // Refresh re-fetches the given URLs, skipping extraction on unmodified pages
 // and folding changes into existing records.
 func (s *System) Refresh(urls []string) (RefreshStats, error) {
+	defer s.metrics.Time("api.refresh")()
 	st, err := s.builder.Refresh(s.woc, urls)
 	if err != nil {
 		return RefreshStats{}, err
