@@ -1,0 +1,28 @@
+# Developer entry points. CI runs the same targets; keep them in sync with
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the end-to-end construction benchmark at 1, 4, and 8 workers
+# (via -cpu, which also sets GOMAXPROCS and hence the default pool size) and
+# archives the per-stage trace metrics. -benchtime=1x -count=3 keeps it fast
+# enough for CI while still exposing run-to-run variance.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBuildPipeline' -benchtime=1x -count=3 -cpu 1,4,8 . | tee bench-pipeline.txt
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

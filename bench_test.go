@@ -709,19 +709,36 @@ func BenchmarkSearchLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildPipeline is the end-to-end construction benchmark. The
+// worker pool defaults to GOMAXPROCS, so `-cpu 1,4,8` measures the parallel
+// extract/link/index speedup directly (see EXPERIMENTS.md); per-stage wall
+// times from the build trace are reported as custom metrics, and successive
+// PRs archive the output as BENCH_*.json.
 func BenchmarkBuildPipeline(b *testing.B) {
 	cfg := webgen.DefaultConfig()
 	cfg.Restaurants = 40
 	cfg.ReviewArticles = 10
 	cfg.TVArticles = 4
 	w := webgen.Generate(cfg)
+	var stats *core.BuildStats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		reg := lrec.NewRegistry()
 		webgen.RegisterConcepts(reg)
 		bb := &core.Builder{Fetcher: w, Cfg: core.StandardConfig(reg, w.Cities(), webgen.Cuisines())}
-		if _, _, err := bb.Build(w.SeedURLs()); err != nil {
+		var err error
+		if _, stats, err = bb.Build(w.SeedURLs()); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if stats == nil || stats.Trace == nil {
+		return
+	}
+	b.ReportMetric(float64(stats.Workers), "workers")
+	for _, st := range []string{"crawl", "extract", "resolve", "link", "index"} {
+		if n := stats.Trace.Find(st); n != nil {
+			b.ReportMetric(float64(n.Duration)/1e6, st+"_ms")
 		}
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wocbuild [-seed 1] [-restaurants 120] [-out dir] [-v]
+//	wocbuild [-seed 1] [-restaurants 120] [-workers N] [-out dir] [-v]
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world generation seed")
 	restaurants := flag.Int("restaurants", 120, "number of restaurants in the world")
 	out := flag.String("out", "", "directory to persist the concept store (optional)")
+	workers := flag.Int("workers", 0, "worker-pool size for the extract/link/index stages (0 = GOMAXPROCS); output is identical at any value")
 	verbose := flag.Bool("v", false, "print the per-stage timing table and per-concept record counts")
 	flag.Parse()
 
@@ -35,7 +36,9 @@ func main() {
 
 	reg := lrec.NewRegistry()
 	webgen.RegisterConcepts(reg)
-	b := &core.Builder{Fetcher: w, Cfg: core.StandardConfig(reg, w.Cities(), webgen.Cuisines())}
+	cfgStd := core.StandardConfig(reg, w.Cities(), webgen.Cuisines())
+	cfgStd.Workers = *workers
+	b := &core.Builder{Fetcher: w, Cfg: cfgStd}
 	woc, stats, err := b.Build(w.SeedURLs())
 	if err != nil {
 		log.Fatalf("build: %v", err)
@@ -52,7 +55,7 @@ func main() {
 
 	if *verbose {
 		if stats.Trace != nil {
-			fmt.Printf("\n%s\n", stats.Trace.Table())
+			fmt.Printf("\nworkers: %d\n%s\n", stats.Workers, stats.Trace.Table())
 		}
 		for _, c := range woc.Records.Concepts() {
 			fmt.Printf("  %-12s %d records\n", c, woc.Records.CountByConcept(c))

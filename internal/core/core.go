@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"conceptweb/internal/extract"
 	"conceptweb/internal/htmlx"
@@ -39,9 +40,18 @@ type Config struct {
 	LinkThreshold float64
 	// MaxPages bounds the crawl (0 = unlimited).
 	MaxPages int
+	// Workers is the size of the worker pool the extract, link, and index
+	// stages (and Refresh's refetch/extract) fan out over; 0 or negative
+	// means runtime.GOMAXPROCS(0). Output is deterministic at any value:
+	// results fan back in by task index, so the same seed and corpus yield
+	// identical stores and indexes whether Workers is 1 or 64.
+	Workers int
 	// Gate, when non-nil, admits a page to a concept's detail extraction;
 	// build one with ClassifierGate to route only relevant pages to each
-	// domain's extractor (§4.2 relational classification).
+	// domain's extractor (§4.2 relational classification). The extract stage
+	// calls Gate from several workers at once, so implementations must be
+	// safe for concurrent use (ClassifierGate is: it only reads maps frozen
+	// at construction).
 	Gate func(concept string, p *webgraph.Page) bool
 	// StoreDir, when set, backs the concept store durably (write-ahead log
 	// plus snapshots) in that directory instead of memory.
@@ -88,6 +98,9 @@ type BuildStats struct {
 	ClustersMerged int // candidate records absorbed into clusters
 	PagesLinked    int // free-text pages linked to records
 	ReviewRecords  int
+	// Workers annotates the trace with the worker-pool size the parallel
+	// stages ran at, so recorded stage tables are comparable across runs.
+	Workers int
 	// Trace is the per-stage timing tree of the build
 	// (crawl/extract/resolve/link/index); render it with Trace.Table().
 	Trace *obs.TraceReport
@@ -126,7 +139,7 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 		Assoc:    make(map[string][]string),
 		RevAssoc: make(map[string][]string),
 	}
-	stats := &BuildStats{}
+	stats := &BuildStats{Workers: b.workers()}
 	ctx, root := pipelineCtx("build")
 
 	b.stage(ctx, "crawl", func(context.Context) {
@@ -190,9 +203,21 @@ func pipelineCtx(name string) (context.Context, *obs.Span) {
 // with template propagation, plus detail extraction on pages where no list
 // of the same concept was found (a page that lists five restaurants is not a
 // detail page about one).
+//
+// The unit of parallelism is a (host, domain) pair — per-site extraction is
+// the embarrassingly parallel unit (§7.1). Each task reads only shared
+// immutable inputs (parsed pages, the Domain value; extractor instances are
+// created per task) and writes its own result slot; slots concatenate in
+// sorted-host, declared-domain order, so candidate order — and with it every
+// downstream seq assignment — is identical at any worker count.
 func (b *Builder) extractAll(pages *webgraph.Store) []*extract.Candidate {
-	var all []*extract.Candidate
-	for _, host := range pages.Hosts() {
+	hosts := pages.Hosts()
+	type task struct {
+		sitePages []*webgraph.Page
+		domain    extract.Domain
+	}
+	tasks := make([]task, 0, len(hosts)*len(b.Cfg.Domains))
+	for _, host := range hosts {
 		var sitePages []*webgraph.Page
 		for _, u := range pages.HostPages(host) {
 			if p, err := pages.Get(u); err == nil {
@@ -200,35 +225,50 @@ func (b *Builder) extractAll(pages *webgraph.Store) []*extract.Candidate {
 			}
 		}
 		for _, d := range b.Cfg.Domains {
-			prop := &extract.SitePropagator{Inner: &extract.ListExtractor{Domain: d}}
-			listCands := prop.ExtractSite(sitePages)
-			listPages := make(map[string]int)
-			for _, c := range listCands {
-				listPages[c.SourceURL]++
+			tasks = append(tasks, task{sitePages, d})
+		}
+	}
+	results := make([][]*extract.Candidate, len(tasks))
+	parallelEach(len(tasks), b.workers(), func(i int) {
+		results[i] = b.extractSite(tasks[i].sitePages, tasks[i].domain)
+	})
+	var all []*extract.Candidate
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return all
+}
+
+// extractSite is the body of one extract task: one domain's list extraction
+// with site propagation plus detail extraction over one site's pages.
+func (b *Builder) extractSite(sitePages []*webgraph.Page, d extract.Domain) []*extract.Candidate {
+	prop := &extract.SitePropagator{Inner: &extract.ListExtractor{Domain: d}}
+	listCands := prop.ExtractSite(sitePages)
+	listPages := make(map[string]int)
+	for _, c := range listCands {
+		listPages[c.SourceURL]++
+	}
+	all := listCands
+	det := &extract.DetailExtractor{Domain: d}
+	for _, p := range sitePages {
+		if listPages[p.URL] >= 1 {
+			// The page yielded list records of this concept: it is a
+			// listing (even a single-result one), not a detail page.
+			continue
+		}
+		if b.Cfg.Gate != nil && !b.Cfg.Gate(d.Concept, p) {
+			continue // classification routed this page elsewhere
+		}
+		for _, c := range det.Extract(p) {
+			if p.Path == "/" {
+				// A detail page at a site root is the instance's own
+				// homepage.
+				c.Add("homepage", p.URL, 0.9)
 			}
-			all = append(all, listCands...)
-			det := &extract.DetailExtractor{Domain: d}
-			for _, p := range sitePages {
-				if listPages[p.URL] >= 1 {
-					// The page yielded list records of this concept: it is a
-					// listing (even a single-result one), not a detail page.
-					continue
-				}
-				if b.Cfg.Gate != nil && !b.Cfg.Gate(d.Concept, p) {
-					continue // classification routed this page elsewhere
-				}
-				for _, c := range det.Extract(p) {
-					if p.Path == "/" {
-						// A detail page at a site root is the instance's own
-						// homepage.
-						c.Add("homepage", p.URL, 0.9)
-					}
-					if hp := officialSiteLink(p); hp != "" {
-						c.Add("homepage", hp, 0.8)
-					}
-					all = append(all, c)
-				}
+			if hp := officialSiteLink(p); hp != "" {
+				c.Add("homepage", hp, 0.8)
 			}
+			all = append(all, c)
 		}
 	}
 	return all
@@ -357,20 +397,32 @@ func (b *Builder) associate(woc *WebOfConcepts, r *lrec.Record) {
 	}
 }
 
+// appendUnique inserts v into the sorted list if absent, keeping it sorted.
+// Insertion at the right position replaces the old append-then-sort, which
+// re-sorted the whole slice on every call (O(n² log n) across a build).
 func appendUnique(list []string, v string) []string {
-	for _, x := range list {
-		if x == v {
-			return list
-		}
+	i := sort.SearchStrings(list, v)
+	if i < len(list) && list[i] == v {
+		return list
 	}
-	list = append(list, v)
-	sort.Strings(list)
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = v
 	return list
 }
 
 // linkText runs semantic linking (§5.4): pages that produced no structured
 // records but whose text matches a stored record become review/mention
 // records linked to their subject.
+//
+// The matcher is built once and its read path (Best/Match) is goroutine-
+// safe, so pages are scored across the worker pool; all mutation —
+// Assoc/RevAssoc entries and review-record Puts, including their NextSeq
+// stamps — happens in a single apply phase that walks the scoring results
+// in sorted-URL order, keeping seq assignment deterministic. Scoring reads
+// woc.Assoc concurrently, which is safe because the apply phase has not
+// started and no other stage runs: each page's skip decision depends only
+// on extraction-time associations, never on another page's link.
 func (b *Builder) linkText(woc *WebOfConcepts, stats *BuildStats) {
 	linkConcepts := b.Cfg.LinkConcepts
 	if len(linkConcepts) == 0 {
@@ -388,69 +440,128 @@ func (b *Builder) linkText(woc *WebOfConcepts, stats *BuildStats) {
 		return
 	}
 	tm := match.NewTextMatcher(corpus)
-	reviewN := 0
-	woc.Pages.Scan(func(p *webgraph.Page) bool {
+
+	type hit struct {
+		url     string
+		recID   string
+		snippet string
+	}
+	urls := woc.Pages.URLs()
+	hits := make([]*hit, len(urls))
+	parallelEach(len(urls), b.workers(), func(i int) {
+		p, err := woc.Pages.Get(urls[i])
+		if err != nil {
+			return
+		}
 		if len(woc.Assoc[p.URL]) > 0 {
-			return true // already associated through extraction
+			return // already associated through extraction
 		}
 		text := pageMainText(p)
 		if len(text) < 40 {
-			return true
+			return
 		}
 		best, ok := tm.Best(text, threshold)
 		if !ok {
-			return true
+			return
+		}
+		hits[i] = &hit{url: p.URL, recID: best.ID, snippet: truncateBytes(text, 280)}
+	})
+
+	for _, h := range hits {
+		if h == nil {
+			continue
 		}
 		stats.PagesLinked++
-		woc.Assoc[p.URL] = appendUnique(woc.Assoc[p.URL], best.ID)
-		woc.RevAssoc[best.ID] = appendUnique(woc.RevAssoc[best.ID], p.URL)
+		woc.Assoc[h.url] = appendUnique(woc.Assoc[h.url], h.recID)
+		woc.RevAssoc[h.recID] = appendUnique(woc.RevAssoc[h.recID], h.url)
 		// Store a review record for the linked mention.
-		reviewN++
-		rev := lrec.NewRecord(fmt.Sprintf("review:%s", textproc.NormalizeKey(p.URL)), "review")
+		rev := lrec.NewRecord(fmt.Sprintf("review:%s", textproc.NormalizeKey(h.url)), "review")
 		seq := woc.Records.NextSeq()
 		add := func(key, val string, conf float64) {
 			rev.Add(key, lrec.AttrValue{Value: val, Confidence: conf,
-				Prov: lrec.Provenance{SourceURL: p.URL, Operators: []string{"textmatch"}, Seq: seq}})
+				Prov: lrec.Provenance{SourceURL: h.url, Operators: []string{"textmatch"}, Seq: seq}})
 		}
-		snippet := text
-		if len(snippet) > 280 {
-			snippet = snippet[:280]
-		}
-		add("text", snippet, 0.9)
-		add("about", best.ID, 0.8)
-		add("source", p.URL, 1)
+		add("text", h.snippet, 0.9)
+		add("about", h.recID, 0.8)
+		add("source", h.url, 1)
 		if err := woc.Records.Put(rev); err == nil {
 			stats.ReviewRecords++
 		}
-		return true
-	})
+	}
 }
 
-// buildIndexes fills the document and record inverted indexes.
+// truncateBytes cuts s to at most max bytes without splitting a multi-byte
+// UTF-8 rune: the cut backs up to the nearest rune boundary.
+func truncateBytes(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut]
+}
+
+// buildIndexes fills the document and record inverted indexes. Analysis
+// (DOM text flattening + tokenization, the expensive part) fans out over the
+// worker pool via index.Prepare; the prepared postings merge under the index
+// lock in sorted doc-ID order, so internal doc and field numbering — and
+// hence serialized index state — is identical at any worker count.
 func (b *Builder) buildIndexes(woc *WebOfConcepts) {
-	woc.Pages.Scan(func(p *webgraph.Page) bool {
-		title := ""
-		if t := p.Doc.FindFirst("title"); t != nil {
-			title = t.Text()
+	w := b.workers()
+
+	urls := woc.Pages.URLs()
+	docs := make([]index.PreparedDoc, len(urls))
+	parallelEach(len(urls), w, func(i int) {
+		p, err := woc.Pages.Get(urls[i])
+		if err != nil {
+			return
 		}
-		woc.DocIndex.Add(index.Document{ID: p.URL, Fields: []index.Field{
-			{Name: "title", Text: title, Boost: 2.5},
-			{Name: "body", Text: p.Doc.Text()},
-		}})
-		return true
+		docs[i] = index.Prepare(pageDocument(p))
 	})
+	for _, pd := range docs {
+		if pd.ID != "" {
+			woc.DocIndex.AddPrepared(pd)
+		}
+	}
+
+	var recs []*lrec.Record
 	woc.Records.Scan(func(r *lrec.Record) bool {
-		if r.Concept == "review" {
-			return true // reviews are reachable via their subject
+		if r.Concept != "review" { // reviews are reachable via their subject
+			recs = append(recs, r)
 		}
-		name := r.Get("name")
-		if name == "" {
-			name = r.Get("title")
-		}
-		woc.RecIndex.Add(index.Document{ID: r.ID, Fields: []index.Field{
-			{Name: "name", Text: name, Boost: 3},
-			{Name: "attrs", Text: r.FlatText()},
-		}})
 		return true
 	})
+	rdocs := make([]index.PreparedDoc, len(recs))
+	parallelEach(len(recs), w, func(i int) {
+		rdocs[i] = index.Prepare(recordDocument(recs[i]))
+	})
+	for _, pd := range rdocs {
+		woc.RecIndex.AddPrepared(pd)
+	}
+}
+
+// pageDocument shapes a page for the document index.
+func pageDocument(p *webgraph.Page) index.Document {
+	title := ""
+	if t := p.Doc.FindFirst("title"); t != nil {
+		title = t.Text()
+	}
+	return index.Document{ID: p.URL, Fields: []index.Field{
+		{Name: "title", Text: title, Boost: 2.5},
+		{Name: "body", Text: p.Doc.Text()},
+	}}
+}
+
+// recordDocument shapes a flattened lrec for the record index.
+func recordDocument(r *lrec.Record) index.Document {
+	name := r.Get("name")
+	if name == "" {
+		name = r.Get("title")
+	}
+	return index.Document{ID: r.ID, Fields: []index.Field{
+		{Name: "name", Text: name, Boost: 3},
+		{Name: "attrs", Text: r.FlatText()},
+	}}
 }

@@ -26,6 +26,9 @@ type RefreshStats struct {
 	PagesGone      int // fetch failed: page removed from retrieval
 	RecordsUpdated int
 	RecordsCreated int
+	// Workers annotates the pass with the worker-pool size the parallel
+	// refetch/extract stages ran at.
+	Workers int
 	// Trace is the per-stage timing tree of the pass (refetch/extract/upsert).
 	Trace *obs.TraceReport
 }
@@ -33,8 +36,13 @@ type RefreshStats struct {
 // Refresh re-fetches the given URLs against the builder's fetcher, skipping
 // extraction for unmodified pages (content-hash comparison) and folding
 // changed pages' candidates into existing records via entity matching.
+//
+// Refetch (fetch + parse) and re-extraction fan out over the same worker
+// pool as Build, fanning back in by task index: store/index mutations and
+// upserts apply in input-URL order, so a refresh is deterministic at any
+// Config.Workers value.
 func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, error) {
-	stats := &RefreshStats{}
+	stats := &RefreshStats{Workers: b.workers()}
 	ctx, root := pipelineCtx("refresh")
 	defer func() {
 		root.End()
@@ -48,10 +56,17 @@ func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, err
 
 	var changed []*webgraph.Page
 	b.stage(ctx, "refetch", func(context.Context) {
-		for _, u := range urls {
+		// Fetch + parse in parallel; apply results in input-URL order.
+		pages := make([]*webgraph.Page, len(urls))
+		parallelEach(len(urls), b.workers(), func(i int) {
+			if html, err := b.Fetcher.Fetch(urls[i]); err == nil {
+				pages[i] = webgraph.NewPage(urls[i], html)
+			}
+		})
+		for i, u := range urls {
 			stats.PagesChecked++
-			html, err := b.Fetcher.Fetch(u)
-			if err != nil {
+			p := pages[i]
+			if p == nil {
 				// The page is gone ("restaurants close down", §7.3): drop it
 				// from retrieval and sever its associations. Its contribution
 				// to records remains, flagged by lineage, until reconciliation
@@ -64,7 +79,6 @@ func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, err
 				delete(woc.Assoc, u)
 				continue
 			}
-			p := webgraph.NewPage(u, html)
 			if !woc.Pages.Put(p) {
 				stats.PagesUnchanged++
 				continue
@@ -82,27 +96,31 @@ func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, err
 	// are re-harvested too, without re-running the whole site.
 	var cands []*extract.Candidate
 	b.stage(ctx, "extract", func(context.Context) {
-		for _, p := range changed {
+		type result struct {
+			cands []*extract.Candidate
+			doc   index.PreparedDoc
+		}
+		results := make([]result, len(changed))
+		parallelEach(len(changed), b.workers(), func(i int) {
+			p := changed[i]
+			var pc []*extract.Candidate
 			for _, d := range b.Cfg.Domains {
 				le := &extract.ListExtractor{Domain: d}
 				listCands := le.Extract(p)
-				cands = append(cands, listCands...)
+				pc = append(pc, listCands...)
 				// Detail-extract only when the page shows no listing signal: no
 				// list records now and no multi-record association from the
 				// original build (single-result listing pages keep their shape).
 				if len(listCands) == 0 && len(woc.Assoc[p.URL]) < 2 {
-					cands = append(cands, (&extract.DetailExtractor{Domain: d}).Extract(p)...)
+					pc = append(pc, (&extract.DetailExtractor{Domain: d}).Extract(p)...)
 				}
 			}
-			// Keep the document index current.
-			title := ""
-			if t := p.Doc.FindFirst("title"); t != nil {
-				title = t.Text()
-			}
-			woc.DocIndex.Add(index.Document{ID: p.URL, Fields: []index.Field{
-				{Name: "title", Text: title, Boost: 2.5},
-				{Name: "body", Text: p.Doc.Text()},
-			}})
+			// Keep the document index current: analyze here, merge in order.
+			results[i] = result{cands: pc, doc: index.Prepare(pageDocument(p))}
+		})
+		for _, r := range results {
+			cands = append(cands, r.cands...)
+			woc.DocIndex.AddPrepared(r.doc)
 		}
 	})
 
@@ -174,14 +192,7 @@ func removeString(list []string, v string) []string {
 }
 
 func (b *Builder) indexRecord(woc *WebOfConcepts, r *lrec.Record) {
-	name := r.Get("name")
-	if name == "" {
-		name = r.Get("title")
-	}
-	woc.RecIndex.Add(index.Document{ID: r.ID, Fields: []index.Field{
-		{Name: "name", Text: name, Boost: 3},
-		{Name: "attrs", Text: r.FlatText()},
-	}})
+	woc.RecIndex.Add(recordDocument(r))
 }
 
 // ConflictResolution names the policy Reconcile applies to over-full

@@ -13,6 +13,11 @@ import (
 // and statistical constraints to decide which repeated structures are lists
 // of records of the target concept, and to extract those records — fully
 // unsupervised and site-independent.
+//
+// A ListExtractor holds no mutable state: Extract reads only the page and
+// the Domain, whose recognizers close over data frozen at construction
+// (compiled regexps, gazetteer maps). A Domain value may therefore be shared
+// by extractors running concurrently on different goroutines.
 type ListExtractor struct {
 	Domain Domain
 	// MinItems is the minimum number of repeated siblings to consider a
@@ -290,7 +295,8 @@ func countDistinct(rec Recognizer, text string) int {
 // biz page, an official homepage, a portal leaf): the page-level analogue of
 // list extraction, using the same domain knowledge. The multiplicity
 // constraints are what tell a detail page apart from a listing page —
-// a page with five zip codes is not about one restaurant.
+// a page with five zip codes is not about one restaurant. Like
+// ListExtractor, it is stateless and safe to run concurrently.
 type DetailExtractor struct {
 	Domain Domain
 }

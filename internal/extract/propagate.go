@@ -16,6 +16,14 @@ import (
 // restaurant still uses the site's result template — and is the "leverage
 // extraction efforts across sources within a site" idea of §7.2 applied at
 // the smallest scale.
+//
+// Concurrency audit (for the parallel build pipeline): ExtractSite keeps all
+// mutable state — the trusted-signature set, the dedup set, the leftovers
+// list — local to the call; the propagator itself holds only the Inner
+// extractor. One SitePropagator value must not be shared across concurrent
+// ExtractSite calls for different sites only because callers conventionally
+// construct one per (site, domain) task; nothing in the struct would break,
+// but per-task construction keeps the invariant obvious and free.
 type SitePropagator struct {
 	Inner *ListExtractor
 }

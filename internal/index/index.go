@@ -83,11 +83,50 @@ func tokenize(s string) []string {
 	return textproc.StemAll(textproc.Tokenize(s))
 }
 
+// PreparedField is one analyzed field of a PreparedDoc.
+type PreparedField struct {
+	Name  string
+	Boost float64
+	Toks  []string
+}
+
+// PreparedDoc is a document analyzed outside the index lock: Prepare runs
+// tokenization (the expensive part of Add) and AddPrepared merges the
+// result. Parallel builders analyze documents across workers and call
+// AddPrepared in sorted doc-ID order so internal doc and field numbering
+// stays deterministic regardless of worker count.
+type PreparedDoc struct {
+	ID     string
+	Fields []PreparedField
+}
+
+// Prepare analyzes doc for a later AddPrepared. It touches no index state
+// and is safe to call from any goroutine.
+func Prepare(doc Document) PreparedDoc {
+	pd := PreparedDoc{ID: doc.ID, Fields: make([]PreparedField, 0, len(doc.Fields))}
+	for _, f := range doc.Fields {
+		boost := f.Boost
+		if boost <= 0 {
+			boost = 1
+		}
+		pd.Fields = append(pd.Fields, PreparedField{
+			Name: f.Name, Boost: boost, Toks: tokenize(f.Text),
+		})
+	}
+	return pd
+}
+
 // Add indexes doc. Re-adding an existing ID replaces the old version
 // logically: the old postings remain but are remapped away, so callers that
 // churn heavily should rebuild; the maintenance layer (§7.3) tracks changes
-// at a higher level.
+// at a higher level. Add is Prepare + AddPrepared.
 func (ix *Index) Add(doc Document) {
+	ix.AddPrepared(Prepare(doc))
+}
+
+// AddPrepared indexes a document analyzed earlier with Prepare, holding the
+// lock only for the merge.
+func (ix *Index) AddPrepared(doc PreparedDoc) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	n, exists := ix.byExt[doc.ID]
@@ -124,13 +163,9 @@ func (ix *Index) Add(doc Document) {
 		if !ok {
 			fn = len(ix.fields)
 			ix.fieldNum[f.Name] = fn
-			boost := f.Boost
-			if boost <= 0 {
-				boost = 1
-			}
-			ix.fields = append(ix.fields, fieldStats{name: f.Name, boost: boost})
+			ix.fields = append(ix.fields, fieldStats{name: f.Name, boost: f.Boost})
 		}
-		toks := tokenize(f.Text)
+		toks := f.Toks
 		for len(ix.docLens[n]) <= fn {
 			ix.docLens[n] = append(ix.docLens[n], 0)
 		}

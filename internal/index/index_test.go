@@ -257,3 +257,47 @@ func TestRemoveAffectsDF(t *testing.T) {
 		t.Errorf("DF %d -> %d, want decrement", before, after)
 	}
 }
+
+// TestAddPreparedMatchesAdd is the parallel-build contract: preparing
+// documents concurrently and merging them in the same order must produce an
+// index indistinguishable from sequential Add — same stats, same rankings.
+func TestAddPreparedMatchesAdd(t *testing.T) {
+	docs := []Document{
+		doc("d1", "Gochi Fusion Tapas", "japanese izakaya in cupertino with small plates and sake"),
+		doc("d2", "Birk's Steakhouse", "american steak house in santa clara near zipcode 95054"),
+		doc("d3", "Pizza My Heart", "pizza by the slice in cupertino and san jose"),
+		doc("d4", "Cupertino city guide", "restaurants parks and schools of cupertino california"),
+	}
+	seq := New()
+	for _, d := range docs {
+		seq.Add(d)
+	}
+
+	par := New()
+	prepared := make([]PreparedDoc, len(docs))
+	var wg sync.WaitGroup
+	for i := range docs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prepared[i] = Prepare(docs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, pd := range prepared {
+		par.AddPrepared(pd)
+	}
+
+	if seq.Len() != par.Len() || seq.Terms() != par.Terms() {
+		t.Fatalf("stats diverge: %d/%d docs, %d/%d terms",
+			seq.Len(), par.Len(), seq.Terms(), par.Terms())
+	}
+	for _, q := range []string{"cupertino", "gochi cupertino", "pizza slice", "steak 95054"} {
+		if !reflect.DeepEqual(seq.Search(q, 10), par.Search(q, 10)) {
+			t.Errorf("Search(%q) diverges between Add and AddPrepared", q)
+		}
+		if !reflect.DeepEqual(seq.SearchPhrase(q), par.SearchPhrase(q)) {
+			t.Errorf("SearchPhrase(%q) diverges between Add and AddPrepared", q)
+		}
+	}
+}

@@ -14,6 +14,13 @@ import (
 // over its attribute tokens, weighted per attribute (name tokens count more
 // than menu tokens); a document is scored by the smoothed mixture of the
 // record model and a background model built from the whole record corpus.
+//
+// All state (per-record models, background model, inverted token index) is
+// frozen by NewTextMatcher; Match and Best only read it, so one matcher is
+// safe for any number of concurrent scoring goroutines — the link stage of
+// the parallel build pipeline builds the matcher once and fans page scoring
+// out over its worker pool. Mutating the exported tuning fields after
+// construction is not synchronized; set them before sharing the matcher.
 type TextMatcher struct {
 	// Lambda is the record-model mixture weight (default 0.7).
 	Lambda float64

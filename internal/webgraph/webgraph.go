@@ -85,7 +85,10 @@ func NewPage(url, html string) *Page {
 	}
 }
 
-// Store holds crawled pages, indexed by URL and host. Safe for concurrent use.
+// Store holds crawled pages, indexed by URL and host. Safe for concurrent
+// use. Pages themselves (and their parsed htmlx DOMs) are immutable once
+// stored and cache nothing lazily, so the build pipeline's workers may read
+// the same *Page — including walking its Doc — from many goroutines at once.
 type Store struct {
 	mu     sync.RWMutex
 	pages  map[string]*Page
