@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet
+.PHONY: build test race bench crashtest fmt vet
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# crashtest runs the store's fault-injection and crash-recovery suites under
+# the race detector: crash-at-every-truncation-point replay, write kills at
+# every byte offset, syscall faults on every Compact step, and the codec
+# corruption matrix. -count=1 defeats test caching so CI always re-proves
+# the durability contract.
+crashtest:
+	$(GO) test -race -count=1 -v \
+		-run 'Crash|Fault|Torn|Recovery|Corrupt|Degraded|Killed|Seq|Frame' \
+		./internal/lrec/
 
 # bench runs the end-to-end construction benchmark at 1, 4, and 8 workers
 # (via -cpu, which also sets GOMAXPROCS and hence the default pool size) and

@@ -67,6 +67,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("open store: %v", err)
 		}
+		if rec := durable.Recovery(); rec.SnapshotRecords > 0 || rec.LogFrames > 0 || rec.TornTail {
+			fmt.Printf("store recovery: %d snapshot records, %d log frames replayed\n",
+				rec.SnapshotRecords, rec.LogFrames)
+			if rec.TornTail {
+				fmt.Printf("store recovery: truncated %d-byte torn log tail (previous process crashed mid-append)\n",
+					rec.TruncatedBytes)
+			}
+		}
 		n := 0
 		woc.Records.Scan(func(r *lrec.Record) bool {
 			if err := durable.Put(r); err != nil {

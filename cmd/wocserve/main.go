@@ -57,6 +57,9 @@ func main() {
 		log.Fatalf("build: %v", err)
 	}
 	log.Printf("built: %+v", sys.Stats())
+	if sh := sys.StoreHealth(); sh.TornTailRepaired {
+		log.Printf("store recovery: truncated %d-byte torn log tail (previous process crashed mid-append)", sh.TruncatedBytes)
+	}
 	if tr := sys.BuildTrace(); tr != nil {
 		log.Printf("build stages:\n%s", tr.Table())
 	}
@@ -165,7 +168,18 @@ func newMux(sys *woc.System, enablePprof bool) *http.ServeMux {
 	}
 
 	handle("healthz", func(rw http.ResponseWriter, r *http.Request) {
-		writeJSON(rw, http.StatusOK, map[string]any{"ok": true, "stats": sys.Stats()})
+		// A degraded store still serves reads, but the instance should be
+		// rotated out and restarted so recovery can rerun: report 503.
+		store := sys.StoreHealth()
+		code := http.StatusOK
+		if store.Degraded != "" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(rw, code, map[string]any{
+			"ok":    store.Degraded == "",
+			"stats": sys.Stats(),
+			"store": store,
+		})
 	})
 	handle("search", func(rw http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")

@@ -101,6 +101,11 @@ type BuildStats struct {
 	// Workers annotates the trace with the worker-pool size the parallel
 	// stages ran at, so recorded stage tables are comparable across runs.
 	Workers int
+	// StoreRecovery reports what opening the durable store found and
+	// repaired (snapshot/log frames replayed, torn-tail truncation); nil
+	// for in-memory builds. A repaired torn tail is worth surfacing: it
+	// means the previous process died mid-append.
+	StoreRecovery *lrec.RecoveryStats
 	// Trace is the per-stage timing tree of the build
 	// (crawl/extract/resolve/link/index); render it with Trace.Table().
 	Trace *obs.TraceReport
@@ -122,6 +127,7 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 	}
 	records := lrec.NewMemStore(lrec.WithRegistry(b.Cfg.Registry),
 		lrec.WithMetrics(b.Cfg.Metrics))
+	var storeRecovery *lrec.RecoveryStats
 	if b.Cfg.StoreDir != "" {
 		durable, err := lrec.Open(b.Cfg.StoreDir,
 			lrec.WithRegistry(b.Cfg.Registry), lrec.WithMetrics(b.Cfg.Metrics))
@@ -129,6 +135,8 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 			return nil, nil, fmt.Errorf("core: open store: %w", err)
 		}
 		records = durable
+		rec := durable.Recovery()
+		storeRecovery = &rec
 	}
 	woc := &WebOfConcepts{
 		Registry: b.Cfg.Registry,
@@ -139,7 +147,7 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 		Assoc:    make(map[string][]string),
 		RevAssoc: make(map[string][]string),
 	}
-	stats := &BuildStats{Workers: b.workers()}
+	stats := &BuildStats{Workers: b.workers(), StoreRecovery: storeRecovery}
 	ctx, root := pipelineCtx("build")
 
 	b.stage(ctx, "crawl", func(context.Context) {

@@ -21,13 +21,28 @@ import (
 //	prov   := sourceURL seq(uvarint) nops(uvarint) { op } *
 //	string := len(uvarint) bytes
 //
-// A torn final frame (short read or CRC mismatch) terminates replay
-// cleanly — the standard write-ahead-log recovery contract.
+// A torn final frame (short read or CRC mismatch with nothing valid after
+// it) terminates replay cleanly and is truncated away before new appends —
+// the standard write-ahead-log recovery contract. A bad frame *followed by*
+// valid frames is mid-log corruption and refuses to open (ErrCorrupt):
+// truncating there would silently discard acknowledged writes.
 
 // Operation codes in log frames.
 const (
 	opPut    = 1
 	opDelete = 2
+	// opSeq persists the store's logical clock without touching any record.
+	// Compact writes one as the snapshot's first frame: the snapshot holds
+	// only live records, so if the newest mutation was a Delete its
+	// tombstone (and version) would otherwise vanish and a reopened store
+	// would reuse version numbers. The carried Record has only Version set.
+	opSeq = 3
+)
+
+// Frame geometry shared by writeFrame, readFrame, and the recovery scanner.
+const (
+	frameHdrSize = 8       // length(u32) + crc32(u32)
+	maxFrameLen  = 1 << 28 // sanity bound on payload length
 )
 
 // ErrCorrupt reports a damaged (non-torn-tail) frame.
@@ -230,33 +245,60 @@ func writeFrame(w io.Writer, op byte, r *Record) error {
 // errTornTail signals a clean end-of-log (torn final frame), not corruption.
 var errTornTail = errors.New("lrec: torn tail")
 
-// readFrame reads one frame. io.EOF means a clean end; errTornTail means the
-// file ends mid-frame (crash during write) and replay should stop silently.
-func readFrame(br *bufio.Reader) (op byte, r *Record, err error) {
-	var hdr [8]byte
+// readFrame reads one frame, reporting its on-disk size n on success.
+// io.EOF means a clean end; errTornTail means the bytes at the current
+// offset are not a complete valid frame (short read, implausible length, or
+// CRC mismatch). Whether that is a true torn tail (crash mid-append — safe
+// to truncate) or mid-log corruption (valid frames follow — must refuse to
+// open) is decided by the caller, which can see the rest of the file.
+func readFrame(br *bufio.Reader) (op byte, r *Record, n int64, err error) {
+	var hdr [frameHdrSize]byte
 	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
-		return 0, nil, io.EOF
+		return 0, nil, 0, io.EOF
 	}
 	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
-		return 0, nil, errTornTail
+		return 0, nil, 0, errTornTail
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:])
 	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-	if length == 0 || length > 1<<28 {
-		return 0, nil, errTornTail
+	if length == 0 || length > maxFrameLen {
+		return 0, nil, 0, errTornTail
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(br, payload); err != nil {
-		return 0, nil, errTornTail
+		return 0, nil, 0, errTornTail
 	}
 	if crc32.Checksum(payload, crcTable) != wantCRC {
-		return 0, nil, errTornTail
+		return 0, nil, 0, errTornTail
 	}
 	d := decoder{buf: payload}
 	op = d.u8()
 	rec := d.record()
 	if d.err != nil {
-		return 0, nil, d.err
+		return 0, nil, 0, d.err
 	}
-	return op, rec, nil
+	return op, rec, int64(frameHdrSize) + int64(length), nil
+}
+
+// scanValidFrame reports the offset of the first complete CRC-valid frame in
+// rem, scanning from offset 1 (offset 0 is where frame parsing just failed),
+// or -1 if none exists. A CRC-valid frame after a bad one is conclusive
+// evidence of mid-log corruption rather than a torn tail: truncating there
+// would discard acknowledged writes, so recovery must refuse instead.
+func scanValidFrame(rem []byte) int64 {
+	for i := 1; i+frameHdrSize <= len(rem); i++ {
+		length := binary.LittleEndian.Uint32(rem[i:])
+		if length == 0 || length > maxFrameLen {
+			continue
+		}
+		end := i + frameHdrSize + int(length)
+		if end > len(rem) {
+			continue
+		}
+		want := binary.LittleEndian.Uint32(rem[i+4:])
+		if crc32.Checksum(rem[i+frameHdrSize:end], crcTable) == want {
+			return int64(i)
+		}
+	}
+	return -1
 }

@@ -1,0 +1,176 @@
+package lrec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// frameBytes encodes one framed op for corruption tests.
+func frameBytes(t *testing.T, op byte, r *Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, op, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readFrameFrom(b []byte) (byte, *Record, int64, error) {
+	return readFrame(bufio.NewReader(bytes.NewReader(b)))
+}
+
+func TestReadFrameReportsSize(t *testing.T) {
+	enc := frameBytes(t, opPut, testRecord("id", "Name", "City"))
+	op, r, n, err := readFrameFrom(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != opPut || r.ID != "id" {
+		t.Errorf("op=%d r=%v", op, r)
+	}
+	if n != int64(len(enc)) {
+		t.Errorf("n = %d, want %d", n, len(enc))
+	}
+}
+
+// TestReadFrameCRCFlip: flipping any single payload byte must fail the CRC
+// and surface as errTornTail (the replay layer decides whether that means a
+// truncatable tail or refusal, based on what follows).
+func TestReadFrameCRCFlip(t *testing.T) {
+	enc := frameBytes(t, opPut, testRecord("id", "Gochi", "Cupertino"))
+	for i := frameHdrSize; i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x01
+		if _, _, _, err := readFrameFrom(bad); err != errTornTail {
+			t.Fatalf("flip at %d: err = %v, want errTornTail", i, err)
+		}
+	}
+}
+
+// TestReadFrameHeaderCorruption: header damage (length or CRC field) must
+// never be accepted, whatever it decodes to.
+func TestReadFrameHeaderCorruption(t *testing.T) {
+	enc := frameBytes(t, opPut, testRecord("id", "Gochi", "Cupertino"))
+	for i := 0; i < frameHdrSize; i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0xFF
+		if _, _, _, err := readFrameFrom(bad); err == nil {
+			t.Fatalf("header flip at %d accepted", i)
+		}
+	}
+}
+
+// TestReadFrameOversizeLength: an implausible length prefix (zero, or past
+// the sanity bound) is rejected without attempting a giant allocation.
+func TestReadFrameOversizeLength(t *testing.T) {
+	for _, length := range []uint32{0, maxFrameLen + 1, 1<<32 - 1} {
+		var hdr [frameHdrSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:], length)
+		binary.LittleEndian.PutUint32(hdr[4:], 0xDEADBEEF)
+		if _, _, _, err := readFrameFrom(hdr[:]); err != errTornTail {
+			t.Errorf("length %d: err = %v, want errTornTail", length, err)
+		}
+	}
+}
+
+// TestReadFrameTruncationEveryBoundary: a frame cut at every possible byte
+// is either a clean EOF (nothing read) or a torn tail — never an accepted
+// frame and never a panic.
+func TestReadFrameTruncationEveryBoundary(t *testing.T) {
+	enc := frameBytes(t, opPut, testRecord("id", "café 饺子馆", "Cupertino"))
+	for cut := 0; cut < len(enc); cut++ {
+		_, _, _, err := readFrameFrom(enc[:cut])
+		switch {
+		case cut == 0:
+			if err != io.EOF {
+				t.Fatalf("cut 0: err = %v, want io.EOF", err)
+			}
+		default:
+			if err != errTornTail {
+				t.Fatalf("cut %d: err = %v, want errTornTail", cut, err)
+			}
+		}
+	}
+	// Two frames cut inside the second: first survives, second is torn.
+	two := append(append([]byte(nil), enc...), enc...)
+	br := bufio.NewReader(bytes.NewReader(two[:len(enc)+5]))
+	if _, _, _, err := readFrame(br); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if _, _, _, err := readFrame(br); err != errTornTail {
+		t.Fatalf("second frame: err = %v, want errTornTail", err)
+	}
+}
+
+// TestEncodeDecodeMultibyte: a record whose every string field holds
+// multibyte UTF-8 must round-trip bit-exactly through EncodeRecord /
+// DecodeRecord and through framing.
+func TestEncodeDecodeMultibyte(t *testing.T) {
+	r := NewRecord("идентификатор-🍜", "restaurante-日本")
+	r.Version = 42
+	r.Add("nom", AttrValue{
+		Value:      "Gochi 餃子館 — crème brûlée 🥟",
+		Confidence: 0.75,
+		Support:    3,
+		Prov: Provenance{
+			SourceURL: "welp.example/ビジネス/ぎょうざ",
+			Operators: []string{"liste-extraktion", "συνταίριασμα"},
+			Seq:       7,
+		},
+	})
+	r.Add("ville", AttrValue{Value: "Köln", Confidence: 1})
+
+	got, err := DecodeRecord(EncodeRecord(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != r.ID || got.Concept != r.Concept || got.Version != r.Version ||
+		!reflect.DeepEqual(got.Attrs, r.Attrs) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", r, got)
+	}
+
+	op, fr, _, err := readFrameFrom(frameBytes(t, opDelete, r))
+	if err != nil || op != opDelete {
+		t.Fatalf("framed round trip: op=%d err=%v", op, err)
+	}
+	if fr.ID != r.ID || !reflect.DeepEqual(fr.Attrs, r.Attrs) {
+		t.Fatal("framed round trip mismatch")
+	}
+}
+
+// TestReadFrameValidCRCBadPayload: a frame whose CRC matches but whose
+// payload does not decode is ErrCorrupt — real damage, not a torn tail.
+func TestReadFrameValidCRCBadPayload(t *testing.T) {
+	payload := []byte{opPut, 0xFF} // truncated uvarint for the ID length
+	var buf bytes.Buffer
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	if _, _, _, err := readFrameFrom(buf.Bytes()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestScanValidFrame(t *testing.T) {
+	frame := frameBytes(t, opPut, testRecord("id", "N", "C"))
+	garbage := []byte{0x01, 0x02, 0x03, 0x04, 0x05}
+
+	if off := scanValidFrame(append(append([]byte(nil), garbage...), frame...)); off != int64(len(garbage)) {
+		t.Errorf("offset = %d, want %d", off, len(garbage))
+	}
+	if off := scanValidFrame(garbage); off != -1 {
+		t.Errorf("garbage-only offset = %d, want -1", off)
+	}
+	// A torn prefix of a frame must not count as valid.
+	if off := scanValidFrame(append(append([]byte(nil), garbage...), frame[:len(frame)-1]...)); off != -1 {
+		t.Errorf("torn-frame offset = %d, want -1", off)
+	}
+}

@@ -1,0 +1,64 @@
+package lrec
+
+import (
+	"io"
+	"os"
+)
+
+// storeFS abstracts every filesystem operation the store performs, so tests
+// can inject faults — kill a write at any byte offset, fail any syscall —
+// and prove the recovery contract instead of assuming it (see fault_test.go
+// and crash_test.go). Production code always uses osFS.
+type storeFS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// Open opens for reading (replay).
+	Open(name string) (storeFile, error)
+	// OpenFile opens with the given flags (the append-mode log handle).
+	OpenFile(name string, flag int, perm os.FileMode) (storeFile, error)
+	// Create truncates-or-creates for writing (snapshot tmp, fresh log).
+	Create(name string) (storeFile, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// Truncate cuts the named file to size (torn-tail repair).
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making renames and file
+	// creations durable — without it a crash can roll back a completed
+	// snapshot rename and lose the truncated log's contents with it.
+	SyncDir(dir string) error
+}
+
+// storeFile is the subset of *os.File the store uses.
+type storeFile interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Open(name string) (storeFile, error) { return os.Open(name) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (storeFile, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Create(name string) (storeFile, error) { return os.Create(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

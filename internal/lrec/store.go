@@ -2,6 +2,8 @@ package lrec
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,8 +21,13 @@ import (
 // processing" (§6). All methods are safe for concurrent use.
 //
 // Durability model: every Put/Delete appends a framed operation to the log
-// and the log is fsynced on Sync/Close. Open replays snapshot + log;
-// a torn final frame (crash mid-write) is discarded.
+// before mutating memory, and the log is fsynced on Sync/Close. Open replays
+// snapshot + log; a torn final frame (crash mid-write) is truncated away so
+// subsequent appends continue from the last good frame, while corruption in
+// the middle of the log (valid frames after a bad one) refuses to open with
+// ErrCorrupt rather than silently discarding acknowledged writes. A failed
+// log write or fsync latches the store into a degraded read-only state (see
+// Degraded) instead of letting memory diverge from the log.
 type Store struct {
 	mu   sync.RWMutex
 	recs map[string]*Record
@@ -35,11 +42,30 @@ type Store struct {
 	seq uint64 // logical clock; advances on every mutation
 
 	dir     string
-	logFile *os.File
+	fs      storeFS
+	logFile storeFile
 	logW    *bufio.Writer
+
+	// degraded, once set, latches the store read-only: the first log write
+	// or fsync failure means the on-disk log no longer reflects memory, so
+	// accepting further mutations would silently widen the divergence.
+	degraded error
+	recovery RecoveryStats
 
 	registry *Registry
 	metrics  *obs.Registry // nil-safe; counts puts/gets/WAL appends/compactions
+}
+
+// ErrDegraded wraps the first write/fsync error after which the store
+// refuses mutations; reads keep working. Reopen the directory to recover.
+var ErrDegraded = errors.New("lrec: store degraded, read-only")
+
+// RecoveryStats reports what Open found and repaired while replaying.
+type RecoveryStats struct {
+	SnapshotRecords int   // live records loaded from the snapshot
+	LogFrames       int   // frames replayed from the log
+	TornTail        bool  // the log ended in a torn frame
+	TruncatedBytes  int64 // bytes cut from the log tail to repair it
 }
 
 // StoreOption configures a Store.
@@ -60,6 +86,12 @@ func WithMaxVersions(n int) StoreOption {
 // keeps the store un-instrumented.
 func WithMetrics(m *obs.Registry) StoreOption {
 	return func(s *Store) { s.metrics = m }
+}
+
+// withFS injects a filesystem implementation. Only the fault-injection
+// tests use it (fault_test.go); Open defaults to the real filesystem.
+func withFS(fs storeFS) StoreOption {
+	return func(s *Store) { s.fs = fs }
 }
 
 // NewMemStore returns a purely in-memory store (no durability), used by
@@ -84,32 +116,105 @@ const (
 )
 
 // Open opens (or creates) a durable store in dir, replaying any snapshot and
-// log found there.
+// log found there. A torn log tail (crash mid-append) is truncated to the
+// last good frame before the log is reopened for appending, so new writes
+// never land after bad bytes — the bug class where replay would stop at the
+// old tear forever and silently drop everything written after it. Mid-log
+// corruption (a bad frame with valid frames after it) fails with ErrCorrupt.
+// Recovery details are available from Recovery().
 func Open(dir string, opts ...StoreOption) (*Store, error) {
 	s := NewMemStore(opts...)
 	s.dir = dir
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if s.fs == nil {
+		s.fs = osFS{}
+	}
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lrec: open: %w", err)
 	}
-	if err := s.replayFile(filepath.Join(dir, snapName)); err != nil {
+	if err := s.replaySnapshot(filepath.Join(dir, snapName)); err != nil {
 		return nil, err
 	}
-	if err := s.replayFile(filepath.Join(dir, logName)); err != nil {
+	logPath := filepath.Join(dir, logName)
+	good, size, err := s.replayLog(logPath)
+	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if good < size {
+		// Torn tail: cut the log back to the last good frame so appends
+		// resume exactly where replay will next time.
+		if err := s.fs.Truncate(logPath, good); err != nil {
+			return nil, fmt.Errorf("lrec: open: truncate torn tail: %w", err)
+		}
+		s.recovery.TornTail = true
+		s.recovery.TruncatedBytes = size - good
+		s.metrics.Counter("lrec.recovery.torn_tails").Inc()
+		s.metrics.Counter("lrec.recovery.truncated_bytes").Add(size - good)
+	}
+	f, err := s.fs.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lrec: open log: %w", err)
+	}
+	// Make the (possibly just-created) log's directory entry durable.
+	if err := s.fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lrec: open: sync dir: %w", err)
 	}
 	s.logFile = f
 	s.logW = bufio.NewWriter(f)
 	return s, nil
 }
 
-// replayFile applies the operations in path, ignoring a missing file and
-// stopping cleanly at a torn tail.
-func (s *Store) replayFile(path string) error {
-	f, err := os.Open(path)
+// Recovery reports what the Open that produced this store found and
+// repaired: snapshot/log frame counts and any torn-tail truncation.
+func (s *Store) Recovery() RecoveryStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recovery
+}
+
+// Degraded returns nil while the store accepts writes, or the latched error
+// after a log write or fsync failure has forced it read-only.
+func (s *Store) Degraded() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.degradedErrLocked()
+}
+
+func (s *Store) degradedErrLocked() error {
+	if s.degraded == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrDegraded, s.degraded)
+}
+
+// latch records the first write-path failure and flips the store read-only.
+// Caller holds mu.
+func (s *Store) latch(err error) {
+	if s.degraded == nil {
+		s.degraded = err
+		s.metrics.Gauge("lrec.degraded").Set(1)
+	}
+}
+
+// applyFrame applies one replayed operation and advances the clock. opSeq
+// frames carry only a Version and exist purely to advance the clock.
+func (s *Store) applyFrame(op byte, r *Record) {
+	switch op {
+	case opPut:
+		s.applyPut(r)
+	case opDelete:
+		s.applyDelete(r.ID)
+	}
+	if r.Version > s.seq {
+		s.seq = r.Version
+	}
+}
+
+// replaySnapshot applies the snapshot at path. Snapshots are written to a
+// temp file, fsynced, and renamed into place, so a valid one is always
+// complete: any torn or corrupt frame here is real damage and fails Open.
+func (s *Store) replaySnapshot(path string) error {
+	f, err := s.fs.Open(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -119,23 +224,63 @@ func (s *Store) replayFile(path string) error {
 	defer f.Close()
 	br := bufio.NewReader(f)
 	for {
-		op, r, err := readFrame(br)
-		switch err {
-		case nil:
-		case io.EOF, errTornTail:
+		op, r, _, err := readFrame(br)
+		switch {
+		case err == nil:
+		case err == io.EOF:
 			return nil
+		case err == errTornTail:
+			return fmt.Errorf("lrec: replay %s: %w: snapshot damaged (snapshots are atomic; torn frames here are not a crash artifact)", path, ErrCorrupt)
 		default:
 			return fmt.Errorf("lrec: replay %s: %w", path, err)
 		}
-		switch op {
-		case opPut:
-			s.applyPut(r)
-		case opDelete:
-			s.applyDelete(r.ID)
+		s.applyFrame(op, r)
+		if op == opPut {
+			s.recovery.SnapshotRecords++
 		}
-		if r.Version > s.seq {
-			s.seq = r.Version
+	}
+}
+
+// replayLog applies the log at path and returns the offset just past the
+// last good frame plus the file's total size; good < size means a torn tail
+// the caller must truncate. A bad frame followed by any CRC-valid frame is
+// mid-log corruption and returns ErrCorrupt: truncating there would discard
+// acknowledged writes, which is exactly what recovery must never do.
+func (s *Store) replayLog(path string) (good, size int64, err error) {
+	f, err := s.fs.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("lrec: replay %s: %w", path, err)
+	}
+	defer f.Close()
+	// The whole log is read into memory so the tail beyond a bad frame can
+	// be scanned for valid frames; Compact bounds log growth, keeping this
+	// proportional to one compaction interval rather than store size.
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, 0, fmt.Errorf("lrec: replay %s: %w", path, err)
+	}
+	size = int64(len(data))
+	br := bufio.NewReader(bytes.NewReader(data))
+	for {
+		op, r, n, err := readFrame(br)
+		switch {
+		case err == nil:
+		case err == io.EOF:
+			return good, size, nil
+		case err == errTornTail:
+			if off := scanValidFrame(data[good:]); off >= 0 {
+				return 0, 0, fmt.Errorf("lrec: replay %s: %w: bad frame at offset %d but valid frame at %d — mid-log corruption, refusing to truncate", path, ErrCorrupt, good, good+off)
+			}
+			return good, size, nil
+		default:
+			return 0, 0, fmt.Errorf("lrec: replay %s: %w", path, err)
 		}
+		s.applyFrame(op, r)
+		good += n
+		s.recovery.LogFrames++
 	}
 }
 
@@ -149,7 +294,10 @@ func (s *Store) NextSeq() uint64 {
 }
 
 // Put inserts or replaces the record with r.ID. The stored copy is
-// independent of r. Version is assigned by the store.
+// independent of r. Version is assigned by the store. The operation is
+// logged before memory is mutated: if the log write fails, the store state
+// is unchanged and the store latches read-only (ErrDegraded on later
+// writes) rather than letting memory diverge from the log.
 func (s *Store) Put(r *Record) error {
 	if r.ID == "" {
 		return ErrNoID
@@ -165,15 +313,24 @@ func (s *Store) Put(r *Record) error {
 			return fmt.Errorf("%w: %q", ErrUnknownConcept, r.Concept)
 		}
 	}
-	s.metrics.Counter("lrec.puts").Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.degradedErrLocked(); err != nil {
+		return err
+	}
 	cp := r.Clone()
 	s.seq++
 	cp.Version = s.seq
 	cp.Deleted = false
+	if err := s.logOp(opPut, cp); err != nil {
+		s.latch(err)
+		return err
+	}
 	s.applyPut(cp)
-	return s.logOp(opPut, cp)
+	// Counted after validation and logging so rejected or failed puts do
+	// not inflate the metric.
+	s.metrics.Counter("lrec.puts").Inc()
+	return nil
 }
 
 // applyPut installs cp into maps and indexes; caller holds mu.
@@ -195,18 +352,29 @@ func (s *Store) pushHistory(old *Record) {
 }
 
 // Delete removes the record (a tombstone is logged so replay converges).
+// Like Put, the tombstone is logged before memory changes; a failed log
+// write leaves the record in place and latches the store read-only.
 func (s *Store) Delete(id string) error {
-	s.metrics.Counter("lrec.deletes").Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.degradedErrLocked(); err != nil {
+		return err
+	}
 	old, ok := s.recs[id]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	s.seq++
-	s.applyDelete(id)
 	tomb := &Record{ID: id, Concept: old.Concept, Version: s.seq, Deleted: true}
-	return s.logOp(opDelete, tomb)
+	if err := s.logOp(opDelete, tomb); err != nil {
+		s.latch(err)
+		return err
+	}
+	s.applyDelete(id)
+	// Counted after the not-found check so rejected deletes don't inflate
+	// the metric.
+	s.metrics.Counter("lrec.deletes").Inc()
+	return nil
 }
 
 func (s *Store) applyDelete(id string) {
@@ -376,10 +544,17 @@ func (s *Store) Concepts() []string {
 	return out
 }
 
-// Sync flushes buffered log writes to the OS and fsyncs the log file.
+// Sync flushes buffered log writes to the OS and fsyncs the log file. Only
+// mutations acknowledged by a successful Sync (or Close) are guaranteed to
+// survive a crash. A flush or fsync failure latches the store read-only:
+// after a failed fsync the kernel may have dropped the dirty pages, so
+// pretending later syncs can succeed would break the durability contract.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.degradedErrLocked(); err != nil {
+		return err
+	}
 	return s.syncLocked()
 }
 
@@ -388,29 +563,50 @@ func (s *Store) syncLocked() error {
 		return nil
 	}
 	if err := s.logW.Flush(); err != nil {
+		s.latch(err)
 		return fmt.Errorf("lrec: sync: %w", err)
 	}
 	if err := s.logFile.Sync(); err != nil {
+		s.latch(err)
 		return fmt.Errorf("lrec: sync: %w", err)
 	}
 	return nil
 }
 
 // Compact writes a snapshot of the live records and truncates the log,
-// bounding recovery time. Safe to call at any point between mutations.
+// bounding recovery time. Safe to call at any point between mutations, and
+// crash-safe at every step: the snapshot is written to a temp file, fsynced,
+// renamed into place, and the rename itself is made durable with a
+// directory fsync before the log is touched. The old log handle stays open
+// until the fresh log exists, so any mid-compact failure leaves a fully
+// working store (the error paths remove the temp file; replaying the new
+// snapshot plus the old log is idempotent, so the old log is never unsafe).
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dir == "" {
 		return nil
 	}
-	s.metrics.Counter("lrec.compactions").Inc()
+	if err := s.degradedErrLocked(); err != nil {
+		return err
+	}
 	tmp := filepath.Join(s.dir, snapName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := s.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("lrec: compact: %w", err)
 	}
+	fail := func(err error) error {
+		f.Close()
+		s.fs.Remove(tmp)
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
 	w := bufio.NewWriter(f)
+	// The clock goes first: the snapshot holds only live records, so if the
+	// newest mutation was a Delete its tombstone's version would otherwise
+	// be lost and a reopened store would hand out duplicate versions.
+	if err := writeFrame(w, opSeq, &Record{Version: s.seq}); err != nil {
+		return fail(err)
+	}
 	ids := make([]string, 0, len(s.recs))
 	for id := range s.recs {
 		ids = append(ids, id)
@@ -418,58 +614,72 @@ func (s *Store) Compact() error {
 	sort.Strings(ids)
 	for _, id := range ids {
 		if err := writeFrame(w, opPut, s.recs[id]); err != nil {
-			f.Close()
-			return fmt.Errorf("lrec: compact: %w", err)
+			return fail(err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("lrec: compact: %w", err)
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("lrec: compact: %w", err)
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("lrec: compact: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("lrec: compact: %w", err)
 	}
-	// Truncate the log: everything live is now in the snapshot.
-	if s.logFile != nil {
-		if err := s.logW.Flush(); err != nil {
-			return fmt.Errorf("lrec: compact: %w", err)
-		}
-		if err := s.logFile.Close(); err != nil {
-			return fmt.Errorf("lrec: compact: %w", err)
-		}
+	// Until the rename is fsynced into the directory, a crash could revert
+	// to the old snapshot — so the log must not be truncated before this.
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("lrec: compact: %w", err)
 	}
-	f2, err := os.Create(filepath.Join(s.dir, logName))
+	// The log is now redundant; replace it. Create the fresh log before
+	// releasing the old handle: if Create fails, appends continue on the
+	// old log, which remains correct (snapshot + old log replays to the
+	// same state).
+	f2, err := s.fs.Create(filepath.Join(s.dir, logName))
 	if err != nil {
 		return fmt.Errorf("lrec: compact: %w", err)
 	}
+	if s.logFile != nil {
+		// Buffered frames are already captured by the snapshot and the log
+		// they belong to is obsolete; close errors change nothing durable.
+		s.logFile.Close()
+	}
 	s.logFile = f2
 	s.logW = bufio.NewWriter(f2)
+	s.metrics.Counter("lrec.compactions").Inc()
 	return nil
 }
 
 // Close flushes and closes the store's files. The store must not be used
-// afterwards.
+// afterwards. File handles are released even on error; a degraded store
+// skips the final sync (its log tail is already suspect and will be handled
+// as a torn tail on the next Open) and reports the latched error.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.logW == nil {
 		return nil
 	}
-	if err := s.syncLocked(); err != nil {
-		return err
+	degraded := s.degradedErrLocked()
+	var syncErr error
+	if degraded == nil {
+		syncErr = s.syncLocked()
 	}
-	err := s.logFile.Close()
+	closeErr := s.logFile.Close()
 	s.logFile = nil
 	s.logW = nil
-	if err != nil {
-		return fmt.Errorf("lrec: close: %w", err)
+	switch {
+	case degraded != nil:
+		return degraded
+	case syncErr != nil:
+		return syncErr
+	case closeErr != nil:
+		return fmt.Errorf("lrec: close: %w", closeErr)
 	}
 	return nil
 }

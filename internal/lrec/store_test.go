@@ -455,6 +455,14 @@ func TestStoreMetrics(t *testing.T) {
 	if err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
+	// Rejected operations must not inflate the counters: a put failing
+	// validation and a delete of a missing id count nothing.
+	if err := s.Put(NewRecord("", "restaurant")); !errors.Is(err, ErrNoID) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Delete("never-existed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
 	snap := m.Snapshot()
 	want := map[string]int64{
 		"lrec.puts": 3, "lrec.gets": 1, "lrec.deletes": 1,

@@ -128,6 +128,42 @@ func (s *System) Stats() Stats {
 	}
 }
 
+// StoreHealth reports the durability state of the concept store: whether
+// the last open had to repair a torn write-ahead-log tail (the previous
+// process died mid-append), and whether a write failure has latched the
+// store read-only. Serving layers should alarm on Degraded and note
+// TornTailRepaired.
+type StoreHealth struct {
+	// Degraded is empty while the store accepts writes; otherwise it holds
+	// the latched write/fsync error and the store is read-only until the
+	// process restarts and recovery reruns.
+	Degraded string
+	// TornTailRepaired is true when opening the store truncated a torn
+	// final log frame left by a crash; TruncatedBytes is how much was cut.
+	// Only unacknowledged (never-synced) bytes are ever dropped.
+	TornTailRepaired bool
+	TruncatedBytes   int64
+	// SnapshotRecords and LogFrames describe the recovery replay.
+	SnapshotRecords int
+	LogFrames       int
+}
+
+// StoreHealth returns the current durability state. For in-memory builds it
+// is always healthy with zero counts.
+func (s *System) StoreHealth() StoreHealth {
+	rec := s.woc.Records.Recovery()
+	h := StoreHealth{
+		TornTailRepaired: rec.TornTail,
+		TruncatedBytes:   rec.TruncatedBytes,
+		SnapshotRecords:  rec.SnapshotRecords,
+		LogFrames:        rec.LogFrames,
+	}
+	if err := s.woc.Records.Degraded(); err != nil {
+		h.Degraded = err.Error()
+	}
+	return h
+}
+
 // Record is the public view of an lrec: its best attribute values.
 type Record struct {
 	ID         string

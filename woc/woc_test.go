@@ -2,6 +2,8 @@ package woc
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -194,6 +196,55 @@ func TestDurableBuild(t *testing.T) {
 	defer st.Close()
 	if got := st.CountByConcept("restaurant"); got != n {
 		t.Errorf("reopened store has %d restaurants, want %d", got, n)
+	}
+}
+
+// TestStoreHealthSurfacesRecovery: a crash mid-append (torn log tail) must
+// be visible through the facade after the next durable build, and a healthy
+// system must report a clean bill.
+func TestStoreHealthSurfacesRecovery(t *testing.T) {
+	_, sys := system(t)
+	if h := sys.StoreHealth(); h.Degraded != "" || h.TornTailRepaired {
+		t.Errorf("in-memory system health = %+v, want clean", h)
+	}
+
+	dir := t.TempDir()
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 15
+	cfg.ReviewArticles = 4
+	cfg.TVArticles = 2
+	w := webgen.Generate(cfg)
+	opts := []Option{WithLocalDomain(w.Cities(), webgen.Cuisines()), WithStoreDir(dir)}
+	sys1, err := Build(w.Fetch, w.SeedURLs(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash simulation: tear the final log frame.
+	logPath := filepath.Join(dir, "lrec.log")
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Build(w.Fetch, w.SeedURLs(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	h := sys2.StoreHealth()
+	if !h.TornTailRepaired || h.TruncatedBytes == 0 {
+		t.Errorf("health after torn tail = %+v, want repaired tail", h)
+	}
+	if h.Degraded != "" {
+		t.Errorf("health degraded = %q, want healthy", h.Degraded)
+	}
+	if h.LogFrames == 0 {
+		t.Errorf("health = %+v, want replayed log frames", h)
 	}
 }
 
