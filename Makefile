@@ -3,13 +3,16 @@
 
 GO ?= go
 
-.PHONY: build test race bench crashtest fmt vet
+.PHONY: build test race bench crashtest servetest fmt vet
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package, so tests that lean
+# on leftover state from an earlier test fail loudly instead of passing by
+# accident.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -23,6 +26,14 @@ crashtest:
 	$(GO) test -race -count=1 -v \
 		-run 'Crash|Fault|Torn|Recovery|Corrupt|Degraded|Killed|Seq|Frame' \
 		./internal/lrec/
+
+# servetest runs the serving-layer suites under the race detector: concurrent
+# Search/Aggregate traffic hammered against in-flight Refresh and Reconcile,
+# the post-refresh staleness pin, coalescing, shedding, and the HTTP 503/504
+# mapping in wocserve. -count=1 defeats test caching so every CI run
+# re-proves the read/maintenance lock.
+servetest:
+	$(GO) test -race -count=1 -v ./internal/serving/ ./cmd/wocserve/
 
 # bench runs the end-to-end construction benchmark at 1, 4, and 8 workers
 # (via -cpu, which also sets GOMAXPROCS and hence the default pool size) and

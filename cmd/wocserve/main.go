@@ -14,6 +14,13 @@
 //	GET /debug/vars              expvar (same snapshot + runtime memstats)
 //	GET /debug/pprof/...         CPU/heap/goroutine profiling (with -pprof)
 //
+// Requests flow through the serving layer (internal/serving): a sharded
+// LRU+TTL result cache keyed by (endpoint, normalized query, epoch) — one
+// Refresh invalidates everything in O(1) — singleflight coalescing of
+// identical cache misses, and admission control that sheds overload with
+// 503 + Retry-After instead of queueing unboundedly. Tune it with
+// -cache-size, -cache-ttl, -max-inflight, -admit-wait, -request-timeout.
+//
 // Every endpoint is wrapped in observability middleware: request counts,
 // in-flight gauge, status-code counters, and latency histograms, all in the
 // system's shared obs registry. The server runs with read/write/idle
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"conceptweb/internal/obs"
+	"conceptweb/internal/serving"
 	"conceptweb/internal/webgen"
 	"conceptweb/woc"
 )
@@ -47,6 +55,16 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8639", "listen address")
 	seed := flag.Int64("seed", 1, "world seed")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	cacheSize := flag.Int("cache-size", serving.DefaultCacheSize,
+		"result cache capacity in entries across all shards (negative disables caching)")
+	cacheTTL := flag.Duration("cache-ttl", serving.DefaultCacheTTL,
+		"result cache entry TTL (negative disables expiry)")
+	maxInflight := flag.Int("max-inflight", serving.DefaultMaxInflight,
+		"max concurrently computing requests before load shedding (negative removes the bound)")
+	admitWait := flag.Duration("admit-wait", serving.DefaultAdmitWait,
+		"how long an over-limit request may wait for a compute slot before a 503")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second,
+		"per-request context deadline")
 	flag.Parse()
 
 	cfg := webgen.DefaultConfig()
@@ -64,9 +82,19 @@ func main() {
 		log.Printf("build stages:\n%s", tr.Table())
 	}
 
+	svc := serving.New(sys, serving.Options{
+		CacheSize:   *cacheSize,
+		CacheTTL:    *cacheTTL,
+		MaxInflight: *maxInflight,
+		AdmitWait:   *admitWait,
+		Metrics:     sys.Metrics(),
+	})
+	log.Printf("serving layer: cache %d entries (ttl %s), max-inflight %d (admit wait %s), request timeout %s",
+		*cacheSize, *cacheTTL, *maxInflight, *admitWait, *reqTimeout)
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(sys, *enablePprof),
+		Handler:           newMux(sys, svc, *reqTimeout, *enablePprof),
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -135,9 +163,11 @@ func instrument(reg *obs.Registry, name string, h http.HandlerFunc) http.Handler
 // newMux is called more than once (tests).
 var expvarOnce sync.Once
 
-// newMux wires the JSON API over a built system, instrumenting every
-// endpoint into the system's metrics registry.
-func newMux(sys *woc.System, enablePprof bool) *http.ServeMux {
+// newMux wires the JSON API over the serving layer, instrumenting every
+// endpoint into the system's metrics registry. Each request gets a context
+// deadline of reqTimeout; overload from the serving layer's admission
+// control maps to 503 + Retry-After.
+func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enablePprof bool) *http.ServeMux {
 	reg := sys.Metrics()
 
 	writeJSON := func(rw http.ResponseWriter, code int, v any) {
@@ -155,6 +185,22 @@ func newMux(sys *woc.System, enablePprof bool) *http.ServeMux {
 	fail := func(rw http.ResponseWriter, code int, err error) {
 		writeJSON(rw, code, map[string]string{"error": err.Error()})
 	}
+	// failErr maps serving-layer errors to HTTP semantics: shed load is 503
+	// with a Retry-After hint (the client should back off briefly, not
+	// hammer), an expired deadline is 504, unknown ids are 404.
+	failErr := func(rw http.ResponseWriter, err error) {
+		switch {
+		case errors.Is(err, serving.ErrOverloaded):
+			rw.Header().Set("Retry-After", "1")
+			fail(rw, http.StatusServiceUnavailable, err)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			fail(rw, http.StatusGatewayTimeout, err)
+		case errors.Is(err, woc.ErrNotFound):
+			fail(rw, http.StatusNotFound, err)
+		default:
+			fail(rw, http.StatusInternalServerError, err)
+		}
+	}
 	kOf := func(r *http.Request) int {
 		if k, err := strconv.Atoi(r.URL.Query().Get("k")); err == nil && k > 0 {
 			return k
@@ -164,7 +210,12 @@ func newMux(sys *woc.System, enablePprof bool) *http.ServeMux {
 
 	mux := http.NewServeMux()
 	handle := func(name string, h http.HandlerFunc) {
-		mux.HandleFunc("/"+name, instrument(reg, name, h))
+		withDeadline := func(rw http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
+			defer cancel()
+			h(rw, r.WithContext(ctx))
+		}
+		mux.HandleFunc("/"+name, instrument(reg, name, withDeadline))
 	}
 
 	handle("healthz", func(rw http.ResponseWriter, r *http.Request) {
@@ -179,6 +230,8 @@ func newMux(sys *woc.System, enablePprof bool) *http.ServeMux {
 			"ok":    store.Degraded == "",
 			"stats": sys.Stats(),
 			"store": store,
+			"epoch": sys.Epoch(),
+			"cache": svc.CacheLen(),
 		})
 	})
 	handle("search", func(rw http.ResponseWriter, r *http.Request) {
@@ -187,7 +240,12 @@ func newMux(sys *woc.System, enablePprof bool) *http.ServeMux {
 			fail(rw, http.StatusBadRequest, errors.New("missing q"))
 			return
 		}
-		writeJSON(rw, http.StatusOK, sys.Search(q, kOf(r)))
+		page, err := svc.Search(r.Context(), q, kOf(r))
+		if err != nil {
+			failErr(rw, err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, page)
 	})
 	handle("concepts", func(rw http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
@@ -195,44 +253,49 @@ func newMux(sys *woc.System, enablePprof bool) *http.ServeMux {
 			fail(rw, http.StatusBadRequest, errors.New("missing q"))
 			return
 		}
-		writeJSON(rw, http.StatusOK, sys.ConceptSearch(q, kOf(r)))
+		hits, err := svc.ConceptSearch(r.Context(), q, kOf(r))
+		if err != nil {
+			failErr(rw, err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, hits)
 	})
 	handle("record", func(rw http.ResponseWriter, r *http.Request) {
-		rec, err := sys.Record(r.URL.Query().Get("id"))
+		rec, err := svc.Record(r.Context(), r.URL.Query().Get("id"))
 		if err != nil {
-			fail(rw, http.StatusNotFound, err)
+			failErr(rw, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, rec)
 	})
 	handle("aggregate", func(rw http.ResponseWriter, r *http.Request) {
-		page, err := sys.Aggregate(r.URL.Query().Get("id"))
+		page, err := svc.Aggregate(r.Context(), r.URL.Query().Get("id"))
 		if err != nil {
-			fail(rw, http.StatusNotFound, err)
+			failErr(rw, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, page)
 	})
 	handle("alternatives", func(rw http.ResponseWriter, r *http.Request) {
-		recs, err := sys.Alternatives(r.URL.Query().Get("id"), kOf(r))
+		recs, err := svc.Alternatives(r.Context(), r.URL.Query().Get("id"), kOf(r))
 		if err != nil {
-			fail(rw, http.StatusNotFound, err)
+			failErr(rw, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, recs)
 	})
 	handle("augmentations", func(rw http.ResponseWriter, r *http.Request) {
-		recs, err := sys.Augmentations(r.URL.Query().Get("id"), kOf(r))
+		recs, err := svc.Augmentations(r.Context(), r.URL.Query().Get("id"), kOf(r))
 		if err != nil {
-			fail(rw, http.StatusNotFound, err)
+			failErr(rw, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, recs)
 	})
 	handle("lineage", func(rw http.ResponseWriter, r *http.Request) {
-		lines, err := sys.Lineage(r.URL.Query().Get("id"))
+		lines, err := svc.Lineage(r.Context(), r.URL.Query().Get("id"))
 		if err != nil {
-			fail(rw, http.StatusNotFound, err)
+			failErr(rw, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, lines)

@@ -8,7 +8,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"conceptweb/internal/serving"
 	"conceptweb/internal/webgen"
 	"conceptweb/woc"
 )
@@ -19,7 +21,7 @@ var (
 	tw   *webgen.World
 )
 
-func server(t *testing.T) (*webgen.World, *httptest.Server) {
+func buildOnce(t *testing.T) {
 	t.Helper()
 	once.Do(func() {
 		cfg := webgen.DefaultConfig()
@@ -34,7 +36,13 @@ func server(t *testing.T) (*webgen.World, *httptest.Server) {
 		}
 		tsys = sys
 	})
-	srv := httptest.NewServer(newMux(tsys, true))
+}
+
+func server(t *testing.T) (*webgen.World, *httptest.Server) {
+	t.Helper()
+	buildOnce(t)
+	svc := serving.New(tsys, serving.Options{Metrics: tsys.Metrics()})
+	srv := httptest.NewServer(newMux(tsys, svc, 10*time.Second, true))
 	t.Cleanup(srv.Close)
 	return tw, srv
 }
@@ -210,9 +218,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	if h.P50 <= 0 || h.P99 < h.P50 || h.Max < h.P99 {
 		t.Errorf("latency quantiles inconsistent: %+v", h)
 	}
-	// The engine's own instruments flow into the same registry.
-	if got := snap.Counters["search.queries"]; got < n {
-		t.Errorf("search.queries = %d, want >= %d", got, n)
+	// The engine's own instruments flow into the same registry. The result
+	// cache absorbs repeated identical queries, so the engine computes at
+	// least once but need not see all n requests.
+	if got := snap.Counters["search.queries"]; got < 1 {
+		t.Errorf("search.queries = %d, want >= 1", got)
 	}
 	if got := snap.Counters["lrec.puts"]; got == 0 {
 		t.Error("lrec.puts = 0, want build-time store traffic")
@@ -222,6 +232,138 @@ func TestMetricsEndpoint(t *testing.T) {
 		if h := snap.Histograms[name]; h.Count == 0 {
 			t.Errorf("missing pipeline stage histogram %s", name)
 		}
+	}
+}
+
+// slowSource wraps the real system but parks Search on a gate, so tests can
+// hold the serving layer's only compute slot for as long as they need.
+type slowSource struct {
+	*woc.System
+	gate chan struct{}
+}
+
+func (s *slowSource) Search(q string, k int) *woc.Page {
+	<-s.gate
+	return s.System.Search(q, k)
+}
+
+// TestOverloadSheds503WithRetryAfter saturates a one-slot serving layer and
+// asserts the next request is shed quickly with 503 + Retry-After instead of
+// queueing behind the stuck computation.
+func TestOverloadSheds503WithRetryAfter(t *testing.T) {
+	buildOnce(t)
+	src := &slowSource{System: tsys, gate: make(chan struct{})}
+	svc := serving.New(src, serving.Options{
+		CacheSize:   -1, // force every request onto the compute path
+		MaxInflight: 1,
+		AdmitWait:   30 * time.Millisecond,
+		Metrics:     tsys.Metrics(),
+	})
+	srv := httptest.NewServer(newMux(tsys, svc, 10*time.Second, false))
+	defer srv.Close()
+
+	holder := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/search?q=holder")
+		if err == nil {
+			resp.Body.Close()
+		}
+		holder <- err
+	}()
+	// Wait for the holder to occupy the slot: a /record probe sheds only
+	// once the slot is taken.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/record?id=probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never saturated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/search?q=shed+me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("missing Retry-After header on shed response")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("shed took %v; must return within the admit wait, not queue", elapsed)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Errorf("shed body not a JSON error: %v %+v", err, body)
+	}
+
+	close(src.gate)
+	if err := <-holder; err != nil {
+		t.Fatalf("holder request failed: %v", err)
+	}
+	// Capacity restored: requests flow again.
+	resp2, err := http.Get(srv.URL + "/search?q=recovered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("post-recovery status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestServingMetricsSurface drives cache traffic and checks the serving
+// layer's instruments appear in /metrics.
+func TestServingMetricsSurface(t *testing.T) {
+	w, srv := server(t)
+	q := url.QueryEscape(w.Restaurants[0].Name + " " + w.Restaurants[0].City)
+	for i := 0; i < 4; i++ {
+		if code := getJSON(t, srv, "/search?q="+q, nil); code != 200 {
+			t.Fatalf("search status = %d", code)
+		}
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}
+	if code := getJSON(t, srv, "/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status = %d", code)
+	}
+	if hits := snap.Counters["serve.hit.search"]; hits < 3 {
+		t.Errorf("serve.hit.search = %d, want >= 3", hits)
+	}
+	if misses := snap.Counters["serve.miss.search"]; misses < 1 {
+		t.Errorf("serve.miss.search = %d, want >= 1", misses)
+	}
+	if _, ok := snap.Gauges["serve.cache.size"]; !ok {
+		t.Error("missing serve.cache.size gauge")
+	}
+	var health struct {
+		Epoch uint64 `json:"epoch"`
+		Cache int    `json:"cache"`
+	}
+	if code := getJSON(t, srv, "/healthz", &health); code != 200 {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if health.Epoch == 0 {
+		t.Error("healthz epoch = 0, want >= 1 after build")
+	}
+	if health.Cache == 0 {
+		t.Error("healthz cache entries = 0, want cached results")
 	}
 }
 

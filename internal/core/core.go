@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"unicode/utf8"
 
 	"conceptweb/internal/extract"
@@ -77,7 +78,22 @@ type WebOfConcepts struct {
 	// inverse. Both underlie the §5.1 ranking features and §5.4 pivots.
 	Assoc    map[string][]string
 	RevAssoc map[string][]string
+
+	// epoch is the data generation: 1 after Build, bumped by every
+	// maintenance pass that changes visible state (Refresh with changed or
+	// gone pages, Reconcile that trimmed records). Serving layers key result
+	// caches by epoch, so a bump is an O(1) whole-cache invalidation and an
+	// unchanged pass keeps caches warm.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the current data generation (see the epoch field).
+func (woc *WebOfConcepts) Epoch() uint64 { return woc.epoch.Load() }
+
+// BumpEpoch advances the data generation after a maintenance mutation and
+// returns the new value. Callers that batch several mutations (refresh +
+// reconcile) bump once per batch.
+func (woc *WebOfConcepts) BumpEpoch() uint64 { return woc.epoch.Add(1) }
 
 // Close flushes and closes the underlying concept store (a no-op for
 // in-memory builds).
@@ -101,6 +117,9 @@ type BuildStats struct {
 	// Workers annotates the trace with the worker-pool size the parallel
 	// stages ran at, so recorded stage tables are comparable across runs.
 	Workers int
+	// Epoch is the data generation the build produced; maintenance passes
+	// (Refresh, Reconcile) advance it whenever they change visible state.
+	Epoch uint64
 	// StoreRecovery reports what opening the durable store found and
 	// repaired (snapshot/log frames replayed, torn-tail truncation); nil
 	// for in-memory builds. A repaired torn tail is worth surfacing: it
@@ -175,6 +194,7 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 
 	root.End()
 	stats.Trace = root.Report()
+	stats.Epoch = woc.BumpEpoch()
 	m := b.Cfg.Metrics
 	m.Counter("build.runs").Inc()
 	m.Counter("build.pages.fetched").Add(int64(stats.PagesFetched))

@@ -29,6 +29,10 @@ type RefreshStats struct {
 	// Workers annotates the pass with the worker-pool size the parallel
 	// refetch/extract stages ran at.
 	Workers int
+	// Epoch is the data generation after the pass: bumped when the pass
+	// changed visible state (pages changed or gone, records touched),
+	// unchanged otherwise so result caches stay warm across no-op refreshes.
+	Epoch uint64
 	// Trace is the per-stage timing tree of the pass (refetch/extract/upsert).
 	Trace *obs.TraceReport
 }
@@ -47,6 +51,14 @@ func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, err
 	defer func() {
 		root.End()
 		stats.Trace = root.Report()
+		// Changed visible state invalidates epoch-keyed result caches; a
+		// pass that found nothing new leaves them warm.
+		if stats.PagesChanged > 0 || stats.PagesGone > 0 ||
+			stats.RecordsUpdated > 0 || stats.RecordsCreated > 0 {
+			stats.Epoch = woc.BumpEpoch()
+		} else {
+			stats.Epoch = woc.Epoch()
+		}
 		m := b.Cfg.Metrics
 		m.Counter("refresh.runs").Inc()
 		m.Counter("refresh.pages.checked").Add(int64(stats.PagesChecked))
@@ -238,6 +250,9 @@ func (woc *WebOfConcepts) Reconcile(concept string, policy ConflictResolution) i
 				changed++
 			}
 		}
+	}
+	if changed > 0 {
+		woc.BumpEpoch()
 	}
 	return changed
 }

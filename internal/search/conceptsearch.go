@@ -33,10 +33,10 @@ func (e *Engine) ConceptSearch(query string, filters []Filter, k int) []RecordHi
 	defer e.Metrics.Time("search.concept.latency")()
 	e.Metrics.Counter("search.concept.queries").Inc()
 	parsed := e.Parser.Parse(query)
-	// Retrieval: the raw query against the record index; for pure set
+	// Retrieval: the normalized query against the record index; for pure set
 	// queries the category+city string retrieves better than decorations
 	// like "best".
-	retrieval := query
+	retrieval := parsed.Raw
 	if parsed.Kind == IntentSet {
 		parts := append([]string{}, parsed.NameTokens...)
 		if parsed.Category != "" {

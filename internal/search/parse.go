@@ -94,8 +94,11 @@ func NewParser(cities, categories []string) *Parser {
 	return p
 }
 
-// Parse analyses a raw query.
+// Parse analyses a raw query. The query is canonicalized first
+// (NormalizeQuery: trim, collapse whitespace, lowercase), so every caller —
+// search, concept search, the serving-layer cache — agrees on one reading.
 func (p *Parser) Parse(query string) Parsed {
+	query = textproc.NormalizeQuery(query)
 	toks := textproc.Tokenize(query)
 	out := Parsed{Raw: query, Tokens: toks}
 

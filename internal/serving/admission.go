@@ -1,0 +1,70 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"conceptweb/internal/obs"
+)
+
+// ErrOverloaded is returned when admission control sheds a request: every
+// compute slot stayed busy for the full wait deadline. HTTP layers should
+// translate it to 503 with a Retry-After hint rather than letting requests
+// queue unboundedly.
+var ErrOverloaded = errors.New("serving: overloaded, retry later")
+
+// admission is a bounded in-flight semaphore with a short wait deadline.
+// A request that cannot get a slot within the deadline is shed — under
+// sustained overload the server degrades to fast 503s instead of building
+// an unbounded queue whose every entry eventually times out anyway.
+// A nil *admission admits everything.
+type admission struct {
+	slots   chan struct{}
+	wait    time.Duration
+	shed    *obs.Counter
+	waiting *obs.Gauge
+}
+
+func newAdmission(maxInflight int, wait time.Duration, reg *obs.Registry) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	return &admission{
+		slots:   make(chan struct{}, maxInflight),
+		wait:    wait,
+		shed:    reg.Counter("serve.shed"),
+		waiting: reg.Gauge("serve.admission.waiting"),
+	}
+}
+
+// acquire obtains a compute slot, waiting at most the configured deadline
+// (bounded further by ctx). It returns the release func, ErrOverloaded on
+// shed, or the ctx error if the caller gave up first.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFunc(), nil
+	default:
+	}
+	a.waiting.Add(1)
+	defer a.waiting.Add(-1)
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFunc(), nil
+	case <-timer.C:
+		a.shed.Inc()
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) releaseFunc() func() {
+	return func() { <-a.slots }
+}

@@ -1,0 +1,397 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"conceptweb/internal/obs"
+	"conceptweb/woc"
+)
+
+// fakeSource is a controllable Source: computations count themselves, can
+// block on a gate (to hold admission slots and force coalescing windows),
+// and stamp results with the epoch they were computed at so staleness is
+// observable in the value itself.
+type fakeSource struct {
+	epoch    atomic.Uint64
+	searches atomic.Int64
+	aggs     atomic.Int64
+	gate     chan struct{} // when non-nil, Search blocks until closed
+}
+
+func (f *fakeSource) Epoch() uint64 { return f.epoch.Load() }
+
+func (f *fakeSource) Search(q string, k int) *woc.Page {
+	f.searches.Add(1)
+	if f.gate != nil {
+		<-f.gate
+	}
+	return &woc.Page{Assistance: []string{fmt.Sprintf("%s@%d", q, f.epoch.Load())}}
+}
+
+func (f *fakeSource) ConceptSearch(q string, k int) []woc.Hit {
+	return []woc.Hit{{Score: float64(len(q))}}
+}
+
+func (f *fakeSource) Aggregate(id string) (*woc.Aggregation, error) {
+	f.aggs.Add(1)
+	if id == "missing" {
+		return nil, errors.New("not found")
+	}
+	return &woc.Aggregation{Title: id}, nil
+}
+
+func (f *fakeSource) Alternatives(id string, k int) ([]woc.Suggestion, error) {
+	return []woc.Suggestion{{Reason: id}}, nil
+}
+
+func (f *fakeSource) Augmentations(id string, k int) ([]woc.Suggestion, error) {
+	return []woc.Suggestion{{Reason: id}}, nil
+}
+
+func (f *fakeSource) Record(id string) (woc.Record, error) {
+	return woc.Record{ID: id}, nil
+}
+
+func (f *fakeSource) Lineage(id string) ([]string, error) {
+	return []string{id}, nil
+}
+
+func newTestLayer(src Source, opts Options) (*Layer, *obs.Registry) {
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	return New(src, opts), reg
+}
+
+// --- Cache unit tests ---
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Capacity 16 with 16 shards = one entry per shard: inserting two keys
+	// that land in the same shard must evict the older one.
+	c := NewCache(16, 0, reg)
+	c.now = func() time.Time { return time.Unix(0, 0) }
+
+	// Find two keys in the same shard.
+	a := "k0"
+	b := ""
+	for i := 1; i < 10000; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if fnv32a(k)%cacheShards == fnv32a(a)%cacheShards {
+			b = k
+			break
+		}
+	}
+	if b == "" {
+		t.Fatal("no shard-colliding key found")
+	}
+	c.Put(a, 1)
+	c.Put(b, 2)
+	if _, ok := c.Get(a); ok {
+		t.Error("LRU entry survived over-capacity insert")
+	}
+	if v, ok := c.Get(b); !ok || v != 2 {
+		t.Errorf("newest entry missing: %v %v", v, ok)
+	}
+	if got := reg.Counter("serve.cache.evictions").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestCacheLRURecency(t *testing.T) {
+	c := NewCache(16, 0, obs.NewRegistry())
+	a := "k0"
+	var b, d string
+	for i := 1; i < 20000 && (b == "" || d == ""); i++ {
+		k := fmt.Sprintf("k%d", i)
+		if fnv32a(k)%cacheShards != fnv32a(a)%cacheShards {
+			continue
+		}
+		if b == "" {
+			b = k
+		} else {
+			d = k
+		}
+	}
+	// Bump the shard capacity to 2 by using capacity 32 (2 per shard).
+	c = NewCache(32, 0, obs.NewRegistry())
+	c.Put(a, 1)
+	c.Put(b, 2)
+	c.Get(a) // a is now most recent
+	c.Put(d, 3)
+	if _, ok := c.Get(a); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c.Get(b); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(64, time.Minute, reg)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("k", "v")
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Error("expired entry served")
+	}
+	if got := reg.Counter("serve.cache.expirations").Value(); got != 1 {
+		t.Errorf("expirations = %d, want 1", got)
+	}
+	if got := c.Len(); got != 0 {
+		t.Errorf("Len = %d after expiry, want 0", got)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	var c *Cache // capacity <= 0 returns nil; nil must be inert
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Error("nil cache has length")
+	}
+	if NewCache(0, time.Minute, nil) != nil {
+		t.Error("capacity 0 should disable the cache")
+	}
+}
+
+// --- Layer behavior ---
+
+func TestServeHitAvoidsRecompute(t *testing.T) {
+	src := &fakeSource{}
+	l, reg := newTestLayer(src, Options{})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Search(ctx, "gochi cupertino", 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := src.searches.Load(); got != 1 {
+		t.Errorf("computations = %d, want 1 (cache should absorb repeats)", got)
+	}
+	if got := reg.Counter("serve.hit.search").Value(); got != 4 {
+		t.Errorf("serve.hit.search = %d, want 4", got)
+	}
+	if got := reg.Counter("serve.miss.search").Value(); got != 1 {
+		t.Errorf("serve.miss.search = %d, want 1", got)
+	}
+}
+
+func TestNormalizedVariantsShareEntry(t *testing.T) {
+	src := &fakeSource{}
+	l, _ := newTestLayer(src, Options{})
+	ctx := context.Background()
+	for _, q := range []string{"pizza  NYC", "pizza nyc", " Pizza NYC ", "PIZZA\tNYC"} {
+		if _, err := l.Search(ctx, q, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := src.searches.Load(); got != 1 {
+		t.Errorf("computations = %d, want 1: whitespace/case variants must share a cache entry", got)
+	}
+	// Different k is a different result shape: separate entry.
+	if _, err := l.Search(ctx, "pizza nyc", 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.searches.Load(); got != 2 {
+		t.Errorf("computations = %d, want 2 after distinct k", got)
+	}
+}
+
+func TestEpochBumpInvalidates(t *testing.T) {
+	src := &fakeSource{}
+	l, _ := newTestLayer(src, Options{})
+	ctx := context.Background()
+	p1, _ := l.Search(ctx, "q", 8)
+	if p1.Assistance[0] != "q@0" {
+		t.Fatalf("unexpected result %v", p1.Assistance)
+	}
+	src.epoch.Add(1) // a maintenance pass changed the data
+	p2, _ := l.Search(ctx, "q", 8)
+	if p2.Assistance[0] != "q@1" {
+		t.Errorf("post-refresh request served pre-refresh result: %v", p2.Assistance)
+	}
+	if got := src.searches.Load(); got != 2 {
+		t.Errorf("computations = %d, want 2 (epoch bump must invalidate)", got)
+	}
+	// Same epoch again: back to cached.
+	l.Search(ctx, "q", 8) //nolint:errcheck
+	if got := src.searches.Load(); got != 2 {
+		t.Errorf("computations = %d, want still 2", got)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	src := &fakeSource{}
+	l, _ := newTestLayer(src, Options{})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Aggregate(ctx, "missing"); err == nil {
+			t.Fatal("want error for missing id")
+		}
+	}
+	if got := src.aggs.Load(); got != 3 {
+		t.Errorf("computations = %d, want 3: errors must not be cached", got)
+	}
+	if _, err := l.Aggregate(ctx, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	l.Aggregate(ctx, "r1") //nolint:errcheck
+	if got := src.aggs.Load(); got != 4 {
+		t.Errorf("computations = %d, want 4: successes are cached", got)
+	}
+}
+
+// TestCoalescing floods one cold key with concurrent requests and asserts a
+// single computation: the leader runs while everyone else waits and shares.
+func TestCoalescing(t *testing.T) {
+	src := &fakeSource{gate: make(chan struct{})}
+	l, reg := newTestLayer(src, Options{})
+	ctx := context.Background()
+
+	const n = 20
+	var wg sync.WaitGroup
+	results := make([]*woc.Page, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := l.Search(ctx, "hot query", 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = p
+		}(i)
+	}
+	// Wait until all n requests have registered a miss (leader computing,
+	// n-1 parked in the flight), then open the gate.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("serve.miss.search").Value() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d misses registered", reg.Counter("serve.miss.search").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(src.gate)
+	wg.Wait()
+
+	if got := src.searches.Load(); got != 1 {
+		t.Errorf("computations = %d, want 1 (stampede must coalesce)", got)
+	}
+	if got := reg.Counter("serve.coalesced").Value(); got != n-1 {
+		t.Errorf("serve.coalesced = %d, want %d", got, n-1)
+	}
+	for i, p := range results {
+		if p == nil || p.Assistance[0] != results[0].Assistance[0] {
+			t.Fatalf("result %d diverged: %+v", i, p)
+		}
+	}
+}
+
+// TestAdmissionSheds saturates the single compute slot and asserts that a
+// second, distinct request gets ErrOverloaded within the wait deadline
+// instead of queueing behind it.
+func TestAdmissionSheds(t *testing.T) {
+	src := &fakeSource{gate: make(chan struct{})}
+	l, reg := newTestLayer(src, Options{MaxInflight: 1, AdmitWait: 30 * time.Millisecond})
+	ctx := context.Background()
+
+	holderDone := make(chan error, 1)
+	go func() {
+		_, err := l.Search(ctx, "slow query", 8)
+		holderDone <- err
+	}()
+	// Wait for the holder to be inside the computation (slot taken).
+	deadline := time.Now().Add(5 * time.Second)
+	for src.searches.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never started computing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	_, err := l.Search(ctx, "another query", 8)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("shed took %v; must fail within the wait deadline, not queue", elapsed)
+	}
+	if got := reg.Counter("serve.shed").Value(); got != 1 {
+		t.Errorf("serve.shed = %d, want 1", got)
+	}
+
+	close(src.gate)
+	if err := <-holderDone; err != nil {
+		t.Fatalf("holder failed: %v", err)
+	}
+	// Slot free again: requests are admitted.
+	if _, err := l.Search(ctx, "third query", 8); err != nil {
+		t.Errorf("post-recovery request failed: %v", err)
+	}
+}
+
+func TestUncachedEndpointsShedToo(t *testing.T) {
+	src := &fakeSource{gate: make(chan struct{})}
+	l, _ := newTestLayer(src, Options{MaxInflight: 1, AdmitWait: 20 * time.Millisecond})
+	ctx := context.Background()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		l.Search(ctx, "holder", 8) //nolint:errcheck
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for src.searches.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := l.Record(ctx, "r1"); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("Record under overload: err = %v, want ErrOverloaded", err)
+	}
+	if _, err := l.Lineage(ctx, "r1"); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("Lineage under overload: err = %v, want ErrOverloaded", err)
+	}
+	close(src.gate)
+	<-done
+}
+
+func TestContextCancellation(t *testing.T) {
+	src := &fakeSource{}
+	l, _ := newTestLayer(src, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Search(ctx, "q", 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := src.searches.Load(); got != 0 {
+		t.Errorf("computations = %d, want 0 for dead context", got)
+	}
+}
+
+func TestSingleflightPanicPropagatesAndUnblocks(t *testing.T) {
+	var g flightGroup
+	defer func() {
+		if recover() == nil {
+			t.Error("leader panic was swallowed")
+		}
+	}()
+	g.do("k", func() (any, error) { panic("boom") }) //nolint:errcheck
+}

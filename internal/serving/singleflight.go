@@ -1,0 +1,67 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller runs fn, late arrivals block and share the
+// leader's result. A cache-miss stampede on a hot query thus costs one
+// computation instead of one per request (and one admission slot instead of
+// many — admission happens inside fn).
+//
+// Unlike golang.org/x/sync/singleflight this carries no forget/async
+// machinery: keys embed the data epoch, so a completed flight's key is
+// naturally retired when the data changes.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// do returns the result of running fn under key, sharing it with concurrent
+// callers. shared reports whether this caller got another flight's result
+// rather than running fn itself.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			// A panicking compute must not strand waiters: give them an
+			// error, unblock them, drop the key, and re-panic on the leader.
+			if r := recover(); r != nil {
+				c.val, c.err = nil, fmt.Errorf("serving: compute panicked: %v", r)
+				g.finish(key, c)
+				panic(r)
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+	g.finish(key, c)
+	return c.val, c.err, false
+}
+
+func (g *flightGroup) finish(key string, c *flightCall) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+}

@@ -1,0 +1,38 @@
+package textproc
+
+import "testing"
+
+// NormalizeQuery is the single canonicalization point for user queries:
+// parsing and the serving-layer result cache both rely on it, so variants
+// that differ only in case or whitespace must collapse to one form.
+func TestNormalizeQuery(t *testing.T) {
+	tests := []struct {
+		name, in, want string
+	}{
+		{"already canonical", "pizza nyc", "pizza nyc"},
+		{"double space", "pizza  nyc", "pizza nyc"},
+		{"leading and trailing", "  pizza nyc  ", "pizza nyc"},
+		{"uppercase", "Pizza NYC", "pizza nyc"},
+		{"tabs and newlines", "pizza\tnyc\n", "pizza nyc"},
+		{"mixed everything", " \tPizza \n  NYC ", "pizza nyc"},
+		{"empty", "", ""},
+		{"whitespace only", "  \t \n ", ""},
+		{"punctuation kept", "birk's menu", "birk's menu"},
+		{"multibyte", "  Café  du  Monde ", "café du monde"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := NormalizeQuery(tc.in); got != tc.want {
+				t.Errorf("NormalizeQuery(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+	// Variant queries must share one canonical form (and hence one cache
+	// entry downstream).
+	variants := []string{"pizza  NYC", "Pizza nyc", " pizza nyc ", "PIZZA\tNYC"}
+	for _, v := range variants {
+		if got := NormalizeQuery(v); got != "pizza nyc" {
+			t.Errorf("variant %q normalized to %q; cache entries would split", v, got)
+		}
+	}
+}

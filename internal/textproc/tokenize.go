@@ -76,6 +76,16 @@ func NormalizeKey(s string) string {
 	return strings.Join(Tokenize(s), "")
 }
 
+// NormalizeQuery canonicalizes a raw user query: trim, collapse runs of
+// whitespace to single spaces, lowercase. It is the single normalization
+// point shared by query parsing and serving-layer cache keys, so
+// "Pizza  NYC " and "pizza nyc" parse identically and share one cache
+// entry. Unlike Normalize it keeps punctuation: the tokenizer downstream
+// owns those rules (e.g. intra-word apostrophes).
+func NormalizeQuery(s string) string {
+	return strings.ToLower(strings.Join(strings.Fields(s), " "))
+}
+
 // NGrams returns the n-grams of the token slice. If fewer than n tokens
 // exist, it returns a single gram joining all of them.
 func NGrams(toks []string, n int) []string {

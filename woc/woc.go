@@ -15,6 +15,7 @@ package woc
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"conceptweb/internal/core"
 	"conceptweb/internal/lrec"
@@ -62,6 +63,11 @@ func WithStoreDir(dir string) Option {
 }
 
 // System is a built web of concepts with its application layers.
+//
+// All methods are safe for concurrent use: read methods (Search, Aggregate,
+// …) hold a shared lock while maintenance (Refresh, Reconcile) holds it
+// exclusively, so a reader never observes a half-applied refresh — every
+// response is computed against a single data generation (see Epoch).
 type System struct {
 	builder *core.Builder
 	woc     *core.WebOfConcepts
@@ -69,7 +75,19 @@ type System struct {
 	trans   *session.Transitions
 	stats   *core.BuildStats
 	metrics *obs.Registry
+
+	// mu is the read/maintenance seam: the store and index have their own
+	// fine-grained locks, but nothing else guards the association maps and
+	// engine state that Refresh/Reconcile mutate, so the facade serializes
+	// maintenance against the whole read path.
+	mu sync.RWMutex
 }
+
+// Epoch returns the current data generation: it advances whenever Refresh or
+// Reconcile changes visible state. Cache results keyed by (query, epoch) and
+// a maintenance pass invalidates the whole cache in O(1) — stale keys are
+// simply never asked for again.
+func (s *System) Epoch() uint64 { return s.woc.Epoch() }
 
 // Build crawls from seeds through the fetcher and constructs the system.
 func Build(fetch Fetcher, seeds []string, opts ...Option) (*System, error) {
@@ -151,6 +169,8 @@ type StoreHealth struct {
 // StoreHealth returns the current durability state. For in-memory builds it
 // is always healthy with zero counts.
 func (s *System) StoreHealth() StoreHealth {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	rec := s.woc.Records.Recovery()
 	h := StoreHealth{
 		TornTailRepaired: rec.TornTail,
@@ -183,6 +203,8 @@ func viewRecord(r *lrec.Record) Record {
 
 // Record fetches one record by ID.
 func (s *System) Record(id string) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	r, err := s.woc.Records.Get(id)
 	if err != nil {
 		return Record{}, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -192,6 +214,8 @@ func (s *System) Record(id string) (Record, error) {
 
 // Records lists the records of a concept.
 func (s *System) Records(concept string) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	rs := s.woc.Records.ByConcept(concept)
 	out := make([]Record, len(rs))
 	for i, r := range rs {
@@ -234,6 +258,8 @@ type Page struct {
 // Search answers a web query with concept-aware ranking.
 func (s *System) Search(query string, k int) *Page {
 	defer s.metrics.Time("api.search")()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	res := s.engine.Search(query, k)
 	page := &Page{Assistance: res.Assistance}
 	if res.Box != nil {
@@ -262,6 +288,8 @@ type Hit struct {
 // ConceptSearch retrieves records (not documents) answering the query.
 func (s *System) ConceptSearch(query string, k int) []Hit {
 	defer s.metrics.Time("api.concepts")()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Hit
 	for _, h := range s.engine.ConceptSearch(query, nil, k) {
 		out = append(out, Hit{Record: viewRecord(h.Record), Score: h.Score})
@@ -289,6 +317,8 @@ type Source struct {
 // Aggregate builds the aggregation page for a record.
 func (s *System) Aggregate(id string) (*Aggregation, error) {
 	defer s.metrics.Time("api.aggregate")()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	p, err := s.engine.Aggregate(id)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -317,6 +347,8 @@ type Suggestion struct {
 // Alternatives recommends substitutes for a record (same city/cuisine,
 // not clearly worse).
 func (s *System) Alternatives(id string, k int) ([]Suggestion, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	recs, err := s.trans.Rec.Alternatives(id, k)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -327,6 +359,8 @@ func (s *System) Alternatives(id string, k int) ([]Suggestion, error) {
 // Augmentations recommends complements for a record (accessories, nearby
 // events).
 func (s *System) Augmentations(id string, k int) ([]Suggestion, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	recs, err := s.trans.Rec.Augmentations(id, k)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -343,13 +377,23 @@ func viewSuggestions(recs []session.Recommendation) []Suggestion {
 }
 
 // PagesAbout returns the URLs semantically linked to a record.
-func (s *System) PagesAbout(id string) []string { return s.woc.PagesOf(id) }
+func (s *System) PagesAbout(id string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.woc.PagesOf(id)
+}
 
 // RecordsOn returns the record IDs a page is about.
-func (s *System) RecordsOn(url string) []string { return s.woc.AssocOf(url) }
+func (s *System) RecordsOn(url string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.woc.AssocOf(url)
+}
 
 // Lineage explains where every value of a record came from (§7.3).
 func (s *System) Lineage(id string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	lines, err := s.woc.Lineage(id)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -364,12 +408,18 @@ type RefreshStats struct {
 	PagesChanged   int
 	RecordsUpdated int
 	RecordsCreated int
+	// Epoch is the data generation after the pass; it advanced only if the
+	// pass changed visible state.
+	Epoch uint64
 }
 
 // Refresh re-fetches the given URLs, skipping extraction on unmodified pages
-// and folding changes into existing records.
+// and folding changes into existing records. It holds the maintenance lock:
+// in-flight reads drain first, and no read observes a half-applied pass.
 func (s *System) Refresh(urls []string) (RefreshStats, error) {
 	defer s.metrics.Time("api.refresh")()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st, err := s.builder.Refresh(s.woc, urls)
 	if err != nil {
 		return RefreshStats{}, err
@@ -377,23 +427,32 @@ func (s *System) Refresh(urls []string) (RefreshStats, error) {
 	return RefreshStats{
 		PagesChecked: st.PagesChecked, PagesUnchanged: st.PagesUnchanged,
 		PagesChanged: st.PagesChanged, RecordsUpdated: st.RecordsUpdated,
-		RecordsCreated: st.RecordsCreated,
+		RecordsCreated: st.RecordsCreated, Epoch: st.Epoch,
 	}, nil
 }
 
 // Reconcile trims attribute values violating the concept's multiplicity
 // constraints, preferring well-supported values. Returns records changed.
+// Like Refresh it holds the maintenance lock exclusively.
 func (s *System) Reconcile(concept string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.woc.Reconcile(concept, core.PreferSupport)
 }
 
 // Close flushes and closes the underlying store (needed for WithStoreDir
 // builds; a no-op otherwise).
-func (s *System) Close() error { return s.woc.Close() }
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.woc.Close()
+}
 
 // SearchWithin searches documents restricted to the pages associated with a
 // record — Table 1's "search within concept".
 func (s *System) SearchWithin(id, query string, k int) []Doc {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Doc
 	for _, d := range s.engine.SearchWithinConcept(id, query, k) {
 		out = append(out, Doc{URL: d.URL, Score: d.Score, RecordIDs: d.RecordIDs})
@@ -404,6 +463,8 @@ func (s *System) SearchWithin(id, query string, k int) []Doc {
 // Related returns pages similar to the given page (Table 1's "related
 // pages"), by text similarity plus shared concept references.
 func (s *System) Related(url string, k int) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []string
 	for _, l := range s.trans.ArticleToArticle(url, k) {
 		out = append(out, l.Target)
@@ -416,6 +477,8 @@ func (s *System) Related(url string, k int) []string {
 // attributes, and the result maps each discovered sub-concept label to its
 // member record IDs.
 func (s *System) Categories(concept string, k int, attrs ...string) map[string][]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	tax := s.woc.DataTaxonomy(concept, concept, k, attrs...)
 	out := make(map[string][]string)
 	for _, node := range tax.Nodes() {
