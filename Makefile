@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench crashtest servetest fmt vet
+.PHONY: build test race bench microbench profile crashtest servetest fmt vet
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,21 @@ servetest:
 # enough for CI while still exposing run-to-run variance.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBuildPipeline' -benchtime=1x -count=3 -cpu 1,4,8 . | tee bench-pipeline.txt
+
+# microbench runs the hot-path microbenchmarks with allocation stats:
+# tokenization, repeated-group discovery, and TF-IDF scoring. These are the
+# functions the extract/link stages spend their time in; -benchmem makes
+# allocation regressions visible next to the ns/op numbers.
+microbench:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkTokenize|BenchmarkTokenizeInto|BenchmarkTopTerms|BenchmarkRepeatedGroups' \
+		-benchmem ./internal/textproc/ ./internal/extract/ | tee bench-micro.txt
+
+# profile builds the demo world end to end at one worker and writes pprof
+# CPU and heap profiles. Inspect with: go tool pprof build.pprof
+profile:
+	$(GO) run ./cmd/wocbuild -workers 1 -v -out /tmp/wocprofile \
+		-cpuprofile build.pprof -memprofile mem.pprof
 
 fmt:
 	gofmt -l .

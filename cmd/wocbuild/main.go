@@ -5,6 +5,7 @@
 // Usage:
 //
 //	wocbuild [-seed 1] [-restaurants 120] [-workers N] [-out dir] [-v]
+//	         [-cpuprofile build.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -12,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"conceptweb/internal/core"
 	"conceptweb/internal/lrec"
@@ -25,7 +28,37 @@ func main() {
 	out := flag.String("out", "", "directory to persist the concept store (optional)")
 	workers := flag.Int("workers", 0, "worker-pool size for the extract/link/index stages (0 = GOMAXPROCS); output is identical at any value")
 	verbose := flag.Bool("v", false, "print the per-stage timing table and per-concept record counts")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the build to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the build) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+	}()
 
 	cfg := webgen.DefaultConfig()
 	cfg.Seed = *seed
@@ -92,5 +125,4 @@ func main() {
 		}
 		fmt.Printf("persisted %d records to %s\n", n, *out)
 	}
-	os.Exit(0)
 }

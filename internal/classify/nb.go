@@ -35,7 +35,7 @@ func Features(p *webgraph.Page) []string {
 			return
 		}
 		if n.Type == htmlx.TextNode {
-			toks = append(toks, textproc.Tokenize(n.Data)...)
+			toks = textproc.TokenizeInto(n.Data, toks)
 			return
 		}
 		for _, c := range n.Children {

@@ -16,7 +16,6 @@ import (
 	"unicode/utf8"
 
 	"conceptweb/internal/extract"
-	"conceptweb/internal/htmlx"
 	"conceptweb/internal/index"
 	"conceptweb/internal/lrec"
 	"conceptweb/internal/match"
@@ -178,15 +177,16 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 	})
 
 	var cands []*extract.Candidate
+	var analyses map[string]*extract.PageAnalysis
 	b.stage(ctx, "extract", func(context.Context) {
-		cands = b.extractAll(woc.Pages)
+		cands, analyses = b.extractAll(woc.Pages)
 		stats.Candidates = len(cands)
 	})
 	b.stage(ctx, "resolve", func(context.Context) {
 		b.resolveAndStore(woc, cands, stats)
 	})
 	b.stage(ctx, "link", func(context.Context) {
-		b.linkText(woc, stats)
+		b.linkText(woc, stats, analyses)
 	})
 	b.stage(ctx, "index", func(context.Context) {
 		b.buildIndexes(woc)
@@ -238,47 +238,56 @@ func pipelineCtx(name string) (context.Context, *obs.Span) {
 // created per task) and writes its own result slot; slots concatenate in
 // sorted-host, declared-domain order, so candidate order — and with it every
 // downstream seq assignment — is identical at any worker count.
-func (b *Builder) extractAll(pages *webgraph.Store) []*extract.Candidate {
+//
+// One PageAnalysis is built per page and shared by every domain task of the
+// host (its lazy views are goroutine-safe), so the per-page DOM passes run
+// once instead of once per domain. The analyses also return to the caller:
+// the link stage reuses their main-text token streams.
+func (b *Builder) extractAll(pages *webgraph.Store) ([]*extract.Candidate, map[string]*extract.PageAnalysis) {
 	hosts := pages.Hosts()
+	analyses := make(map[string]*extract.PageAnalysis)
 	type task struct {
-		sitePages []*webgraph.Page
-		domain    extract.Domain
+		sitePas []*extract.PageAnalysis
+		domain  extract.Domain
 	}
 	tasks := make([]task, 0, len(hosts)*len(b.Cfg.Domains))
 	for _, host := range hosts {
-		var sitePages []*webgraph.Page
+		var sitePas []*extract.PageAnalysis
 		for _, u := range pages.HostPages(host) {
 			if p, err := pages.Get(u); err == nil {
-				sitePages = append(sitePages, p)
+				pa := extract.Analyze(p)
+				sitePas = append(sitePas, pa)
+				analyses[p.URL] = pa
 			}
 		}
 		for _, d := range b.Cfg.Domains {
-			tasks = append(tasks, task{sitePages, d})
+			tasks = append(tasks, task{sitePas, d})
 		}
 	}
 	results := make([][]*extract.Candidate, len(tasks))
 	parallelEach(len(tasks), b.workers(), func(i int) {
-		results[i] = b.extractSite(tasks[i].sitePages, tasks[i].domain)
+		results[i] = b.extractSite(tasks[i].sitePas, tasks[i].domain)
 	})
 	var all []*extract.Candidate
 	for _, r := range results {
 		all = append(all, r...)
 	}
-	return all
+	return all, analyses
 }
 
 // extractSite is the body of one extract task: one domain's list extraction
 // with site propagation plus detail extraction over one site's pages.
-func (b *Builder) extractSite(sitePages []*webgraph.Page, d extract.Domain) []*extract.Candidate {
+func (b *Builder) extractSite(sitePas []*extract.PageAnalysis, d extract.Domain) []*extract.Candidate {
 	prop := &extract.SitePropagator{Inner: &extract.ListExtractor{Domain: d}}
-	listCands := prop.ExtractSite(sitePages)
+	listCands := prop.ExtractSiteAnalyzed(sitePas)
 	listPages := make(map[string]int)
 	for _, c := range listCands {
 		listPages[c.SourceURL]++
 	}
 	all := listCands
 	det := &extract.DetailExtractor{Domain: d}
-	for _, p := range sitePages {
+	for _, pa := range sitePas {
+		p := pa.Page
 		if listPages[p.URL] >= 1 {
 			// The page yielded list records of this concept: it is a
 			// listing (even a single-result one), not a detail page.
@@ -287,7 +296,7 @@ func (b *Builder) extractSite(sitePages []*webgraph.Page, d extract.Domain) []*e
 		if b.Cfg.Gate != nil && !b.Cfg.Gate(d.Concept, p) {
 			continue // classification routed this page elsewhere
 		}
-		for _, c := range det.Extract(p) {
+		for _, c := range det.ExtractAnalyzed(pa) {
 			if p.Path == "/" {
 				// A detail page at a site root is the instance's own
 				// homepage.
@@ -320,26 +329,11 @@ func officialSiteLink(p *webgraph.Page) string {
 }
 
 // pageMainText returns the page text with nav/footer/breadcrumb boilerplate
-// removed, so semantic linking scores content rather than chrome.
+// removed, so semantic linking scores content rather than chrome. The walk
+// itself lives on PageAnalysis so build-time callers holding an analysis
+// share the cached result.
 func pageMainText(p *webgraph.Page) string {
-	var b strings.Builder
-	var walk func(n *htmlx.Node)
-	walk = func(n *htmlx.Node) {
-		if n.Type == htmlx.ElementNode &&
-			(n.HasClass("topnav") || n.HasClass("footer") || n.HasClass("breadcrumb")) {
-			return
-		}
-		if n.Type == htmlx.TextNode {
-			b.WriteString(n.Data)
-			b.WriteByte(' ')
-			return
-		}
-		for _, c := range n.Children {
-			walk(c)
-		}
-	}
-	walk(p.Doc)
-	return strings.Join(strings.Fields(b.String()), " ")
+	return extract.Analyze(p).MainText()
 }
 
 func canonicalURL(u string) string {
@@ -451,7 +445,11 @@ func appendUnique(list []string, v string) []string {
 // woc.Assoc concurrently, which is safe because the apply phase has not
 // started and no other stage runs: each page's skip decision depends only
 // on extraction-time associations, never on another page's link.
-func (b *Builder) linkText(woc *WebOfConcepts, stats *BuildStats) {
+//
+// analyses carries the extract stage's per-page PageAnalysis values so the
+// main-text walk and its tokenization are not repeated here; pages missing
+// from the map (nil map on a fresh store) are analyzed on the spot.
+func (b *Builder) linkText(woc *WebOfConcepts, stats *BuildStats, analyses map[string]*extract.PageAnalysis) {
 	linkConcepts := b.Cfg.LinkConcepts
 	if len(linkConcepts) == 0 {
 		return
@@ -484,11 +482,15 @@ func (b *Builder) linkText(woc *WebOfConcepts, stats *BuildStats) {
 		if len(woc.Assoc[p.URL]) > 0 {
 			return // already associated through extraction
 		}
-		text := pageMainText(p)
+		pa := analyses[p.URL]
+		if pa == nil {
+			pa = extract.Analyze(p)
+		}
+		text := pa.MainText()
 		if len(text) < 40 {
 			return
 		}
-		best, ok := tm.Best(text, threshold)
+		best, ok := tm.BestTokens(pa.MainTokens(), threshold)
 		if !ok {
 			return
 		}

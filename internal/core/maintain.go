@@ -115,16 +115,17 @@ func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, err
 		results := make([]result, len(changed))
 		parallelEach(len(changed), b.workers(), func(i int) {
 			p := changed[i]
+			pa := extract.Analyze(p) // one shared analysis across domains
 			var pc []*extract.Candidate
 			for _, d := range b.Cfg.Domains {
 				le := &extract.ListExtractor{Domain: d}
-				listCands := le.Extract(p)
+				listCands := le.ExtractAnalyzed(pa)
 				pc = append(pc, listCands...)
 				// Detail-extract only when the page shows no listing signal: no
 				// list records now and no multi-record association from the
 				// original build (single-result listing pages keep their shape).
 				if len(listCands) == 0 && len(woc.Assoc[p.URL]) < 2 {
-					pc = append(pc, (&extract.DetailExtractor{Domain: d}).Extract(p)...)
+					pc = append(pc, (&extract.DetailExtractor{Domain: d}).ExtractAnalyzed(pa)...)
 				}
 			}
 			// Keep the document index current: analyze here, merge in order.

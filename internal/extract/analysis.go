@@ -1,0 +1,313 @@
+package extract
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"conceptweb/internal/htmlx"
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgraph"
+)
+
+// PageAnalysis caches the per-page DOM passes that every extraction operator
+// used to redo independently: repeated-sibling groups, singleton template
+// slots, per-item text spans (with precomputed normalizations for gazetteer
+// matching), the boilerplate-free body and main text, and label/value pairs.
+// One analysis is computed per page and shared across all operators and all
+// domains running over that page — at two domains per page, that alone
+// halves the DOM-walk cost of the extract stage.
+//
+// Every derived view is built lazily under a sync.Once and is immutable
+// afterwards, so a single PageAnalysis may be shared by operators running on
+// different goroutines (the parallel build fans one site's analyses out to
+// one task per domain).
+type PageAnalysis struct {
+	Page *webgraph.Page
+
+	groupsOnce sync.Once
+	groups     [][]*htmlx.Node          // repeated groups at minItems=2
+	groupCPS   []string                 // ClassPathSignature of each group's first item
+	spans      map[*htmlx.Node][]span   // text spans of every group member
+	itemTexts  map[*htmlx.Node]itemText // full text + normalization of every group member
+
+	singlesOnce sync.Once
+	singles     []*htmlx.Node // singleton template slots at minItems=2, sorted
+	singleCPS   []string      // ClassPathSignature aligned with singles
+
+	bodyOnce  sync.Once
+	bodyText  string // mainText of the body (nav/footer stripped)
+	bodyH1    string // text of the body's first h1
+	hasBodyH1 bool
+	titleText string // text of the document title
+	hasTitle  bool
+
+	bodyNormOnce sync.Once
+	bodyNorm     string // textproc.Normalize(bodyText)
+
+	mainOnce sync.Once
+	mainTxt  string // whole-document text minus topnav/footer/breadcrumb
+
+	mainToksOnce sync.Once
+	mainToks     []string // MainText tokenized, stopword-filtered, stemmed
+
+	pairsOnce sync.Once
+	pairs     [][2]string // label/value pairs from th/td rows and dt/dd runs
+}
+
+// itemText is a list item's full text and its normalization, computed once
+// and reused by every recognizer and constraint check that scans the item.
+type itemText struct {
+	full string
+	norm string
+}
+
+// Analyze wraps p in a fresh analysis. All views are computed on first use.
+func Analyze(p *webgraph.Page) *PageAnalysis {
+	return &PageAnalysis{Page: p}
+}
+
+// AnalyzeAll wraps each page. The result slice is what site-level extraction
+// shares across the per-domain tasks of one host.
+func AnalyzeAll(pages []*webgraph.Page) []*PageAnalysis {
+	pas := make([]*PageAnalysis, len(pages))
+	for i, p := range pages {
+		pas[i] = Analyze(p)
+	}
+	return pas
+}
+
+func (pa *PageAnalysis) ensureGroups() {
+	pa.groupsOnce.Do(func() {
+		pa.groups = repeatedGroups(pa.Page.Doc, 2)
+		pa.groupCPS = make([]string, len(pa.groups))
+		pa.spans = make(map[*htmlx.Node][]span)
+		pa.itemTexts = make(map[*htmlx.Node]itemText)
+		for gi, g := range pa.groups {
+			pa.groupCPS[gi] = g[0].ClassPathSignature()
+			for _, item := range g {
+				if _, ok := pa.spans[item]; ok {
+					continue
+				}
+				pa.spans[item] = analyzeSpans(item)
+				full := item.Text()
+				pa.itemTexts[item] = itemText{full: full, norm: textproc.Normalize(full)}
+			}
+		}
+	})
+}
+
+// GroupsWithSigs returns the page's repeated-sibling groups of at least
+// minItems members, with each group's first-item class-path signature.
+// Groups are detected once at the base threshold of 2 and filtered upward:
+// a group of >= m members is exactly a base group of >= m members, and the
+// header-row filter depends only on the group's first item.
+func (pa *PageAnalysis) GroupsWithSigs(minItems int) ([][]*htmlx.Node, []string) {
+	pa.ensureGroups()
+	if minItems <= 2 {
+		return pa.groups, pa.groupCPS
+	}
+	var gs [][]*htmlx.Node
+	var sigs []string
+	for i, g := range pa.groups {
+		if len(g) >= minItems {
+			gs = append(gs, g)
+			sigs = append(sigs, pa.groupCPS[i])
+		}
+	}
+	return gs, sigs
+}
+
+// Groups returns the repeated-sibling groups of at least minItems members.
+func (pa *PageAnalysis) Groups(minItems int) [][]*htmlx.Node {
+	g, _ := pa.GroupsWithSigs(minItems)
+	return g
+}
+
+// itemSpansOf returns the cached spans for a group member, or computes them
+// fresh for other nodes (pass-2 propagation singles) without mutating the
+// shared cache.
+func (pa *PageAnalysis) itemSpansOf(item *htmlx.Node) []span {
+	pa.ensureGroups()
+	if s, ok := pa.spans[item]; ok {
+		return s
+	}
+	return analyzeSpans(item)
+}
+
+// analyzeSpans computes an item's spans with their normalizations filled in
+// (plain itemSpans leaves norm empty for callers that never run gazetteer
+// recognizers over spans).
+func analyzeSpans(item *htmlx.Node) []span {
+	spans := itemSpans(item)
+	for i := range spans {
+		spans[i].norm = textproc.Normalize(spans[i].text)
+	}
+	return spans
+}
+
+// itemTextOf returns the cached full text and normalization for a group
+// member, computing them fresh for other nodes.
+func (pa *PageAnalysis) itemTextOf(item *htmlx.Node) itemText {
+	pa.ensureGroups()
+	if t, ok := pa.itemTexts[item]; ok {
+		return t
+	}
+	full := item.Text()
+	return itemText{full: full, norm: textproc.Normalize(full)}
+}
+
+// Singles returns the page's singleton template slots — element children
+// whose sibling signature group is smaller than minItems — sorted stably by
+// path signature, with each node's class-path signature aligned. This is the
+// pass-2 input of site-level template propagation.
+func (pa *PageAnalysis) Singles(minItems int) ([]*htmlx.Node, []string) {
+	if minItems <= 2 {
+		pa.singlesOnce.Do(func() {
+			pa.singles, pa.singleCPS = collectSingles(pa.Page.Doc, 2)
+		})
+		return pa.singles, pa.singleCPS
+	}
+	nodes, cps := collectSingles(pa.Page.Doc, minItems)
+	return nodes, cps
+}
+
+// collectSingles gathers element children whose sibling-signature group has
+// fewer than minItems members, in first-seen signature order, then sorts
+// them stably by path signature (the deterministic order pass 2 consumes).
+func collectSingles(doc *htmlx.Node, minItems int) ([]*htmlx.Node, []string) {
+	var singles []*htmlx.Node
+	doc.Walk(func(n *htmlx.Node) bool {
+		if n.Type != htmlx.ElementNode {
+			return true
+		}
+		kids := n.ChildElements()
+		bySig := make(map[string][]*htmlx.Node)
+		var order []string
+		for _, k := range kids {
+			sig := internSig(k.Data, k.Class())
+			if _, seen := bySig[sig]; !seen {
+				order = append(order, sig)
+			}
+			bySig[sig] = append(bySig[sig], k)
+		}
+		for _, sig := range order {
+			if g := bySig[sig]; len(g) < minItems {
+				singles = append(singles, g...)
+			}
+		}
+		return true
+	})
+	if len(singles) == 0 {
+		return nil, nil
+	}
+	pathSigs := make([]string, len(singles))
+	for i, n := range singles {
+		pathSigs[i] = n.PathSignature()
+	}
+	idx := make([]int, len(singles))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return pathSigs[idx[a]] < pathSigs[idx[b]]
+	})
+	sorted := make([]*htmlx.Node, len(singles))
+	cps := make([]string, len(singles))
+	for k, i := range idx {
+		sorted[k] = singles[i]
+		cps[k] = singles[i].ClassPathSignature()
+	}
+	return sorted, cps
+}
+
+func (pa *PageAnalysis) ensureBody() {
+	pa.bodyOnce.Do(func() {
+		body := pa.Page.Doc.FindFirst("body")
+		if body == nil {
+			body = pa.Page.Doc
+		}
+		pa.bodyText = mainText(body)
+		if h1 := body.FindFirst("h1"); h1 != nil {
+			pa.hasBodyH1 = true
+			pa.bodyH1 = h1.Text()
+		}
+		if t := pa.Page.Doc.FindFirst("title"); t != nil {
+			pa.hasTitle = true
+			pa.titleText = t.Text()
+		}
+	})
+}
+
+// BodyText returns the page body's text with nav/footer boilerplate removed
+// — the detail extractor's haystack.
+func (pa *PageAnalysis) BodyText() string {
+	pa.ensureBody()
+	return pa.bodyText
+}
+
+// BodyNorm returns the normalization of BodyText, shared by every gazetteer
+// recognizer across every domain run on the page.
+func (pa *PageAnalysis) BodyNorm() string {
+	pa.bodyNormOnce.Do(func() {
+		pa.bodyNorm = textproc.Normalize(pa.BodyText())
+	})
+	return pa.bodyNorm
+}
+
+// BodyH1 returns the text of the body's first h1 heading, if any.
+func (pa *PageAnalysis) BodyH1() (string, bool) {
+	pa.ensureBody()
+	return pa.bodyH1, pa.hasBodyH1
+}
+
+// Title returns the text of the document's title element, if any.
+func (pa *PageAnalysis) Title() (string, bool) {
+	pa.ensureBody()
+	return pa.titleText, pa.hasTitle
+}
+
+// MainText returns the whole-document text with topnav/footer/breadcrumb
+// boilerplate removed — what semantic linking scores against records.
+func (pa *PageAnalysis) MainText() string {
+	pa.mainOnce.Do(func() {
+		var b strings.Builder
+		var walk func(n *htmlx.Node)
+		walk = func(n *htmlx.Node) {
+			if n.Type == htmlx.ElementNode &&
+				(n.HasClass("topnav") || n.HasClass("footer") || n.HasClass("breadcrumb")) {
+				return
+			}
+			if n.Type == htmlx.TextNode {
+				b.WriteString(n.Data)
+				b.WriteByte(' ')
+				return
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(pa.Page.Doc)
+		pa.mainTxt = strings.Join(strings.Fields(b.String()), " ")
+	})
+	return pa.mainTxt
+}
+
+// MainTokens returns MainText tokenized, stopword-filtered, and stemmed —
+// the token stream the text matcher consumes. Callers must not mutate it.
+func (pa *PageAnalysis) MainTokens() []string {
+	pa.mainToksOnce.Do(func() {
+		toks := textproc.RemoveStopwordsInPlace(textproc.Tokenize(pa.MainText()))
+		pa.mainToks = textproc.StemInPlace(toks)
+	})
+	return pa.mainToks
+}
+
+// Pairs returns the page's (label, value) pairs from th/td table rows and
+// dt/dd definition runs.
+func (pa *PageAnalysis) Pairs() [][2]string {
+	pa.pairsOnce.Do(func() {
+		pa.pairs = collectPairs(pa.Page.Doc)
+	})
+	return pa.pairs
+}

@@ -21,17 +21,22 @@ func (e *CitationExtractor) Name() string { return "citation-tagger" }
 
 // Extract implements Operator.
 func (e *CitationExtractor) Extract(p *webgraph.Page) []*Candidate {
+	return e.ExtractAnalyzed(Analyze(p))
+}
+
+// ExtractAnalyzed implements Operator over a shared page analysis.
+func (e *CitationExtractor) ExtractAnalyzed(pa *PageAnalysis) []*Candidate {
 	minItems := e.MinItems
 	if minItems < 2 {
 		minItems = 2
 	}
 	var out []*Candidate
-	for _, group := range repeatedGroups(p.Doc, minItems) {
+	for _, group := range pa.Groups(minItems) {
 		if group[0].Data != "li" {
 			continue
 		}
 		for _, item := range group {
-			if c := e.extractItem(p, item); c != nil {
+			if c := e.extractItem(pa, item); c != nil {
 				out = append(out, c)
 			}
 		}
@@ -39,8 +44,8 @@ func (e *CitationExtractor) Extract(p *webgraph.Page) []*Candidate {
 	return out
 }
 
-func (e *CitationExtractor) extractItem(p *webgraph.Page, item *htmlx.Node) *Candidate {
-	text := item.Text()
+func (e *CitationExtractor) extractItem(pa *PageAnalysis, item *htmlx.Node) *Candidate {
+	text := pa.itemTextOf(item).full
 	tokens := TokenizeCitation(text)
 	if len(tokens) < 5 {
 		return nil
@@ -51,7 +56,7 @@ func (e *CitationExtractor) extractItem(p *webgraph.Page, item *htmlx.Node) *Can
 	if !hasTitle {
 		return nil
 	}
-	cand := NewCandidate("publication", p.URL, e.Name())
+	cand := NewCandidate("publication", pa.Page.URL, e.Name())
 	cand.Add("title", title, 0.8)
 	if v, ok := spans[LabelVenue]; ok {
 		cand.Add("venue", v, 0.8)

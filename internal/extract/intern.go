@@ -1,0 +1,52 @@
+package extract
+
+import "sync"
+
+// internTable interns strings formed by joining two parts with a separator.
+// Hot loops that would otherwise concatenate the parts for every DOM node
+// (the tag+"."+class child signatures of repeated-structure detection) or
+// every candidate (operator-name prefixes) get back a canonical shared
+// string, allocation-free after first use. The table only grows — the set of
+// tag/class pairs and operator names is bounded by the site templates — so
+// no eviction is needed.
+type internTable struct {
+	sep string
+	mu  sync.RWMutex
+	m   map[string]map[string]string
+}
+
+func (t *internTable) get(a, b string) string {
+	t.mu.RLock()
+	s, ok := t.m[a][b]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[string]map[string]string)
+	}
+	inner := t.m[a]
+	if inner == nil {
+		inner = make(map[string]string)
+		t.m[a] = inner
+	}
+	s, ok = inner[b]
+	if !ok {
+		s = a + t.sep + b
+		inner[b] = s
+	}
+	return s
+}
+
+var (
+	sigTable    = internTable{sep: "."}
+	opNameTable = internTable{sep: ""}
+)
+
+// internSig returns the canonical "tag.class" sibling signature.
+func internSig(tag, class string) string { return sigTable.get(tag, class) }
+
+// internOpName returns the canonical "prefix+suffix" operator name.
+func internOpName(prefix, suffix string) string { return opNameTable.get(prefix, suffix) }

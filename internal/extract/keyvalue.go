@@ -23,19 +23,24 @@ type KeyValueExtractor struct {
 }
 
 // Name implements Operator.
-func (e *KeyValueExtractor) Name() string { return "keyvalue:" + e.Concept }
+func (e *KeyValueExtractor) Name() string { return internOpName("keyvalue:", e.Concept) }
 
 // Extract implements Operator.
 func (e *KeyValueExtractor) Extract(p *webgraph.Page) []*Candidate {
+	return e.ExtractAnalyzed(Analyze(p))
+}
+
+// ExtractAnalyzed implements Operator over a shared page analysis.
+func (e *KeyValueExtractor) ExtractAnalyzed(pa *PageAnalysis) []*Candidate {
 	minAttrs := e.MinAttrs
 	if minAttrs <= 0 {
 		minAttrs = 2
 	}
-	pairs := collectPairs(p.Doc)
+	pairs := pa.Pairs()
 	if len(pairs) == 0 {
 		return nil
 	}
-	cand := NewCandidate(e.Concept, p.URL, e.Name())
+	cand := NewCandidate(e.Concept, pa.Page.URL, e.Name())
 	n := 0
 	for _, pr := range pairs {
 		key, ok := e.Labels[textproc.Normalize(pr[0])]
@@ -49,7 +54,7 @@ func (e *KeyValueExtractor) Extract(p *webgraph.Page) []*Candidate {
 		return nil
 	}
 	if e.NameKey != "" && cand.Get(e.NameKey) == "" {
-		if h1 := p.Doc.FindFirst("h1"); h1 != nil {
+		if h1 := pa.Page.Doc.FindFirst("h1"); h1 != nil {
 			cand.Add(e.NameKey, cleanHeading(h1.Text()), 0.85)
 		}
 	}

@@ -26,17 +26,22 @@ type ListExtractor struct {
 }
 
 // Name implements Operator.
-func (e *ListExtractor) Name() string { return "listextract:" + e.Domain.Concept }
+func (e *ListExtractor) Name() string { return internOpName("listextract:", e.Domain.Concept) }
 
 // Extract implements Operator.
 func (e *ListExtractor) Extract(p *webgraph.Page) []*Candidate {
+	return e.ExtractAnalyzed(Analyze(p))
+}
+
+// ExtractAnalyzed implements Operator over a shared page analysis.
+func (e *ListExtractor) ExtractAnalyzed(pa *PageAnalysis) []*Candidate {
 	minItems := e.MinItems
 	if minItems < 2 {
 		minItems = 2
 	}
 	var out []*Candidate
-	for _, group := range repeatedGroups(p.Doc, minItems) {
-		out = append(out, e.extractGroup(p, group)...)
+	for _, group := range pa.Groups(minItems) {
+		out = append(out, e.extractGroup(pa, group)...)
 	}
 	return out
 }
@@ -56,7 +61,7 @@ func repeatedGroups(doc *htmlx.Node, minItems int) [][]*htmlx.Node {
 		bySig := make(map[string][]*htmlx.Node)
 		var order []string
 		for _, k := range kids {
-			sig := k.Data + "." + k.Class()
+			sig := internSig(k.Data, k.Class())
 			if _, seen := bySig[sig]; !seen {
 				order = append(order, sig)
 			}
@@ -87,10 +92,13 @@ func isHeaderGroup(g []*htmlx.Node) bool {
 	return ths > 0 && ths == len(g[0].ChildElements())
 }
 
-// span is one text fragment inside a list item.
+// span is one text fragment inside a list item. norm, when filled by
+// analyzeSpans, is the precomputed textproc.Normalize(text) that gazetteer
+// recognizers match against (shared across every domain run on the page).
 type span struct {
 	text   string
 	anchor bool
+	norm   string
 }
 
 // itemSpans collects the visible text fragments of an item in document
@@ -125,7 +133,7 @@ func itemSpans(item *htmlx.Node) []span {
 
 // extractGroup scores one repeated group against the domain and, if it
 // passes, emits one candidate per item.
-func (e *ListExtractor) extractGroup(p *webgraph.Page, group []*htmlx.Node) []*Candidate {
+func (e *ListExtractor) extractGroup(pa *PageAnalysis, group []*htmlx.Node) []*Candidate {
 	d := e.Domain
 	minFrac := d.MinEvidenceFrac
 	if minFrac == 0 {
@@ -138,7 +146,7 @@ func (e *ListExtractor) extractGroup(p *webgraph.Page, group []*htmlx.Node) []*C
 	items := make([]parsedItem, 0, len(group))
 	withEvidence := 0
 	for _, item := range group {
-		cand, hasEvidence, ok := e.parseItem(p, item)
+		cand, hasEvidence, ok := e.parseItem(pa, item)
 		if !ok {
 			continue
 		}
@@ -166,22 +174,23 @@ func (e *ListExtractor) extractGroup(p *webgraph.Page, group []*htmlx.Node) []*C
 
 // parseItem extracts one item's attributes. ok is false if the item violates
 // a multiplicity constraint (it is probably not a single record).
-func (e *ListExtractor) parseItem(p *webgraph.Page, item *htmlx.Node) (cand *Candidate, hasEvidence, ok bool) {
+func (e *ListExtractor) parseItem(pa *PageAnalysis, item *htmlx.Node) (cand *Candidate, hasEvidence, ok bool) {
 	d := e.Domain
-	spans := itemSpans(item)
-	full := item.Text()
+	spans := pa.itemSpansOf(item)
+	it := pa.itemTextOf(item)
+	full := it.full
 
 	// Statistical constraints: more distinct values than allowed means the
 	// "item" actually spans several records.
 	for _, c := range d.Constraints {
 		if rec, found := recognizerFor(d, c.Key); found {
-			if countDistinct(rec, full) > c.MaxValues {
+			if distinctExceeds(rec, full, c.MaxValues) {
 				return nil, false, false
 			}
 		}
 	}
 
-	cand = NewCandidate(d.Concept, p.URL, e.Name())
+	cand = NewCandidate(d.Concept, pa.Page.URL, e.Name())
 	matched := make(map[string]bool) // span texts consumed by recognizers
 	for _, rec := range d.Recognizers {
 		// Prefer span-local matches (more precise provenance), fall back to
@@ -189,8 +198,9 @@ func (e *ListExtractor) parseItem(p *webgraph.Page, item *htmlx.Node) (cand *Can
 		// covers most of it — a cuisine word inside "Blue Palm American
 		// Restaurant" must not eat the name span.
 		found := false
-		for _, sp := range spans {
-			if v, okm := rec.Match(sp.text); okm {
+		for i := range spans {
+			sp := &spans[i]
+			if v, okm := rec.matchSpan(sp); okm {
 				cand.Add(rec.Key, v, attrConf(rec.Weight))
 				if len(v)*2 >= len(strings.TrimSpace(sp.text)) {
 					matched[sp.text] = true
@@ -200,7 +210,7 @@ func (e *ListExtractor) parseItem(p *webgraph.Page, item *htmlx.Node) (cand *Can
 			}
 		}
 		if !found {
-			if v, okm := rec.Match(full); okm {
+			if v, okm := rec.matchNormalized(full, it.norm); okm {
 				cand.Add(rec.Key, v, attrConf(rec.Weight)*0.9)
 			}
 		}
@@ -209,15 +219,17 @@ func (e *ListExtractor) parseItem(p *webgraph.Page, item *htmlx.Node) (cand *Can
 	// Name assignment.
 	switch d.NameFrom {
 	case "anchor":
-		for _, sp := range spans {
+		for i := range spans {
+			sp := &spans[i]
 			if sp.anchor && !matched[sp.text] {
 				cand.Add(d.NameKey, sp.text, 0.9)
 				break
 			}
 		}
 	case "first-span":
-		for _, sp := range spans {
-			if !matched[sp.text] && !recognizedByAny(d, sp.text) {
+		for i := range spans {
+			sp := &spans[i]
+			if !matched[sp.text] && !recognizedByAnySpan(d, sp) {
 				cand.Add(d.NameKey, sp.text, 0.85)
 				break
 			}
@@ -272,7 +284,22 @@ func recognizedByAny(d Domain, text string) bool {
 	return false
 }
 
-// countDistinct counts distinct normalized values of rec in text.
+// recognizedByAnySpan is recognizedByAny over an analyzed span, letting
+// gazetteer recognizers reuse the span's precomputed normalization.
+func recognizedByAnySpan(d Domain, sp *span) bool {
+	for _, r := range d.Recognizers {
+		if v, ok := r.matchSpan(sp); ok {
+			if len(v)*2 >= len(strings.TrimSpace(sp.text)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// countDistinct counts distinct normalized values of rec in text (bounded at
+// 64 match scans). Constraint checks use distinctExceeds instead, which
+// stops as soon as the limit is crossed.
 func countDistinct(rec Recognizer, text string) int {
 	seen := make(map[string]bool)
 	rest := text
@@ -291,6 +318,31 @@ func countDistinct(rec Recognizer, text string) int {
 	return len(seen)
 }
 
+// distinctExceeds reports whether text holds more than max distinct
+// normalized values of rec. It decides exactly like counting all distinct
+// values (bounded at 64 match scans) and comparing, but returns as soon as
+// the limit is crossed instead of scanning out the rest of the text.
+func distinctExceeds(rec Recognizer, text string, max int) bool {
+	seen := make(map[string]bool)
+	rest := text
+	for i := 0; i < 64; i++ { // bound the scan
+		v, ok := rec.Match(rest)
+		if !ok {
+			break
+		}
+		seen[textproc.Normalize(v)] = true
+		if len(seen) > max {
+			return true
+		}
+		idx := strings.Index(rest, v)
+		if idx < 0 {
+			break
+		}
+		rest = rest[idx+len(v):]
+	}
+	return false
+}
+
 // DetailExtractor extracts a single record from a detail page (an aggregator
 // biz page, an official homepage, a portal leaf): the page-level analogue of
 // list extraction, using the same domain knowledge. The multiplicity
@@ -302,37 +354,45 @@ type DetailExtractor struct {
 }
 
 // Name implements Operator.
-func (e *DetailExtractor) Name() string { return "detail:" + e.Domain.Concept }
+func (e *DetailExtractor) Name() string { return internOpName("detail:", e.Domain.Concept) }
 
 // Extract implements Operator.
 func (e *DetailExtractor) Extract(p *webgraph.Page) []*Candidate {
+	return e.ExtractAnalyzed(Analyze(p))
+}
+
+// ExtractAnalyzed implements Operator over a shared page analysis.
+func (e *DetailExtractor) ExtractAnalyzed(pa *PageAnalysis) []*Candidate {
 	d := e.Domain
-	body := p.Doc.FindFirst("body")
-	if body == nil {
-		body = p.Doc
-	}
-	full := mainText(body)
+	full := pa.BodyText()
 
 	for _, c := range d.Constraints {
 		if rec, found := recognizerFor(d, c.Key); found {
-			if n := countDistinct(rec, full); n > c.MaxValues {
+			if distinctExceeds(rec, full, c.MaxValues) {
 				return nil
 			}
 		}
 	}
 
-	cand := NewCandidate(d.Concept, p.URL, e.Name())
+	cand := NewCandidate(d.Concept, pa.Page.URL, e.Name())
 	for _, rec := range d.Recognizers {
-		if v, ok := rec.Match(full); ok {
+		var v string
+		var ok bool
+		if rec.MatchNorm != nil {
+			v, ok = rec.MatchNorm(pa.BodyNorm())
+		} else {
+			v, ok = rec.Match(full)
+		}
+		if ok {
 			cand.Add(rec.Key, v, attrConf(rec.Weight))
 		}
 	}
 	// Name from the page's main heading, else its title.
 	if d.NameKey != "" {
-		if h1 := body.FindFirst("h1"); h1 != nil {
-			cand.Add(d.NameKey, cleanHeading(h1.Text()), 0.9)
-		} else if t := p.Doc.FindFirst("title"); t != nil {
-			cand.Add(d.NameKey, cleanHeading(t.Text()), 0.7)
+		if h1, ok := pa.BodyH1(); ok {
+			cand.Add(d.NameKey, cleanHeading(h1), 0.9)
+		} else if t, ok := pa.Title(); ok {
+			cand.Add(d.NameKey, cleanHeading(t), 0.7)
 		}
 	}
 	hasEvidence := false

@@ -189,8 +189,13 @@ func flatten(c *Candidate) string {
 type Operator interface {
 	// Name identifies the operator in lineage chains.
 	Name() string
-	// Extract returns candidate records found on the page (possibly none).
+	// Extract returns candidate records found on the page (possibly none),
+	// analyzing the page privately.
 	Extract(p *webgraph.Page) []*Candidate
+	// ExtractAnalyzed is Extract over a shared PageAnalysis, so operators
+	// (and domains) running over the same page reuse one set of DOM passes
+	// instead of each re-walking the tree.
+	ExtractAnalyzed(pa *PageAnalysis) []*Candidate
 }
 
 // Pipeline runs several operators over a page sequence, concatenating their
@@ -200,12 +205,13 @@ type Pipeline struct {
 	Ops []Operator
 }
 
-// Run applies every operator to every page.
+// Run applies every operator to every page, analyzing each page once.
 func (pl *Pipeline) Run(pages []*webgraph.Page) []*Candidate {
 	var out []*Candidate
 	for _, p := range pages {
+		pa := Analyze(p)
 		for _, op := range pl.Ops {
-			out = append(out, op.Extract(p)...)
+			out = append(out, op.ExtractAnalyzed(pa)...)
 		}
 	}
 	return out

@@ -1,0 +1,53 @@
+package extract
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"conceptweb/internal/htmlx"
+)
+
+// benchListPage synthesizes a listing page shaped like the generated
+// restaurant-guide sites: a repeated card group plus nav/footer chrome.
+func benchListPage() *htmlx.Node {
+	var b strings.Builder
+	b.WriteString(`<html><head><title>Guide</title></head><body>` +
+		`<div class="topnav"><a href="/">Home</a><a href="/about">About</a></div>` +
+		`<h1>Best Restaurants</h1><div class="results">`)
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, `<div class="card"><h2 class="name">Place %d</h2>`+
+			`<span class="addr">%d Main St, Springfield, IL 627%02d</span>`+
+			`<span class="phone">(217) 555-01%02d</span>`+
+			`<span class="cuisine">Italian</span><span class="price">$%d.50</span></div>`,
+			i, 100+i, i%100, i%100, 10+i%20)
+	}
+	b.WriteString(`</div><div class="footer">© Guide</div></body></html>`)
+	return htmlx.Parse(b.String())
+}
+
+func BenchmarkRepeatedGroups(b *testing.B) {
+	doc := benchListPage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if g := repeatedGroups(doc, 2); len(g) == 0 {
+			b.Fatal("no groups found")
+		}
+	}
+}
+
+// The signature-interning table means a warmed-up repeatedGroups walk
+// allocates its group bookkeeping (per-parent maps and slices) but never
+// per-node signature strings. Measured ~560 allocs/run for this 40-card
+// page; dropping the intern table adds one string concatenation per child
+// element (~290 more here), which the ceiling is tight enough to catch.
+func TestRepeatedGroupsAllocs(t *testing.T) {
+	doc := benchListPage()
+	repeatedGroups(doc, 2) // warm the intern table
+	allocs := testing.AllocsPerRun(50, func() {
+		repeatedGroups(doc, 2)
+	})
+	if allocs > 700 {
+		t.Errorf("repeatedGroups = %.1f allocs/run, want <= 700", allocs)
+	}
+}

@@ -1,8 +1,6 @@
 package extract
 
 import (
-	"sort"
-
 	"conceptweb/internal/htmlx"
 	"conceptweb/internal/textproc"
 	"conceptweb/internal/webgraph"
@@ -36,6 +34,13 @@ func (s *SitePropagator) Name() string { return s.Inner.Name() + "+propagate" }
 // that applies those signatures to unrepeated items. Candidates are deduped
 // by (source URL, name, evidence values).
 func (s *SitePropagator) ExtractSite(pages []*webgraph.Page) []*Candidate {
+	return s.ExtractSiteAnalyzed(AnalyzeAll(pages))
+}
+
+// ExtractSiteAnalyzed is ExtractSite over shared page analyses, so the
+// repeated-group detection, item spans, and signature computations are done
+// once per page no matter how many domains sweep the site.
+func (s *SitePropagator) ExtractSiteAnalyzed(pas []*PageAnalysis) []*Candidate {
 	trusted := make(map[string]bool)
 	var out []*Candidate
 	seen := make(map[string]bool)
@@ -56,40 +61,25 @@ func (s *SitePropagator) ExtractSite(pages []*webgraph.Page) []*Candidate {
 		minItems = 2
 	}
 	type pending struct {
-		page  *webgraph.Page
+		pa    *PageAnalysis
 		items []*htmlx.Node
+		cps   []string // class-path signatures aligned with items
 	}
 	var leftovers []pending
-	for _, p := range pages {
-		for _, group := range repeatedGroups(p.Doc, minItems) {
-			cands := s.Inner.extractGroup(p, group)
+	for _, pa := range pas {
+		groups, sigs := pa.GroupsWithSigs(minItems)
+		for gi, group := range groups {
+			cands := s.Inner.extractGroup(pa, group)
 			for _, c := range cands {
 				add(c)
 			}
 			if len(cands) > 0 {
-				trusted[group[0].ClassPathSignature()] = true
+				trusted[sigs[gi]] = true
 			}
 		}
-		// Collect singleton items for pass 2.
-		var singles []*htmlx.Node
-		p.Doc.Walk(func(n *htmlx.Node) bool {
-			if n.Type != htmlx.ElementNode {
-				return true
-			}
-			kids := n.ChildElements()
-			bySig := make(map[string][]*htmlx.Node)
-			for _, k := range kids {
-				sig := k.Data + "." + k.Class()
-				bySig[sig] = append(bySig[sig], k)
-			}
-			for _, g := range bySig {
-				if len(g) < minItems {
-					singles = append(singles, g...)
-				}
-			}
-			return true
-		})
-		leftovers = append(leftovers, pending{p, singles})
+		// Collect singleton items (pre-sorted by the analysis) for pass 2.
+		items, cps := pa.Singles(minItems)
+		leftovers = append(leftovers, pending{pa, items, cps})
 	}
 
 	if len(trusted) == 0 {
@@ -98,15 +88,11 @@ func (s *SitePropagator) ExtractSite(pages []*webgraph.Page) []*Candidate {
 
 	// Pass 2: apply trusted signatures to unrepeated items.
 	for _, lo := range leftovers {
-		// Deterministic order.
-		sort.SliceStable(lo.items, func(i, j int) bool {
-			return lo.items[i].PathSignature() < lo.items[j].PathSignature()
-		})
-		for _, item := range lo.items {
-			if !trusted[item.ClassPathSignature()] {
+		for i, item := range lo.items {
+			if !trusted[lo.cps[i]] {
 				continue
 			}
-			cand, hasEvidence, ok := s.Inner.parseItem(lo.page, item)
+			cand, hasEvidence, ok := s.Inner.parseItem(lo.pa, item)
 			if !ok || !hasEvidence {
 				continue
 			}

@@ -17,10 +17,40 @@ type Recognizer struct {
 	Kind lrec.ValueKind
 	// Match scans text and returns the first recognized value.
 	Match func(text string) (value string, ok bool)
+	// MatchNorm, when non-nil, is Match over already-normalized text
+	// (textproc.Normalize applied). Recognizers whose matching starts by
+	// normalizing the input (gazetteers) expose it so callers holding a
+	// precomputed normalization (the shared page analysis) skip the
+	// per-call re-tokenization. Match and MatchNorm must agree:
+	// Match(t) == MatchNorm(Normalize(t)).
+	MatchNorm func(norm string) (value string, ok bool)
 	// Weight is the evidence strength this field contributes when scoring
 	// candidate lists (anchor fields like zip/phone weigh more than, say,
 	// free-text names).
 	Weight float64
+}
+
+// matchSpan matches against one analyzed text span, preferring the span's
+// precomputed normalization for recognizers that want normalized input. The
+// span is read-only: it may be shared across goroutines.
+func (r Recognizer) matchSpan(sp *span) (string, bool) {
+	if r.MatchNorm == nil {
+		return r.Match(sp.text)
+	}
+	norm := sp.norm
+	if norm == "" && sp.text != "" {
+		norm = textproc.Normalize(sp.text)
+	}
+	return r.MatchNorm(norm)
+}
+
+// matchNormalized matches against a full text whose normalization the caller
+// has already computed.
+func (r Recognizer) matchNormalized(text, norm string) (string, bool) {
+	if r.MatchNorm != nil {
+		return r.MatchNorm(norm)
+	}
+	return r.Match(text)
 }
 
 var (
@@ -52,40 +82,67 @@ func matchRe(re *regexp.Regexp) func(string) (string, bool) {
 	}
 }
 
+// matchReDigit is matchRe for regexps every match of which contains an ASCII
+// digit: text without one is rejected by a byte scan before the regexp
+// engine starts, which is the common case for short spans.
+func matchReDigit(re *regexp.Regexp) func(string) (string, bool) {
+	return func(text string) (string, bool) {
+		if !hasDigit(text) {
+			return "", false
+		}
+		if m := re.FindString(text); m != "" {
+			return m, true
+		}
+		return "", false
+	}
+}
+
+func hasDigit(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
 // ZipRecognizer recognizes 5-digit California-range zip codes.
 func ZipRecognizer() Recognizer {
-	return Recognizer{Key: "zip", Kind: lrec.KindZip, Match: matchRe(zipRe), Weight: 1.0}
+	return Recognizer{Key: "zip", Kind: lrec.KindZip, Match: matchReDigit(zipRe), Weight: 1.0}
 }
 
 // PhoneRecognizer recognizes North-American phone numbers in the formats
 // used across the corpus.
 func PhoneRecognizer() Recognizer {
-	return Recognizer{Key: "phone", Kind: lrec.KindPhone, Match: matchRe(phoneRe), Weight: 1.0}
+	return Recognizer{Key: "phone", Kind: lrec.KindPhone, Match: matchReDigit(phoneRe), Weight: 1.0}
 }
 
 // PriceRecognizer recognizes dollar amounts.
 func PriceRecognizer() Recognizer {
-	return Recognizer{Key: "price", Kind: lrec.KindPrice, Match: matchRe(priceRe), Weight: 0.8}
+	return Recognizer{Key: "price", Kind: lrec.KindPrice, Match: matchReDigit(priceRe), Weight: 0.8}
 }
 
 // StreetRecognizer recognizes street addresses by number + suffix shape.
 func StreetRecognizer() Recognizer {
-	return Recognizer{Key: "street", Kind: lrec.KindAddress, Match: matchRe(streetRe), Weight: 0.9}
+	return Recognizer{Key: "street", Kind: lrec.KindAddress, Match: matchReDigit(streetRe), Weight: 0.9}
 }
 
 // YearRecognizer recognizes plausible publication years.
 func YearRecognizer() Recognizer {
-	return Recognizer{Key: "year", Kind: lrec.KindDate, Match: matchRe(yearRe), Weight: 0.6}
+	return Recognizer{Key: "year", Kind: lrec.KindDate, Match: matchReDigit(yearRe), Weight: 0.6}
 }
 
 // DateRecognizer recognizes ISO dates.
 func DateRecognizer() Recognizer {
-	return Recognizer{Key: "date", Kind: lrec.KindDate, Match: matchRe(dateRe), Weight: 0.9}
+	return Recognizer{Key: "date", Kind: lrec.KindDate, Match: matchReDigit(dateRe), Weight: 0.9}
 }
 
 // RatingRecognizer recognizes "4.2 stars"-style ratings.
 func RatingRecognizer() Recognizer {
 	return Recognizer{Key: "rating", Kind: lrec.KindNumber, Match: func(text string) (string, bool) {
+		if !hasDigit(text) {
+			return "", false
+		}
 		if m := ratingRe.FindStringSubmatch(text); m != nil {
 			return m[1], true
 		}
@@ -95,12 +152,15 @@ func RatingRecognizer() Recognizer {
 
 // HoursRecognizer recognizes opening-hours strings.
 func HoursRecognizer() Recognizer {
-	return Recognizer{Key: "hours", Kind: lrec.KindText, Match: matchRe(hoursRe), Weight: 0.5}
+	return Recognizer{Key: "hours", Kind: lrec.KindText, Match: matchReDigit(hoursRe), Weight: 0.5}
 }
 
 // MegapixelRecognizer recognizes camera resolutions.
 func MegapixelRecognizer() Recognizer {
 	return Recognizer{Key: "megapixels", Kind: lrec.KindNumber, Match: func(text string) (string, bool) {
+		if !hasDigit(text) {
+			return "", false
+		}
 		if m := mpRe.FindStringSubmatch(text); m != nil {
 			return m[1], true
 		}
@@ -110,6 +170,9 @@ func MegapixelRecognizer() Recognizer {
 
 // GazetteerRecognizer recognizes values from a closed vocabulary (cities,
 // cuisines, venues). Matching is token-subsequence based and case-blind.
+// Both match paths are allocation-free per call: matching walks the
+// normalized text for token-boundary occurrences of each (pre-normalized)
+// vocabulary entry instead of building padded copies.
 func GazetteerRecognizer(key string, kind lrec.ValueKind, vocab []string, weight float64) Recognizer {
 	norm := make(map[string]string, len(vocab))
 	for _, v := range vocab {
@@ -121,16 +184,40 @@ func GazetteerRecognizer(key string, kind lrec.ValueKind, vocab []string, weight
 		keys = append(keys, k)
 	}
 	sortByLenDesc(keys)
-	return Recognizer{Key: key, Kind: kind, Weight: weight,
-		Match: func(text string) (string, bool) {
-			nt := " " + textproc.Normalize(text) + " "
-			for _, k := range keys {
-				if strings.Contains(nt, " "+k+" ") {
-					return norm[k], true
-				}
+	matchNorm := func(nt string) (string, bool) {
+		for _, k := range keys {
+			if containsTokenRun(nt, k) {
+				return norm[k], true
 			}
-			return "", false
+		}
+		return "", false
+	}
+	return Recognizer{Key: key, Kind: kind, Weight: weight,
+		MatchNorm: matchNorm,
+		Match: func(text string) (string, bool) {
+			return matchNorm(textproc.Normalize(text))
 		}}
+}
+
+// containsTokenRun reports whether the normalized text norm contains k as a
+// run of whole tokens — the same predicate as padding both with spaces and
+// calling strings.Contains, without the two temporary strings.
+func containsTokenRun(norm, k string) bool {
+	if k == "" {
+		return norm == ""
+	}
+	for from := 0; ; {
+		i := strings.Index(norm[from:], k)
+		if i < 0 {
+			return false
+		}
+		i += from
+		if (i == 0 || norm[i-1] == ' ') &&
+			(i+len(k) == len(norm) || norm[i+len(k)] == ' ') {
+			return true
+		}
+		from = i + 1
+	}
 }
 
 func sortByLenDesc(ss []string) {

@@ -127,6 +127,13 @@ func locateValue(doc *htmlx.Node, want string) []wrapperRule {
 	return out
 }
 
+// ExtractAnalyzed implements Operator. Wrapper rules key on occurrence
+// indexes of every signature on the page, a view no other operator shares,
+// so this simply delegates to Extract.
+func (w *Wrapper) ExtractAnalyzed(pa *PageAnalysis) []*Candidate {
+	return w.Extract(pa.Page)
+}
+
 // Extract implements Operator: apply the learned rules to a page. The rules
 // fire only where the template matches — on other sites they silently find
 // nothing, which is the wrapper brittleness the A1 experiment demonstrates.

@@ -80,7 +80,7 @@ func New() *Index {
 // tokenize produces the index token stream: lowercased, stemmed, stopwords
 // retained (they are cheap and phrase queries may need them).
 func tokenize(s string) []string {
-	return textproc.StemAll(textproc.Tokenize(s))
+	return textproc.StemInPlace(textproc.Tokenize(s))
 }
 
 // PreparedField is one analyzed field of a PreparedDoc.

@@ -95,7 +95,15 @@ type ScoredRecord struct {
 // Match returns the k records most likely to be the subject of text,
 // best first. Records sharing no token with the text are never candidates.
 func (tm *TextMatcher) Match(text string, k int) []ScoredRecord {
-	all := textproc.StemAll(textproc.RemoveStopwords(textproc.Tokenize(text)))
+	toks := textproc.RemoveStopwordsInPlace(textproc.Tokenize(text))
+	return tm.MatchTokens(textproc.StemInPlace(toks), k)
+}
+
+// MatchTokens is Match over a pre-analyzed token stream (Tokenize →
+// RemoveStopwords → Stem, the pipeline PageAnalysis.MainTokens produces).
+// The input is read-only, so one token slice may be shared across scoring
+// goroutines.
+func (tm *TextMatcher) MatchTokens(all []string, k int) []ScoredRecord {
 	if len(all) == 0 || len(tm.records) == 0 {
 		return nil
 	}
@@ -159,6 +167,15 @@ func (tm *TextMatcher) Match(text string, k int) []ScoredRecord {
 // Best returns the single best match and whether its score clears minScore.
 func (tm *TextMatcher) Best(text string, minScore float64) (*lrec.Record, bool) {
 	top := tm.Match(text, 1)
+	if len(top) == 0 || top[0].Score < minScore {
+		return nil, false
+	}
+	return top[0].Record, true
+}
+
+// BestTokens is Best over a pre-analyzed token stream.
+func (tm *TextMatcher) BestTokens(toks []string, minScore float64) (*lrec.Record, bool) {
+	top := tm.MatchTokens(toks, 1)
 	if len(top) == 0 || top[0].Score < minScore {
 		return nil, false
 	}

@@ -11,17 +11,111 @@ package textproc
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenize splits s into lowercase word tokens. A token is a maximal run of
 // letters or digits; everything else is a separator. Apostrophes inside words
 // ("birk's") are dropped rather than splitting the word.
+//
+// ASCII input takes a two-pass fast path: the first pass counts tokens (so
+// the result slice is allocated once, at exact capacity) and the second
+// emits each token as a direct slice of s when no case-folding or apostrophe
+// stripping is needed — pure-ASCII lowercase input costs exactly one
+// allocation. Any non-ASCII byte falls back to the full Unicode path.
 func Tokenize(s string) []string {
-	var out []string
+	return TokenizeInto(s, nil)
+}
+
+// TokenizeInto appends the tokens of s to dst and returns the extended
+// slice. Hot loops that tokenize many strings (index analysis, classifier
+// features) pass a reused buffer to avoid a slice allocation per call; a nil
+// dst behaves like Tokenize.
+func TokenizeInto(s string, dst []string) []string {
+	// Pass 1: count tokens, bailing to the Unicode path on any non-ASCII
+	// byte. A token starts at a letter/digit; an apostrophe extends a token
+	// it is inside of but never starts one.
+	n := 0
+	inTok := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= utf8.RuneSelf {
+			return tokenizeUnicode(s, dst)
+		}
+		if isASCIIAlnum(c) {
+			if !inTok {
+				n++
+				inTok = true
+			}
+		} else if c != '\'' || !inTok {
+			inTok = false
+		}
+	}
+	if n == 0 {
+		return dst
+	}
+	if free := cap(dst) - len(dst); free < n {
+		grown := make([]string, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	// Pass 2: emit. A clean token (no uppercase, no apostrophe) is a
+	// zero-copy slice of s; otherwise it is rewritten into a fresh string.
+	for i := 0; i < len(s); {
+		if !isASCIIAlnum(s[i]) {
+			i++
+			continue
+		}
+		j := i
+		clean := true
+		for j < len(s) {
+			cj := s[j]
+			if isASCIIAlnum(cj) {
+				if cj >= 'A' && cj <= 'Z' {
+					clean = false
+				}
+				j++
+				continue
+			}
+			if cj == '\'' {
+				clean = false
+				j++
+				continue
+			}
+			break
+		}
+		if clean {
+			dst = append(dst, s[i:j])
+		} else {
+			buf := make([]byte, 0, j-i)
+			for k := i; k < j; k++ {
+				ck := s[k]
+				if ck == '\'' {
+					continue
+				}
+				if ck >= 'A' && ck <= 'Z' {
+					ck += 'a' - 'A'
+				}
+				buf = append(buf, ck)
+			}
+			dst = append(dst, string(buf))
+		}
+		i = j
+	}
+	return dst
+}
+
+func isASCIIAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// tokenizeUnicode is the full rune-by-rune tokenizer, kept as the fallback
+// for input containing any non-ASCII byte.
+func tokenizeUnicode(s string, dst []string) []string {
 	var b strings.Builder
 	flush := func() {
 		if b.Len() > 0 {
-			out = append(out, b.String())
+			dst = append(dst, b.String())
 			b.Reset()
 		}
 	}
@@ -36,7 +130,7 @@ func Tokenize(s string) []string {
 		}
 	}
 	flush()
-	return out
+	return dst
 }
 
 // stopwords is a compact English stopword list. It intentionally excludes
@@ -56,6 +150,18 @@ func IsStopword(tok string) bool { return stopwords[tok] }
 // RemoveStopwords filters stopwords from toks, returning a new slice.
 func RemoveStopwords(toks []string) []string {
 	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if !stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RemoveStopwordsInPlace filters stopwords from toks, reusing its backing
+// array. The caller must own toks (e.g. a fresh Tokenize result).
+func RemoveStopwordsInPlace(toks []string) []string {
+	out := toks[:0]
 	for _, t := range toks {
 		if !stopwords[t] {
 			out = append(out, t)
@@ -107,15 +213,17 @@ func NGrams(toks []string, n int) []string {
 
 // CharNGrams returns the character n-grams of s (after key normalization),
 // padded with '^' and '$' sentinels so prefixes and suffixes are
-// distinguished. Used for fuzzy blocking in entity matching.
+// distinguished. Used for fuzzy blocking in entity matching. Grams are
+// counted in runes, not bytes, so non-ASCII names ("café") yield valid
+// UTF-8 grams instead of split multibyte sequences.
 func CharNGrams(s string, n int) []string {
-	s = "^" + NormalizeKey(s) + "$"
-	if n <= 0 || len(s) < n {
-		return []string{s}
+	rs := []rune("^" + NormalizeKey(s) + "$")
+	if n <= 0 || len(rs) < n {
+		return []string{string(rs)}
 	}
-	out := make([]string, 0, len(s)-n+1)
-	for i := 0; i+n <= len(s); i++ {
-		out = append(out, s[i:i+n])
+	out := make([]string, 0, len(rs)-n+1)
+	for i := 0; i+n <= len(rs); i++ {
+		out = append(out, string(rs[i:i+n]))
 	}
 	return out
 }
@@ -176,4 +284,14 @@ func StemAll(toks []string) []string {
 		out[i] = Stem(t)
 	}
 	return out
+}
+
+// StemInPlace stems every token of toks in place and returns toks. Use it
+// instead of StemAll when the caller owns toks (e.g. a fresh Tokenize
+// result), saving the copy.
+func StemInPlace(toks []string) []string {
+	for i, t := range toks {
+		toks[i] = Stem(t)
+	}
+	return toks
 }
