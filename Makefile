@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench microbench profile crashtest servetest fmt vet
+.PHONY: build test race bench microbench profile crashtest servetest loadtest fmt vet
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,22 @@ microbench:
 	$(GO) test -run '^$$' \
 		-bench 'BenchmarkTokenize|BenchmarkTokenizeInto|BenchmarkTopTerms|BenchmarkRepeatedGroups' \
 		-benchmem ./internal/textproc/ ./internal/extract/ | tee bench-micro.txt
+
+# loadtest smoke-drives a freshly built wocserve with wocload's
+# logsim-derived workload: two low QPS levels for a few seconds each, report
+# archived as loadtest-report.json. wocload waits for /healthz, splits
+# hit/miss via the X-Woc-Trace/X-Woc-Cache headers, and exits non-zero if
+# the sweep completes zero requests — so CI catches a server that builds but
+# cannot serve.
+loadtest:
+	$(GO) build -o bin/wocserve ./cmd/wocserve
+	$(GO) build -o bin/wocload ./cmd/wocload
+	@set -e; \
+	./bin/wocserve -addr 127.0.0.1:8639 & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	./bin/wocload -addr http://127.0.0.1:8639 -qps 20,40 -duration 3s \
+		-out loadtest-report.json
 
 # profile builds the demo world end to end at one worker and writes pprof
 # CPU and heap profiles. Inspect with: go tool pprof build.pprof

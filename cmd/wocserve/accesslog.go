@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"conceptweb/internal/serving"
+)
+
+// accessLog emits sampled one-line JSON access records built from finished
+// request traces. Sampling is deterministic (every Nth request, N derived
+// from the configured rate) so a fixed fraction of traffic is logged without
+// per-request randomness. A nil *accessLog is fully disabled: the hot path
+// pays one nil check and allocates nothing (pinned by a test).
+type accessLog struct {
+	every uint64 // log every Nth request
+	n     atomic.Uint64
+	mu    sync.Mutex
+	out   io.Writer
+}
+
+// newAccessLog builds a sampler logging roughly rate of all requests
+// (1 = every request). rate <= 0 disables logging entirely by returning nil.
+func newAccessLog(rate float64, out io.Writer) *accessLog {
+	if rate <= 0 || out == nil {
+		return nil
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &accessLog{every: uint64(math.Round(1 / rate)), out: out}
+}
+
+// accessRecord is the one-line JSON shape. Durations are milliseconds for
+// human grep-ability; the full-precision trace stays resolvable via
+// /debug/trace?id= while it is in the ring.
+type accessRecord struct {
+	Trace       string  `json:"trace"`
+	Endpoint    string  `json:"endpoint"`
+	Arg         string  `json:"arg,omitempty"`
+	Status      int     `json:"status"`
+	Cache       string  `json:"cache,omitempty"` // hit/miss/coalesced/shed
+	Results     int     `json:"results"`
+	MS          float64 `json:"ms"`
+	AdmissionMS float64 `json:"admission_ms,omitempty"`
+	ComputeMS   float64 `json:"compute_ms,omitempty"`
+	Epoch       uint64  `json:"epoch,omitempty"`
+	Err         string  `json:"err,omitempty"`
+}
+
+func ms(d float64) float64 { return math.Round(d*1000) / 1000 }
+
+// log records one finished trace if the sampler selects it.
+func (a *accessLog) log(tr *serving.Trace) {
+	if a == nil || tr == nil {
+		return
+	}
+	if a.n.Add(1)%a.every != 0 {
+		return
+	}
+	line, err := json.Marshal(accessRecord{
+		Trace:       tr.ID,
+		Endpoint:    tr.Endpoint,
+		Arg:         tr.Arg,
+		Status:      tr.Status,
+		Cache:       string(tr.Disposition),
+		Results:     tr.Results,
+		MS:          ms(tr.Total.Seconds() * 1000),
+		AdmissionMS: ms(tr.AdmissionWait.Seconds() * 1000),
+		ComputeMS:   ms(tr.Compute.Seconds() * 1000),
+		Epoch:       tr.Epoch,
+		Err:         tr.Err,
+	})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	a.mu.Lock()
+	a.out.Write(line) //nolint:errcheck // best-effort logging
+	a.mu.Unlock()
+}

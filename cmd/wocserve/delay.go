@@ -1,0 +1,44 @@
+package main
+
+import (
+	"time"
+
+	"conceptweb/internal/serving"
+	"conceptweb/woc"
+)
+
+// delaySource decorates the system with -compute-delay: each cached
+// computation sleeps before answering, emulating an I/O- or corpus-bound
+// compute path so load tests can drive the admission controller into
+// shedding on worlds small enough to otherwise answer in microseconds.
+// Point lookups (Record, Lineage) stay fast — they are not computations the
+// result cache fronts.
+type delaySource struct {
+	serving.Source
+	d time.Duration
+}
+
+func (s *delaySource) Search(q string, k int) *woc.Page {
+	time.Sleep(s.d)
+	return s.Source.Search(q, k)
+}
+
+func (s *delaySource) ConceptSearch(q string, k int) []woc.Hit {
+	time.Sleep(s.d)
+	return s.Source.ConceptSearch(q, k)
+}
+
+func (s *delaySource) Aggregate(id string) (*woc.Aggregation, error) {
+	time.Sleep(s.d)
+	return s.Source.Aggregate(id)
+}
+
+func (s *delaySource) Alternatives(id string, k int) ([]woc.Suggestion, error) {
+	time.Sleep(s.d)
+	return s.Source.Alternatives(id, k)
+}
+
+func (s *delaySource) Augmentations(id string, k int) ([]woc.Suggestion, error) {
+	time.Sleep(s.d)
+	return s.Source.Augmentations(id, k)
+}

@@ -10,9 +10,20 @@
 //	GET /lineage?id=...          provenance explanation
 //	GET /healthz                 liveness
 //	GET /metrics                 JSON metrics snapshot (counters, gauges,
-//	                             per-endpoint latency histograms)
+//	                             per-endpoint latency histograms, rolling
+//	                             per-endpoint windows); ?format=prometheus
+//	                             serves the same snapshot as Prometheus text
+//	GET /debug/slowlog           per-endpoint top-K slowest traces
+//	GET /debug/trace?id=...      one recent trace by X-Woc-Trace ID
 //	GET /debug/vars              expvar (same snapshot + runtime memstats)
 //	GET /debug/pprof/...         CPU/heap/goroutine profiling (with -pprof)
+//
+// Every request is traced: the response carries X-Woc-Trace (the trace ID,
+// resolvable at /debug/trace while it is among the last -trace-ring
+// requests) and X-Woc-Cache (hit/miss/coalesced/shed) headers, and the
+// slowest -slowlog-k requests per endpoint are retained with their full
+// annotations at /debug/slowlog. With -log-sample > 0, that fraction of
+// requests is emitted as one-line JSON access records on stderr.
 //
 // Requests flow through the serving layer (internal/serving): a sharded
 // LRU+TTL result cache keyed by (endpoint, normalized query, epoch) — one
@@ -38,6 +49,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"strconv"
 	"sync"
@@ -65,6 +77,16 @@ func main() {
 		"how long an over-limit request may wait for a compute slot before a 503")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second,
 		"per-request context deadline")
+	traceRing := flag.Int("trace-ring", serving.DefaultTraceRing,
+		"how many recent traces stay resolvable at /debug/trace")
+	slowlogK := flag.Int("slowlog-k", serving.DefaultSlowlogK,
+		"slowest traces retained per endpoint at /debug/slowlog")
+	logSample := flag.Float64("log-sample", 0,
+		"fraction of requests to emit as JSON access-log lines (0 disables, 1 logs all)")
+	computeDelay := flag.Duration("compute-delay", 0,
+		"inject artificial latency into each cache-miss computation (load-testing aid: "+
+			"emulates production-scale corpora where computes cost milliseconds, so admission "+
+			"control and shedding can be exercised against the small synthetic world)")
 	flag.Parse()
 
 	cfg := webgen.DefaultConfig()
@@ -82,19 +104,26 @@ func main() {
 		log.Printf("build stages:\n%s", tr.Table())
 	}
 
-	svc := serving.New(sys, serving.Options{
+	var src serving.Source = sys
+	if *computeDelay > 0 {
+		log.Printf("load-testing: +%s per cache-miss computation", *computeDelay)
+		src = &delaySource{Source: sys, d: *computeDelay}
+	}
+	svc := serving.New(src, serving.Options{
 		CacheSize:   *cacheSize,
 		CacheTTL:    *cacheTTL,
 		MaxInflight: *maxInflight,
 		AdmitWait:   *admitWait,
 		Metrics:     sys.Metrics(),
+		TraceRing:   *traceRing,
+		SlowlogK:    *slowlogK,
 	})
 	log.Printf("serving layer: cache %d entries (ttl %s), max-inflight %d (admit wait %s), request timeout %s",
 		*cacheSize, *cacheTTL, *maxInflight, *admitWait, *reqTimeout)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(sys, svc, *reqTimeout, *enablePprof),
+		Handler:           newMux(sys, svc, *reqTimeout, *enablePprof, newAccessLog(*logSample, os.Stderr)),
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -128,34 +157,58 @@ func main() {
 	log.Printf("uptime %s, final metrics: %s", time.Since(start).Round(time.Millisecond), snap)
 }
 
-// statusWriter captures the status code a handler wrote.
+// statusWriter captures the status code a handler wrote, and injects the
+// request's cache disposition as a header at WriteHeader time — by then the
+// serving layer has annotated the trace, and the headers are not yet sent.
 type statusWriter struct {
 	http.ResponseWriter
+	tr     *serving.Trace
 	status int
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	if w.tr != nil && w.tr.Disposition != serving.DispositionNone {
+		w.Header().Set("X-Woc-Cache", string(w.tr.Disposition))
+	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
 // instrument wraps h with per-endpoint observability: request counter,
-// in-flight gauge, status-code counters, and a latency histogram.
-func instrument(reg *obs.Registry, name string, h http.HandlerFunc) http.HandlerFunc {
+// in-flight gauge, status-code counters, cumulative + rolling-window latency
+// histograms, rolling error/shed counters, and the request trace (created
+// here, annotated by the serving layer, finalized and retained here).
+func instrument(reg *obs.Registry, traces *serving.TraceLog, alog *accessLog, name string, h http.HandlerFunc) http.HandlerFunc {
 	requests := reg.Counter("http.req." + name)
 	inflight := reg.Gauge("http.inflight")
 	latency := reg.Histogram("http.latency." + name)
+	rolling := reg.WindowedHistogram("http.window." + name)
+	errsWin := reg.WindowedCounter("http.window.err." + name)
+	shedWin := reg.WindowedCounter("http.window.shed." + name)
 	return func(rw http.ResponseWriter, r *http.Request) {
 		requests.Inc()
 		inflight.Add(1)
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: rw, status: http.StatusOK}
+		tr := serving.NewTrace(name)
+		rw.Header().Set("X-Woc-Trace", tr.ID)
+		sw := &statusWriter{ResponseWriter: rw, tr: tr, status: http.StatusOK}
 		defer func() {
-			latency.ObserveDuration(time.Since(start))
+			d := time.Since(start)
+			latency.ObserveDuration(d)
+			rolling.ObserveDuration(d)
 			inflight.Add(-1)
 			reg.Counter(fmt.Sprintf("http.status.%s.%d", name, sw.status)).Inc()
+			switch {
+			case sw.status == http.StatusServiceUnavailable:
+				shedWin.Inc()
+			case sw.status >= 500:
+				errsWin.Inc()
+			}
+			tr.Finish(sw.status, d, nil)
+			traces.Record(tr)
+			alog.log(tr)
 		}()
-		h(sw, r)
+		h(sw, r.WithContext(serving.WithTrace(r.Context(), tr)))
 	}
 }
 
@@ -167,8 +220,9 @@ var expvarOnce sync.Once
 // endpoint into the system's metrics registry. Each request gets a context
 // deadline of reqTimeout; overload from the serving layer's admission
 // control maps to 503 + Retry-After.
-func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enablePprof bool) *http.ServeMux {
+func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enablePprof bool, alog *accessLog) *http.ServeMux {
 	reg := sys.Metrics()
+	traces := svc.Traces()
 
 	writeJSON := func(rw http.ResponseWriter, code int, v any) {
 		// Encode first so a marshal failure can still change the status code;
@@ -187,8 +241,11 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 	}
 	// failErr maps serving-layer errors to HTTP semantics: shed load is 503
 	// with a Retry-After hint (the client should back off briefly, not
-	// hammer), an expired deadline is 504, unknown ids are 404.
-	failErr := func(rw http.ResponseWriter, err error) {
+	// hammer), an expired deadline is 504, unknown ids are 404. The error is
+	// also annotated onto the request trace so the slow-query log shows why
+	// a request failed.
+	failErr := func(rw http.ResponseWriter, r *http.Request, err error) {
+		serving.TraceFromContext(r.Context()).SetError(err)
 		switch {
 		case errors.Is(err, serving.ErrOverloaded):
 			rw.Header().Set("Retry-After", "1")
@@ -215,7 +272,7 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 			defer cancel()
 			h(rw, r.WithContext(ctx))
 		}
-		mux.HandleFunc("/"+name, instrument(reg, name, withDeadline))
+		mux.HandleFunc("/"+name, instrument(reg, traces, alog, name, withDeadline))
 	}
 
 	handle("healthz", func(rw http.ResponseWriter, r *http.Request) {
@@ -242,7 +299,7 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 		}
 		page, err := svc.Search(r.Context(), q, kOf(r))
 		if err != nil {
-			failErr(rw, err)
+			failErr(rw, r, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, page)
@@ -255,7 +312,7 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 		}
 		hits, err := svc.ConceptSearch(r.Context(), q, kOf(r))
 		if err != nil {
-			failErr(rw, err)
+			failErr(rw, r, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, hits)
@@ -263,7 +320,7 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 	handle("record", func(rw http.ResponseWriter, r *http.Request) {
 		rec, err := svc.Record(r.Context(), r.URL.Query().Get("id"))
 		if err != nil {
-			failErr(rw, err)
+			failErr(rw, r, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, rec)
@@ -271,7 +328,7 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 	handle("aggregate", func(rw http.ResponseWriter, r *http.Request) {
 		page, err := svc.Aggregate(r.Context(), r.URL.Query().Get("id"))
 		if err != nil {
-			failErr(rw, err)
+			failErr(rw, r, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, page)
@@ -279,7 +336,7 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 	handle("alternatives", func(rw http.ResponseWriter, r *http.Request) {
 		recs, err := svc.Alternatives(r.Context(), r.URL.Query().Get("id"), kOf(r))
 		if err != nil {
-			failErr(rw, err)
+			failErr(rw, r, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, recs)
@@ -287,7 +344,7 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 	handle("augmentations", func(rw http.ResponseWriter, r *http.Request) {
 		recs, err := svc.Augmentations(r.Context(), r.URL.Query().Get("id"), kOf(r))
 		if err != nil {
-			failErr(rw, err)
+			failErr(rw, r, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, recs)
@@ -295,16 +352,41 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 	handle("lineage", func(rw http.ResponseWriter, r *http.Request) {
 		lines, err := svc.Lineage(r.Context(), r.URL.Query().Get("id"))
 		if err != nil {
-			failErr(rw, err)
+			failErr(rw, r, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, lines)
 	})
 
-	// Observability surfaces. /metrics serves the registry snapshot as JSON;
-	// /debug/vars serves the same through expvar alongside cmdline/memstats.
+	// Observability surfaces. /metrics serves the registry snapshot as JSON,
+	// or Prometheus text exposition with ?format=prometheus; /debug/vars
+	// serves the same snapshot through expvar alongside cmdline/memstats.
 	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			obs.WritePrometheus(rw, reg.Snapshot())
+			return
+		}
 		writeJSON(rw, http.StatusOK, reg.Snapshot())
+	})
+	// Trace surfaces: the per-endpoint slow-query log, and point lookup of
+	// any trace ID a client just saw in X-Woc-Trace.
+	mux.HandleFunc("/debug/slowlog", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, traces.Slowest())
+	})
+	mux.HandleFunc("/debug/trace", func(rw http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			fail(rw, http.StatusBadRequest, errors.New("missing id"))
+			return
+		}
+		tr, ok := traces.ByID(id)
+		if !ok {
+			fail(rw, http.StatusNotFound, errors.New("trace not in ring (retained for the last "+
+				strconv.Itoa(traces.Len())+" requests)"))
+			return
+		}
+		writeJSON(rw, http.StatusOK, tr)
 	})
 	expvarOnce.Do(func() {
 		expvar.Publish("woc", expvar.Func(func() any { return reg.Snapshot() }))

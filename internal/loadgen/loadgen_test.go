@@ -1,0 +1,249 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"conceptweb/internal/logsim"
+	"conceptweb/internal/webgen"
+)
+
+func testLogs(t *testing.T) *logsim.Logs {
+	t.Helper()
+	cfg := webgen.DefaultConfig()
+	cfg.Restaurants = 30
+	cfg.ReviewArticles = 5
+	cfg.TVArticles = 1
+	w := webgen.Generate(cfg)
+	simCfg := logsim.DefaultConfig()
+	simCfg.Users = 50
+	return logsim.NewSimulator(w, simCfg).Run()
+}
+
+func TestWorkloadZipfHeadHeavy(t *testing.T) {
+	logs := testLogs(t)
+	w, err := FromLogs(logs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries()) < 10 {
+		t.Fatalf("only %d unique queries; world too small for the test", len(w.Queries()))
+	}
+	// Sample many queries: the head rank must dominate (zipf), and every
+	// sample must come from the vocabulary.
+	vocab := make(map[string]int, len(w.Queries()))
+	for i, q := range w.Queries() {
+		vocab[q] = i
+	}
+	const n = 5000
+	counts := make(map[string]int)
+	headRanks := 0
+	for i := 0; i < n; i++ {
+		q := w.Query()
+		r, ok := vocab[q]
+		if !ok {
+			t.Fatalf("sampled query %q not in vocabulary", q)
+		}
+		counts[q]++
+		if r < len(w.Queries())/10 {
+			headRanks++
+		}
+	}
+	if frac := float64(headRanks) / n; frac < 0.5 {
+		t.Errorf("top-decile ranks drew %.0f%% of samples, want head-heavy (>=50%%)", 100*frac)
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	logs := testLogs(t)
+	w1, _ := FromLogs(logs, 7)
+	w2, _ := FromLogs(logs, 7)
+	for i := 0; i < 50; i++ {
+		s1, s2 := w1.Session(), w2.Session()
+		if len(s1) != len(s2) {
+			t.Fatalf("session %d lengths differ: %d vs %d", i, len(s1), len(s2))
+		}
+		for j := range s1 {
+			if s1[j] != s2[j] {
+				t.Fatalf("session %d op %d differs: %+v vs %+v", i, j, s1[j], s2[j])
+			}
+		}
+	}
+}
+
+func TestWorkloadSessionsUseIDPool(t *testing.T) {
+	logs := testLogs(t)
+	w, _ := FromLogs(logs, 3)
+
+	// Without IDs every op must be a query endpoint.
+	for i := 0; i < 100; i++ {
+		for _, op := range w.Session() {
+			if op.Endpoint != "search" && op.Endpoint != "concepts" {
+				t.Fatalf("op %+v uses an id endpoint before IDs were harvested", op)
+			}
+			if !strings.HasPrefix(op.Path, "/"+op.Endpoint+"?") {
+				t.Fatalf("malformed path %q", op.Path)
+			}
+		}
+	}
+	w.SetIDs([]string{"rest:1", "rest:2"})
+	sawID := false
+	for i := 0; i < 200 && !sawID; i++ {
+		for _, op := range w.Session() {
+			if strings.Contains(op.Path, "id=") {
+				sawID = true
+				if !strings.Contains(op.Path, "rest%3A1") && !strings.Contains(op.Path, "rest%3A2") {
+					t.Fatalf("id op %+v not drawn from the pool", op)
+				}
+			}
+		}
+	}
+	if !sawID {
+		t.Error("no id-addressed ops after SetIDs")
+	}
+}
+
+// fakeServe is a stand-in wocserve: instant answers, X-Woc-Cache miss on
+// first sight of a path then hit, 503 on demand.
+type fakeServe struct {
+	seen  map[string]bool
+	shedN atomic.Int64 // every Nth request is shed when > 0
+	reqs  atomic.Int64
+}
+
+func (f *fakeServe) handler() http.Handler {
+	mux := http.NewServeMux()
+	answer := func(rw http.ResponseWriter, r *http.Request) {
+		n := f.reqs.Add(1)
+		if k := f.shedN.Load(); k > 0 && n%k == 0 {
+			rw.Header().Set("Retry-After", "1")
+			http.Error(rw, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		key := r.URL.String()
+		disp := "miss"
+		if f.seen[key] {
+			disp = "hit"
+		}
+		f.seen[key] = true
+		rw.Header().Set("X-Woc-Cache", disp)
+		rw.Header().Set("X-Woc-Trace", "woc-00000000-00000001")
+		rw.Write([]byte(`[]`)) //nolint:errcheck
+	}
+	for _, ep := range []string{"search", "concepts", "aggregate", "alternatives",
+		"augmentations", "record", "lineage"} {
+		mux.HandleFunc("/"+ep, answer)
+	}
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Write([]byte(`{"ok":true}`)) //nolint:errcheck
+	})
+	return mux
+}
+
+func TestRunnerSweepAndHitMissSplit(t *testing.T) {
+	logs := testLogs(t)
+	w, _ := FromLogs(logs, 11)
+	fake := &fakeServe{seen: make(map[string]bool)}
+	srv := httptest.NewServer(fake.handler())
+	defer srv.Close()
+
+	rep, err := Run(w, Options{
+		BaseURL:  srv.URL,
+		Levels:   []float64{60, 120},
+		Duration: 600 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(rep.Levels))
+	}
+	lv := rep.Levels[0]
+	if lv.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if lv.AchievedQPS <= 0 {
+		t.Error("achieved QPS not computed")
+	}
+	st, ok := lv.Endpoints["search"]
+	if !ok || st.Requests == 0 {
+		t.Fatalf("no search stats: %+v", lv.Endpoints)
+	}
+	// The zipf head repeats queries, so the fake cache must yield both
+	// misses (first sight) and hits (repeats), split via the header.
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Errorf("hit/miss split empty: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if st.P99ms < st.P50ms || st.P50ms <= 0 {
+		t.Errorf("latency quantiles inconsistent: %+v", st)
+	}
+	if rep.ShedOnsetQPS != 0 {
+		t.Errorf("shed onset = %v with no shedding", rep.ShedOnsetQPS)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report not serializable: %v", err)
+	}
+}
+
+func TestRunnerShedOnsetAndSLO(t *testing.T) {
+	logs := testLogs(t)
+	w, _ := FromLogs(logs, 13)
+	fake := &fakeServe{seen: make(map[string]bool)}
+	fake.shedN.Store(5) // 20% of requests shed
+	srv := httptest.NewServer(fake.handler())
+	defer srv.Close()
+
+	rep, err := Run(w, Options{
+		BaseURL:  srv.URL,
+		Levels:   []float64{80},
+		Duration: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := rep.Levels[0]
+	if lv.Shed == 0 || lv.ShedRate < 0.05 {
+		t.Errorf("shed not recorded: shed=%d rate=%v", lv.Shed, lv.ShedRate)
+	}
+	if rep.ShedOnsetQPS != 80 {
+		t.Errorf("shed onset = %v, want 80", rep.ShedOnsetQPS)
+	}
+
+	// An absurdly tight SLO must fail the run but still return the report.
+	rep2, err := Run(w, Options{
+		BaseURL:  srv.URL,
+		Levels:   []float64{40},
+		Duration: 300 * time.Millisecond,
+		SLOP99:   time.Nanosecond,
+	})
+	if err == nil {
+		t.Error("1ns SLO passed")
+	}
+	if rep2 == nil || len(rep2.Levels) != 1 {
+		t.Error("SLO failure must still return the completed report")
+	}
+}
+
+func TestBootstrapHarvestsIDs(t *testing.T) {
+	logs := testLogs(t)
+	w, _ := FromLogs(logs, 17)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/concepts", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Write([]byte(`[{"Record":{"ID":"rest:a"}},{"Record":{"ID":"rest:b"}}]`)) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	n, err := Bootstrap(w, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("harvested %d IDs, want 2 unique", n)
+	}
+}

@@ -1,0 +1,322 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"conceptweb/internal/obs"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// BaseURL of the running wocserve, e.g. http://127.0.0.1:8639.
+	BaseURL string
+	// Levels are the target aggregate QPS levels, swept in order.
+	Levels []float64
+	// Duration each level runs for.
+	Duration time.Duration
+	// MaxSessions caps concurrently running sessions so an overloaded server
+	// cannot drive the client to unbounded goroutines; arrivals past the cap
+	// are counted as dropped, which is itself an overload signal. Zero means
+	// DefaultMaxSessions.
+	MaxSessions int
+	// SLOP99 asserts the client-observed p99 of SLOEndpoint at the LOWEST
+	// level stays under this bound; zero disables the assert.
+	SLOP99      time.Duration
+	SLOEndpoint string
+	// Client overrides the HTTP client (tests); nil builds a pooled default.
+	Client *http.Client
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxSessions bounds client-side concurrency.
+const DefaultMaxSessions = 256
+
+// shedOnsetFraction: the sweep reports the first level where at least this
+// fraction of requests was shed as the shed onset.
+const shedOnsetFraction = 0.005
+
+// Report is the sweep result, written as BENCH_PR6.json by CI and make
+// loadtest.
+type Report struct {
+	BaseURL      string        `json:"base_url"`
+	Seed         int64         `json:"seed"`
+	Notes        string        `json:"notes,omitempty"` // e.g. the server flags swept against
+	DurationSecs float64       `json:"duration_secs_per_level"`
+	Levels       []LevelReport `json:"levels"`
+	// ShedOnsetQPS is the first swept level where the server shed >=0.5% of
+	// requests; 0 means no level reached shedding.
+	ShedOnsetQPS float64 `json:"shed_onset_qps"`
+}
+
+// LevelReport is one QPS level's client-side view.
+type LevelReport struct {
+	TargetQPS       float64 `json:"target_qps"`
+	AchievedQPS     float64 `json:"achieved_qps"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"` // transport errors + 5xx other than shed
+	Shed            int64   `json:"shed"`   // 503 responses
+	ShedRate        float64 `json:"shed_rate"`
+	SessionsDropped int64   `json:"sessions_dropped,omitempty"`
+
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// EndpointStats is the per-endpoint latency/disposition split. The
+// hit/miss/coalesced/shed classification comes from the server's X-Woc-Cache
+// response header, so the split is exact, not inferred from latency.
+type EndpointStats struct {
+	Requests  int64 `json:"requests"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Shed      int64 `json:"shed"`
+
+	P50ms float64 `json:"p50_ms"`
+	P99ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+
+	HitP50ms  float64 `json:"hit_p50_ms,omitempty"`
+	HitP99ms  float64 `json:"hit_p99_ms,omitempty"`
+	MissP50ms float64 `json:"miss_p50_ms,omitempty"`
+	MissP99ms float64 `json:"miss_p99_ms,omitempty"`
+}
+
+// Bootstrap harvests record IDs from the live server by probing /concepts
+// with the workload's head queries, enabling the id-addressed endpoints.
+// Returns how many IDs were installed.
+func Bootstrap(w *Workload, baseURL string, client *http.Client) (int, error) {
+	if client == nil {
+		client = defaultClient()
+	}
+	seen := make(map[string]bool)
+	var ids []string
+	for _, q := range w.HarvestQueries(25) {
+		resp, err := client.Get(baseURL + "/concepts?k=20&q=" + url.QueryEscape(q))
+		if err != nil {
+			return 0, fmt.Errorf("loadgen bootstrap: %w", err)
+		}
+		var hits []struct {
+			Record struct {
+				ID string
+			}
+		}
+		err = json.NewDecoder(resp.Body).Decode(&hits)
+		resp.Body.Close()
+		if err != nil {
+			continue // non-200 or odd body; other probes may still yield IDs
+		}
+		for _, h := range hits {
+			if h.Record.ID != "" && !seen[h.Record.ID] {
+				seen[h.Record.ID] = true
+				ids = append(ids, h.Record.ID)
+			}
+		}
+	}
+	w.SetIDs(ids)
+	return len(ids), nil
+}
+
+// Run sweeps the configured QPS levels and returns the report. A non-nil
+// error with a non-nil report means the sweep completed but the SLO assert
+// failed.
+func Run(w *Workload, opts Options) (*Report, error) {
+	if len(opts.Levels) == 0 {
+		return nil, fmt.Errorf("loadgen: no QPS levels")
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 5 * time.Second
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = DefaultMaxSessions
+	}
+	if opts.Client == nil {
+		opts.Client = defaultClient()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	rep := &Report{BaseURL: opts.BaseURL, DurationSecs: opts.Duration.Seconds()}
+	for i, qps := range opts.Levels {
+		lr := runLevel(w, opts, qps, int64(i))
+		rep.Levels = append(rep.Levels, lr)
+		logf("level %4.0f qps: achieved %6.1f, %6d reqs, shed %.2f%%, search p99 %.1fms",
+			qps, lr.AchievedQPS, lr.Requests, 100*lr.ShedRate, lr.Endpoints["search"].P99ms)
+		if rep.ShedOnsetQPS == 0 && lr.ShedRate >= shedOnsetFraction {
+			rep.ShedOnsetQPS = qps
+		}
+	}
+
+	if opts.SLOP99 > 0 {
+		ep := opts.SLOEndpoint
+		if ep == "" {
+			ep = "search"
+		}
+		// Assert at the lowest level: the SLO is about the healthy regime,
+		// not about behaviour past the shed onset.
+		low := rep.Levels[0]
+		got := time.Duration(low.Endpoints[ep].P99ms * float64(time.Millisecond))
+		if got > opts.SLOP99 {
+			return rep, fmt.Errorf("loadgen: %s p99 %.1fms exceeds SLO %s at %v qps",
+				ep, low.Endpoints[ep].P99ms, opts.SLOP99, low.TargetQPS)
+		}
+	}
+	return rep, nil
+}
+
+// runLevel drives one open-loop level: session starts form a Poisson process
+// whose rate converts the target per-request QPS through the mean session
+// length, independent of how fast the server answers — so when the server
+// saturates, latency and shedding rise instead of the offered load silently
+// dropping (the closed-loop coordination trap).
+func runLevel(w *Workload, opts Options, qps float64, levelSeed int64) LevelReport {
+	reg := obs.NewRegistry()
+	arrivals := rand.New(rand.NewSource(levelSeed + 1))
+	lambda := qps / MeanOpsPerSession // sessions per second
+
+	sem := make(chan struct{}, opts.MaxSessions)
+	var wg sync.WaitGroup
+	var dropped int64
+
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	for now := start; now.Before(deadline); {
+		// Exponential inter-arrival time.
+		wait := time.Duration(-math.Log(1-arrivals.Float64()) / lambda * float64(time.Second))
+		time.Sleep(wait)
+		now = time.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		ops := w.Session() // sampled here: Workload is single-goroutine
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				for _, op := range ops {
+					doOp(opts.Client, opts.BaseURL, op, reg)
+				}
+			}()
+		default:
+			dropped++
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return assemble(reg, qps, elapsed, dropped)
+}
+
+// doOp issues one operation and records its client-side view.
+func doOp(client *http.Client, baseURL string, op Op, reg *obs.Registry) {
+	ep := sanitizeEndpoint(op.Endpoint)
+	reqStart := time.Now()
+	resp, err := client.Get(baseURL + op.Path)
+	if err != nil {
+		reg.Counter("err." + ep).Inc()
+		reg.Counter("req." + ep).Inc()
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+	resp.Body.Close()
+	lat := time.Since(reqStart)
+
+	reg.Counter("req." + ep).Inc()
+	reg.Histogram("lat." + ep).ObserveDuration(lat)
+	switch disp := resp.Header.Get("X-Woc-Cache"); disp {
+	case "hit":
+		reg.Counter("hit." + ep).Inc()
+		reg.Histogram("lat." + ep + ".hit").ObserveDuration(lat)
+	case "miss":
+		reg.Counter("miss." + ep).Inc()
+		reg.Histogram("lat." + ep + ".miss").ObserveDuration(lat)
+	case "coalesced":
+		reg.Counter("coal." + ep).Inc()
+		reg.Histogram("lat." + ep + ".miss").ObserveDuration(lat)
+	}
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		reg.Counter("shed." + ep).Inc()
+	case resp.StatusCode >= 500:
+		reg.Counter("err." + ep).Inc()
+	}
+}
+
+// assemble folds the level's registry into the report row.
+func assemble(reg *obs.Registry, qps float64, elapsed time.Duration, dropped int64) LevelReport {
+	snap := reg.Snapshot()
+	lr := LevelReport{
+		TargetQPS:       qps,
+		SessionsDropped: dropped,
+		Endpoints:       make(map[string]EndpointStats),
+	}
+	msQ := func(h obs.HistogramSnapshot) (p50, p99, max float64) {
+		return h.P50 * 1000, h.P99 * 1000, h.Max * 1000
+	}
+	for name, n := range snap.Counters {
+		ep, kind := "", ""
+		for _, prefix := range []string{"req.", "hit.", "miss.", "coal.", "shed.", "err."} {
+			if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+				ep, kind = name[len(prefix):], prefix
+				break
+			}
+		}
+		if ep == "" {
+			continue
+		}
+		st := lr.Endpoints[ep]
+		switch kind {
+		case "req.":
+			st.Requests = n
+			lr.Requests += n
+		case "hit.":
+			st.Hits = n
+		case "miss.":
+			st.Misses = n
+		case "coal.":
+			st.Coalesced = n
+		case "shed.":
+			st.Shed = n
+			lr.Shed += n
+		case "err.":
+			lr.Errors += n
+		}
+		lr.Endpoints[ep] = st
+	}
+	for ep, st := range lr.Endpoints {
+		st.P50ms, st.P99ms, st.MaxMs = msQ(snap.Histograms["lat."+ep])
+		if st.Hits > 0 {
+			st.HitP50ms, st.HitP99ms, _ = msQ(snap.Histograms["lat."+ep+".hit"])
+		}
+		if st.Misses+st.Coalesced > 0 {
+			st.MissP50ms, st.MissP99ms, _ = msQ(snap.Histograms["lat."+ep+".miss"])
+		}
+		lr.Endpoints[ep] = st
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		lr.AchievedQPS = float64(lr.Requests) / secs
+	}
+	if lr.Requests > 0 {
+		lr.ShedRate = float64(lr.Shed) / float64(lr.Requests)
+	}
+	return lr
+}
+
+func defaultClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 512
+	tr.MaxIdleConnsPerHost = 512
+	return &http.Client{Timeout: 30 * time.Second, Transport: tr}
+}

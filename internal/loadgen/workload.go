@@ -1,0 +1,178 @@
+// Package loadgen drives a running wocserve over HTTP with a workload
+// derived from the logsim behaviour model: query popularity follows a
+// zipfian distribution over the vocabulary logsim emits (rank-ordered by
+// empirical frequency, so the head queries the simulated users repeat most
+// are also the load generator's hottest), and traffic arrives as user
+// sessions — a burst of related operations from one simulated user — whose
+// starts form a Poisson process tuned to hit a target aggregate QPS.
+//
+// The runner half sweeps QPS levels against the live server, keeping
+// client-side latency histograms per endpoint with the hit/miss/coalesced/
+// shed split read back from the X-Woc-Cache response header, and writes a
+// JSON report (BENCH_PR6.json in CI) that shows where the serving layer's
+// admission control starts shedding.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/url"
+	"sort"
+	"strings"
+
+	"conceptweb/internal/logsim"
+)
+
+// Op is one HTTP operation of a session: the endpoint name (for per-endpoint
+// stats) and the request path with query string.
+type Op struct {
+	Endpoint string
+	Path     string
+}
+
+// zipfS and zipfV shape the rank-popularity curve. s just above 1 matches
+// the head-heavy query frequencies real engines see (and logsim emits).
+const (
+	zipfS = 1.1
+	zipfV = 1
+)
+
+// Workload samples sessions over a fixed query vocabulary and record-ID pool.
+// Not safe for concurrent use; the runner samples sessions from one goroutine
+// and hands them to workers.
+type Workload struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	queries []string // rank 0 = most frequent in the logsim corpus
+	ids     []string // record IDs, harvested from the live server
+}
+
+// FromLogs builds a workload from a simulated log corpus: unique queries are
+// rank-ordered by how often the simulated users issued them, and the zipf
+// sampler replays that popularity curve. The seed fixes the sampling
+// sequence, so two runs against the same server issue the same traffic.
+func FromLogs(logs *logsim.Logs, seed int64) (*Workload, error) {
+	freq := make(map[string]int)
+	for _, ev := range logs.Queries {
+		freq[ev.Query]++
+	}
+	if len(freq) == 0 {
+		return nil, fmt.Errorf("loadgen: log corpus has no queries")
+	}
+	queries := make([]string, 0, len(freq))
+	for q := range freq {
+		queries = append(queries, q)
+	}
+	// Rank by frequency, ties broken lexically so the ranking is stable
+	// across map iteration orders.
+	sort.Slice(queries, func(i, j int) bool {
+		if freq[queries[i]] != freq[queries[j]] {
+			return freq[queries[i]] > freq[queries[j]]
+		}
+		return queries[i] < queries[j]
+	})
+	rng := rand.New(rand.NewSource(seed))
+	return &Workload{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, zipfS, zipfV, uint64(len(queries)-1)),
+		queries: queries,
+	}, nil
+}
+
+// SetIDs installs the record-ID pool for the id-addressed endpoints
+// (aggregate, alternatives, augmentations, record, lineage). The runner
+// harvests IDs from the live server before the sweep; until then sessions
+// contain only query endpoints.
+func (w *Workload) SetIDs(ids []string) { w.ids = ids }
+
+// Queries returns the rank-ordered vocabulary (most popular first).
+func (w *Workload) Queries() []string { return w.queries }
+
+// Query samples one query by zipfian popularity.
+func (w *Workload) Query() string {
+	return w.queries[w.zipf.Uint64()]
+}
+
+// opMix is the per-operation endpoint mixture within a session, mirroring
+// the behaviour model: instance/set/attribute queries dominate (search and
+// concept search), with follow-up aggregation-page visits and recommendation
+// clicks — the §5 applications — behind them.
+var opMix = []struct {
+	endpoint string
+	p        float64
+}{
+	{"search", 0.50},
+	{"concepts", 0.15},
+	{"aggregate", 0.15},
+	{"alternatives", 0.08},
+	{"record", 0.06},
+	{"augmentations", 0.04},
+	{"lineage", 0.02},
+}
+
+// MeanOpsPerSession is the expected session length; the runner converts a
+// target QPS into a session arrival rate by dividing through it.
+const MeanOpsPerSession = 4.0
+
+// Session samples one user session: a geometrically distributed number of
+// operations (mean MeanOpsPerSession) over the endpoint mixture. ID-addressed
+// operations degrade to searches while the ID pool is empty.
+func (w *Workload) Session() []Op {
+	n := 1
+	for w.rng.Float64() < 1-1/MeanOpsPerSession {
+		n++
+	}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, w.op())
+	}
+	return ops
+}
+
+func (w *Workload) op() Op {
+	x := w.rng.Float64()
+	acc := 0.0
+	endpoint := opMix[0].endpoint
+	for _, m := range opMix {
+		acc += m.p
+		if x < acc {
+			endpoint = m.endpoint
+			break
+		}
+	}
+	switch endpoint {
+	case "search", "concepts":
+		return Op{endpoint, "/" + endpoint + "?k=8&q=" + url.QueryEscape(w.Query())}
+	default:
+		if len(w.ids) == 0 {
+			return Op{"search", "/search?k=8&q=" + url.QueryEscape(w.Query())}
+		}
+		id := w.ids[w.rng.Intn(len(w.ids))]
+		path := "/" + endpoint + "?id=" + url.QueryEscape(id)
+		if endpoint == "alternatives" || endpoint == "augmentations" {
+			path += "&k=8"
+		}
+		return Op{endpoint, path}
+	}
+}
+
+// HarvestQueries returns the head of the vocabulary, used by the runner to
+// bootstrap the record-ID pool via /concepts probes.
+func (w *Workload) HarvestQueries(n int) []string {
+	if n > len(w.queries) {
+		n = len(w.queries)
+	}
+	return w.queries[:n]
+}
+
+// sanitizeEndpoint maps an endpoint name into a metric-name segment.
+func sanitizeEndpoint(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

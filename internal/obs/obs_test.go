@@ -115,6 +115,50 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases is the ISSUE 6 satellite table test: quantiles on an
+// empty histogram must be 0 (no interpolation against the ±Inf min/max
+// sentinels), a single observation must report itself at every quantile, and
+// overflow-bucket quantiles must report the observed maximum.
+func TestQuantileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		observe []float64
+		q       float64
+		want    float64
+	}{
+		{"empty p50", []float64{1, 2}, nil, 0.50, 0},
+		{"empty p99", []float64{1, 2}, nil, 0.99, 0},
+		{"empty p100", []float64{1, 2}, nil, 1.00, 0},
+		{"single obs p50", []float64{1, 2}, []float64{1.5}, 0.50, 1.5},
+		{"single obs p99", []float64{1, 2}, []float64{1.5}, 0.99, 1.5},
+		{"single obs p100", []float64{1, 2}, []float64{1.5}, 1.00, 1.5},
+		{"single overflow p50", []float64{1, 2}, []float64{9}, 0.50, 9},
+		{"all overflow p99", []float64{1, 2}, []float64{5, 7, 11}, 0.99, 11},
+		{"mixed overflow p100", []float64{1, 2}, []float64{0.5, 99}, 1.00, 99},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewRegistry().HistogramWith("h", c.bounds)
+			for _, v := range c.observe {
+				h.Observe(v)
+			}
+			got := h.Quantile(c.q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Quantile(%v) = %v, not finite", c.q, got)
+			}
+			if got != c.want {
+				t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+			}
+		})
+	}
+	// An empty histogram's snapshot must be all-zero too, not ±Inf.
+	s := NewRegistry().Histogram("empty").Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot = %+v, want zeros", s)
+	}
+}
+
 func TestNilSafety(t *testing.T) {
 	var r *Registry
 	r.Counter("x").Inc()
@@ -181,6 +225,76 @@ func TestSpanConcurrentChildren(t *testing.T) {
 	root.End()
 	if got := len(root.Report().Children); got != 16 {
 		t.Errorf("children = %d, want 16", got)
+	}
+}
+
+// TestSpanConcurrentTree hammers Start/attach/End from many goroutines —
+// nested subtrees ending concurrently with parent Report calls — and asserts
+// the frozen TraceReport totals are consistent. PR 1 shipped the span API
+// with only sequential coverage; this is the -race proof.
+func TestSpanConcurrentTree(t *testing.T) {
+	const workers, childrenPerWorker = 16, 50
+	ctx, root := Start(context.Background(), "root")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wctx, ws := Start(ctx, "worker")
+			for i := 0; i < childrenPerWorker; i++ {
+				cctx, c := Start(wctx, "op")
+				if i%10 == 0 {
+					_, g := Start(cctx, "grandchild")
+					g.End()
+				}
+				c.End()
+				if i%25 == 0 {
+					// Concurrent Report on a still-growing tree must not race
+					// or observe a torn child list.
+					_ = root.Report()
+					_ = ws.Duration()
+				}
+			}
+			ws.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	rep := root.Report()
+	if got := len(rep.Children); got != workers {
+		t.Fatalf("root children = %d, want %d", got, workers)
+	}
+	totalOps, totalGrand := 0, 0
+	for _, w := range rep.Children {
+		if w.Name != "worker" {
+			t.Fatalf("child name = %q", w.Name)
+		}
+		if len(w.Children) != childrenPerWorker {
+			t.Errorf("worker ops = %d, want %d", len(w.Children), childrenPerWorker)
+		}
+		for _, op := range w.Children {
+			totalOps++
+			if op.Duration < 0 {
+				t.Errorf("op duration = %v", op.Duration)
+			}
+			totalGrand += len(op.Children)
+		}
+		if w.Duration > rep.Duration {
+			t.Errorf("worker %v longer than root %v", w.Duration, rep.Duration)
+		}
+	}
+	if totalOps != workers*childrenPerWorker {
+		t.Errorf("ops = %d, want %d", totalOps, workers*childrenPerWorker)
+	}
+	if want := workers * (childrenPerWorker / 10); totalGrand != want {
+		t.Errorf("grandchildren = %d, want %d", totalGrand, want)
+	}
+	// End is idempotent: a second End (racing pattern in defer-heavy code)
+	// must not change the frozen duration.
+	d := root.End()
+	if d2 := root.End(); d2 != d {
+		t.Errorf("second End changed duration: %v vs %v", d2, d)
 	}
 }
 

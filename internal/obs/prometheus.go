@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges verbatim, histograms as
+// cumulative le-buckets plus _sum/_count, and windowed instruments as gauges
+// (their quantiles are already materialized and a scraper cannot merge
+// rolling windows itself). Metric names are the registry's dotted names with
+// every character outside [a-zA-Z0-9_:] mapped to '_', prefixed "woc_".
+// Output is sorted by name so the exposition is deterministic.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	names := sortedKeys(s.Counters)
+	for _, name := range names {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+
+	names = sortedKeys(s.Gauges)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
+	}
+
+	names = sortedKeys(s.Histograms)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, promFloat(bk.LE), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+
+	names = sortedKeys(s.Windowed)
+	for _, name := range names {
+		h := s.Windowed[name]
+		pn := promName(name) + "_window"
+		for _, q := range []struct {
+			suffix string
+			v      float64
+		}{{"_p50", h.P50}, {"_p90", h.P90}, {"_p99", h.P99}} {
+			fmt.Fprintf(&b, "# TYPE %s%s gauge\n%s%s %s\n", pn, q.suffix, pn, q.suffix, promFloat(q.v))
+		}
+		fmt.Fprintf(&b, "# TYPE %s_count gauge\n%s_count %d\n", pn, pn, h.Count)
+	}
+
+	names = sortedKeys(s.WindowedCounters)
+	for _, name := range names {
+		c := s.WindowedCounters[name]
+		pn := promName(name) + "_window"
+		fmt.Fprintf(&b, "# TYPE %s_count gauge\n%s_count %d\n", pn, pn, c.Count)
+		fmt.Fprintf(&b, "# TYPE %s_per_sec gauge\n%s_per_sec %s\n", pn, pn, promFloat(c.PerSec))
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName maps a dotted registry name onto the Prometheus grammar.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("woc_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects, +Inf included.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -213,17 +213,62 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Float64frombits(h.max.Load())
 }
 
+// merge folds src's observations into h. Both must share bucket bounds (the
+// windowed-histogram invariant); h is assumed unpublished, so plain atomic
+// stores suffice.
+func (h *Histogram) merge(src *Histogram) {
+	for i := range h.counts {
+		h.counts[i].Add(src.counts[i].Load())
+	}
+	n := src.count.Load()
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	atomicAddFloat(&h.sum, math.Float64frombits(src.sum.Load()))
+	atomicMinFloat(&h.min, math.Float64frombits(src.min.Load()))
+	atomicMaxFloat(&h.max, math.Float64frombits(src.max.Load()))
+}
+
+// Buckets returns the cumulative bucket counts in Prometheus le-convention:
+// one entry per configured upper bound plus a final +Inf entry, each count
+// covering every observation at or below the bound.
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	out := make([]BucketCount, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out[i] = BucketCount{LE: le, Count: cum}
+	}
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket: the count of observations
+// <= LE (the final bucket has LE = +Inf).
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
 // Snapshot summarizes the histogram.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
 	s := HistogramSnapshot{
-		Count: h.Count(),
-		Sum:   h.Sum(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+		Buckets: h.Buckets(),
 	}
 	if s.Count > 0 {
 		s.Min = math.Float64frombits(h.min.Load())
@@ -233,16 +278,19 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// HistogramSnapshot is a point-in-time histogram summary (JSON-friendly).
+// HistogramSnapshot is a point-in-time histogram summary (JSON-friendly;
+// bucket detail is kept out of the JSON shape — it exists for the Prometheus
+// exposition, which needs cumulative buckets, not quantile summaries).
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Mean  float64 `json:"mean"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Mean    float64       `json:"mean"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"-"`
 }
 
 // Registry is a namespace of instruments. Instruments are created on first
@@ -253,6 +301,8 @@ type Registry struct {
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	whists map[string]*WindowedHistogram
+	wctrs  map[string]*WindowedCounter
 }
 
 // NewRegistry returns an empty registry.
@@ -261,6 +311,8 @@ func NewRegistry() *Registry {
 		ctrs:   make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		whists: make(map[string]*WindowedHistogram),
+		wctrs:  make(map[string]*WindowedCounter),
 	}
 }
 
@@ -332,6 +384,50 @@ func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// WindowedHistogram returns the named rolling histogram with
+// DefaultLatencyBuckets and the default window shape (12 × 5s), creating it
+// if needed. It shares a namespace with neither Histogram nor Counter: the
+// same name can carry both a cumulative and a rolling instrument.
+func (r *Registry) WindowedHistogram(name string) *WindowedHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	w := r.whists[name]
+	r.mu.RUnlock()
+	if w != nil {
+		return w
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w = r.whists[name]; w == nil {
+		w = NewWindowedHistogram(DefaultLatencyBuckets, DefaultWindowInterval, DefaultWindowCount, nil)
+		r.whists[name] = w
+	}
+	return w
+}
+
+// WindowedCounter returns the named rolling counter with the default window
+// shape, creating it if needed.
+func (r *Registry) WindowedCounter(name string) *WindowedCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.wctrs[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.wctrs[name]; c == nil {
+		c = NewWindowedCounter(DefaultWindowInterval, DefaultWindowCount, nil)
+		r.wctrs[name] = c
+	}
+	return c
+}
+
 // Time starts a latency measurement against the named histogram; call the
 // returned func to stop and record it:
 //
@@ -345,12 +441,34 @@ func (r *Registry) Time(name string) func() {
 	return func() { h.ObserveDuration(time.Since(start)) }
 }
 
+// TimeWindowed starts a latency measurement recorded into both the named
+// cumulative histogram and the same-named rolling histogram, so one deferred
+// call feeds lifetime and recent-window views:
+//
+//	defer reg.TimeWindowed("api.search")()
+func (r *Registry) TimeWindowed(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	h := r.Histogram(name)
+	w := r.WindowedHistogram(name)
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		h.ObserveDuration(d)
+		w.ObserveDuration(d)
+	}
+}
+
 // Snapshot captures every instrument's current value. The maps are fresh
-// copies, safe to serialize or mutate.
+// copies, safe to serialize or mutate. Windowed entries summarize only the
+// rolling window, under the same names as their cumulative counterparts.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]int64             `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Counters         map[string]int64                   `json:"counters"`
+	Gauges           map[string]int64                   `json:"gauges"`
+	Histograms       map[string]HistogramSnapshot       `json:"histograms"`
+	Windowed         map[string]HistogramSnapshot       `json:"windowed,omitempty"`
+	WindowedCounters map[string]WindowedCounterSnapshot `json:"windowed_counters,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of all instruments.
@@ -373,6 +491,18 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	if len(r.whists) > 0 {
+		s.Windowed = make(map[string]HistogramSnapshot, len(r.whists))
+		for name, w := range r.whists {
+			s.Windowed[name] = w.Snapshot()
+		}
+	}
+	if len(r.wctrs) > 0 {
+		s.WindowedCounters = make(map[string]WindowedCounterSnapshot, len(r.wctrs))
+		for name, c := range r.wctrs {
+			s.WindowedCounters[name] = c.Snapshot()
+		}
 	}
 	return s
 }

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Windowed instruments answer "what happened recently?" where the cumulative
+// Histogram/Counter answer "what happened since the process started?". They
+// keep a ring of fixed-interval sub-instruments: each observation lands in
+// the slot owning the current wall-clock interval, snapshots merge the slots
+// that are still inside the rolling window, and a slot is lazily reset the
+// first time its interval index comes around again. Rotation is driven by
+// observers and snapshotters alike, so an idle instrument decays to empty
+// without any background goroutine.
+//
+// The hot path keeps the cumulative instruments' atomic discipline: reading
+// the slot for the current interval is two atomic loads; the mutex is taken
+// only on the first observation of a new interval (once per interval per
+// instrument, not per observation).
+
+// Default windowed-instrument shape: 12 intervals of 5s = a rolling minute.
+// Wide enough to smooth per-interval noise, narrow enough that a load change
+// shows up in the merged quantiles within one rotation interval.
+const (
+	DefaultWindowInterval = 5 * time.Second
+	DefaultWindowCount    = 12
+)
+
+// windowRing is the shared rotation machinery: a ring of interval-stamped
+// slots plus the swappable clock.
+type windowRing struct {
+	interval time.Duration
+	epochs   []atomic.Int64 // interval index currently owning each slot
+	mu       sync.Mutex     // serializes slot resets
+	now      func() time.Time
+}
+
+// initWindowRing initializes r in place (the ring embeds a mutex, so it is
+// never copied after construction).
+func initWindowRing(r *windowRing, interval time.Duration, windows int, now func() time.Time) {
+	if interval <= 0 {
+		interval = DefaultWindowInterval
+	}
+	if windows <= 0 {
+		windows = DefaultWindowCount
+	}
+	if now == nil {
+		now = time.Now
+	}
+	r.interval, r.epochs, r.now = interval, make([]atomic.Int64, windows), now
+	for i := range r.epochs {
+		// Stamp slots impossible-old so interval index 0 still triggers a
+		// reset the first time it is observed into.
+		r.epochs[i].Store(-1)
+	}
+}
+
+// epochNow returns the current interval index.
+func (r *windowRing) epochNow() int64 {
+	return r.now().UnixNano() / int64(r.interval)
+}
+
+// slotFor returns the slot index owning interval e, resetting it via reset
+// if it still holds a previous cycle's data. The epoch is stamped only after
+// reset completes, so a concurrent reader that sees the fresh epoch also
+// sees the fresh slot.
+func (r *windowRing) slotFor(e int64, reset func(slot int)) int {
+	i := int(e % int64(len(r.epochs)))
+	if r.epochs[i].Load() == e {
+		return i
+	}
+	r.mu.Lock()
+	if r.epochs[i].Load() != e {
+		reset(i)
+		r.epochs[i].Store(e)
+	}
+	r.mu.Unlock()
+	return i
+}
+
+// live reports whether the slot at index i holds data inside the rolling
+// window ending at interval e.
+func (r *windowRing) live(i int, e int64) bool {
+	se := r.epochs[i].Load()
+	return se >= 0 && se > e-int64(len(r.epochs)) && se <= e
+}
+
+// Span is the rolling window's total duration.
+func (r *windowRing) span() time.Duration {
+	return r.interval * time.Duration(len(r.epochs))
+}
+
+// WindowedHistogram is a rolling-window histogram: a ring of fixed-bucket
+// sub-histograms rotated on a wall-clock interval and merged on snapshot.
+// A nil *WindowedHistogram is a no-op, like every obs instrument.
+type WindowedHistogram struct {
+	ring   windowRing
+	bounds []float64
+	slots  []atomic.Pointer[Histogram]
+}
+
+// NewWindowedHistogram builds a rolling histogram covering windows intervals
+// of the given length, with the given bucket bounds. interval/windows <= 0
+// take the defaults; now == nil uses time.Now (tests inject a fake clock).
+func NewWindowedHistogram(bounds []float64, interval time.Duration, windows int, now func() time.Time) *WindowedHistogram {
+	w := &WindowedHistogram{bounds: append([]float64(nil), bounds...)}
+	initWindowRing(&w.ring, interval, windows, now)
+	w.slots = make([]atomic.Pointer[Histogram], len(w.ring.epochs))
+	for i := range w.slots {
+		w.slots[i].Store(newHistogram(w.bounds))
+	}
+	return w
+}
+
+// Observe records one value into the current interval's sub-histogram.
+func (w *WindowedHistogram) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	e := w.ring.epochNow()
+	i := w.ring.slotFor(e, func(slot int) {
+		w.slots[slot].Store(newHistogram(w.bounds))
+	})
+	w.slots[i].Load().Observe(v)
+}
+
+// ObserveDuration records d as seconds.
+func (w *WindowedHistogram) ObserveDuration(d time.Duration) { w.Observe(d.Seconds()) }
+
+// Interval returns the rotation interval.
+func (w *WindowedHistogram) Interval() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.ring.interval
+}
+
+// Span returns the total rolling-window length (interval × window count).
+func (w *WindowedHistogram) Span() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.ring.span()
+}
+
+// Snapshot merges the sub-histograms still inside the rolling window into
+// one summary. New observations appear immediately (the current, partial
+// interval is included); old ones fall off as their interval leaves the
+// window.
+func (w *WindowedHistogram) Snapshot() HistogramSnapshot {
+	if w == nil {
+		return HistogramSnapshot{}
+	}
+	e := w.ring.epochNow()
+	merged := newHistogram(w.bounds)
+	for i := range w.slots {
+		if !w.ring.live(i, e) {
+			continue
+		}
+		if h := w.slots[i].Load(); h != nil {
+			merged.merge(h)
+		}
+	}
+	return merged.Snapshot()
+}
+
+// WindowedCounter counts events over the same rolling window, for recent
+// error/shed rates where the cumulative counter only gives lifetime totals.
+// A nil *WindowedCounter is a no-op.
+type WindowedCounter struct {
+	ring  windowRing
+	slots []atomic.Int64
+}
+
+// NewWindowedCounter builds a rolling counter; parameter semantics match
+// NewWindowedHistogram.
+func NewWindowedCounter(interval time.Duration, windows int, now func() time.Time) *WindowedCounter {
+	c := &WindowedCounter{}
+	initWindowRing(&c.ring, interval, windows, now)
+	c.slots = make([]atomic.Int64, len(c.ring.epochs))
+	return c
+}
+
+// Inc adds one to the current interval.
+func (c *WindowedCounter) Inc() { c.Add(1) }
+
+// Add adds n to the current interval.
+func (c *WindowedCounter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	e := c.ring.epochNow()
+	i := c.ring.slotFor(e, func(slot int) { c.slots[slot].Store(0) })
+	c.slots[i].Add(n)
+}
+
+// Value sums the intervals still inside the rolling window.
+func (c *WindowedCounter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	e := c.ring.epochNow()
+	var total int64
+	for i := range c.slots {
+		if c.ring.live(i, e) {
+			total += c.slots[i].Load()
+		}
+	}
+	return total
+}
+
+// Rate returns events per second over the rolling window span.
+func (c *WindowedCounter) Rate() float64 {
+	if c == nil {
+		return 0
+	}
+	span := c.ring.span().Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(c.Value()) / span
+}
+
+// Snapshot summarizes the rolling counter.
+func (c *WindowedCounter) Snapshot() WindowedCounterSnapshot {
+	if c == nil {
+		return WindowedCounterSnapshot{}
+	}
+	return WindowedCounterSnapshot{
+		Count:      c.Value(),
+		PerSec:     c.Rate(),
+		WindowSecs: c.ring.span().Seconds(),
+	}
+}
+
+// WindowedCounterSnapshot is a point-in-time rolling-counter summary.
+type WindowedCounterSnapshot struct {
+	Count      int64   `json:"count"`
+	PerSec     float64 `json:"per_sec"`
+	WindowSecs float64 `json:"window_secs"`
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for pinning rotation behaviour
+// without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestWindowedHistogramReflectsLoadChangeWithinOneInterval is the ISSUE 6
+// acceptance pin: when the load profile changes, the merged windowed p99
+// must move as soon as the clock crosses one rotation interval (new
+// observations land in the live window immediately; the old profile decays
+// as its intervals age out).
+func TestWindowedHistogramReflectsLoadChangeWithinOneInterval(t *testing.T) {
+	clk := newFakeClock()
+	const interval, windows = 10 * time.Second, 6
+	w := NewWindowedHistogram(DefaultLatencyBuckets, interval, windows, clk.Now)
+
+	// Phase 1: slow traffic, ~1s latencies.
+	for i := 0; i < 100; i++ {
+		w.Observe(1.0)
+	}
+	if p99 := w.Snapshot().P99; p99 < 0.5 {
+		t.Fatalf("slow-phase p99 = %v, want ~1s", p99)
+	}
+
+	// Load changes: fast traffic arrives in the next interval. The merged
+	// snapshot must include it immediately even though the slow phase is
+	// still inside the window.
+	clk.Advance(interval)
+	for i := 0; i < 100; i++ {
+		w.Observe(0.001)
+	}
+	s := w.Snapshot()
+	if s.Count != 200 {
+		t.Fatalf("mid-transition count = %d, want 200 (both phases in window)", s.Count)
+	}
+	if s.P50 > 0.01 {
+		t.Errorf("mid-transition p50 = %v, want fast (half the window is 1ms)", s.P50)
+	}
+
+	// After the full span passes, the slow phase must have aged out
+	// entirely: p99 reflects only the recent fast profile.
+	clk.Advance(time.Duration(windows) * interval)
+	for i := 0; i < 100; i++ {
+		w.Observe(0.001)
+	}
+	s = w.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("post-span count = %d, want 100 (slow phase expired)", s.Count)
+	}
+	if s.P99 > 0.01 {
+		t.Errorf("post-span p99 = %v, want ~1ms after the slow phase aged out", s.P99)
+	}
+}
+
+// TestWindowedHistogramGradualDecay checks the per-interval ring semantics:
+// each rotation drops exactly the observations whose interval left the
+// window, not the whole history at once.
+func TestWindowedHistogramGradualDecay(t *testing.T) {
+	clk := newFakeClock()
+	const interval, windows = time.Second, 4
+	w := NewWindowedHistogram(DefaultLatencyBuckets, interval, windows, clk.Now)
+
+	// One observation per interval for a full window.
+	for i := 0; i < windows; i++ {
+		w.Observe(0.01)
+		clk.Advance(interval)
+	}
+	// The clock now sits in interval windows+0; the first observation's
+	// interval just left the window.
+	if got := w.Snapshot().Count; got != windows-1 {
+		t.Fatalf("count after one rotation = %d, want %d", got, windows-1)
+	}
+	clk.Advance(interval)
+	if got := w.Snapshot().Count; got != windows-2 {
+		t.Fatalf("count after two rotations = %d, want %d", got, windows-2)
+	}
+	// Reusing a slot must reset it, not accumulate across cycles.
+	w.Observe(0.01)
+	w.Observe(0.01)
+	if got := w.Snapshot().Count; got != windows-2+2 {
+		t.Fatalf("count after slot reuse = %d, want %d", got, windows-2+2)
+	}
+}
+
+func TestWindowedCounterRates(t *testing.T) {
+	clk := newFakeClock()
+	const interval, windows = time.Second, 10
+	c := NewWindowedCounter(interval, windows, clk.Now)
+	for i := 0; i < 50; i++ {
+		c.Inc()
+	}
+	c.Add(50)
+	if got := c.Value(); got != 100 {
+		t.Fatalf("value = %d, want 100", got)
+	}
+	if got := c.Rate(); got != 10 {
+		t.Errorf("rate = %v, want 10/s over the 10s window", got)
+	}
+	clk.Advance(time.Duration(windows) * interval)
+	if got := c.Value(); got != 0 {
+		t.Errorf("value after span = %d, want 0", got)
+	}
+	s := c.Snapshot()
+	if s.Count != 0 || s.WindowSecs != 10 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+// TestWindowedConcurrent hammers observe/snapshot across rotations from many
+// goroutines; run under -race. Totals are checked loosely (an observation
+// racing a rotation may land in a slot being retired), but the instrument
+// must never report more than was observed or tear.
+func TestWindowedConcurrent(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedHistogram(DefaultLatencyBuckets, time.Second, 4, clk.Now)
+	c := NewWindowedCounter(time.Second, 4, clk.Now)
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				w.Observe(0.005)
+				c.Inc()
+				if i%50 == 0 {
+					_ = w.Snapshot()
+					_ = c.Value()
+				}
+				if i%100 == 0 {
+					clk.Advance(100 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Snapshot().Count; got > workers*perWorker {
+		t.Errorf("windowed count = %d, beyond %d observed", got, workers*perWorker)
+	}
+	if got := c.Value(); got > workers*perWorker {
+		t.Errorf("windowed counter = %d, beyond %d observed", got, workers*perWorker)
+	}
+}
+
+func TestWindowedNilSafety(t *testing.T) {
+	var w *WindowedHistogram
+	w.Observe(1)
+	w.ObserveDuration(time.Second)
+	if s := w.Snapshot(); s.Count != 0 {
+		t.Errorf("nil windowed histogram snapshot = %+v", s)
+	}
+	if w.Interval() != 0 || w.Span() != 0 {
+		t.Error("nil windowed histogram interval/span nonzero")
+	}
+	var c *WindowedCounter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 || c.Rate() != 0 {
+		t.Error("nil windowed counter nonzero")
+	}
+	var r *Registry
+	r.WindowedHistogram("x").Observe(1)
+	r.WindowedCounter("x").Inc()
+	r.TimeWindowed("x")()
+}
+
+func TestRegistryWindowedSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.WindowedHistogram("http.search").Observe(0.02)
+	r.WindowedCounter("http.err").Add(3)
+	done := r.TimeWindowed("api.op")
+	done()
+	s := r.Snapshot()
+	if s.Windowed["http.search"].Count != 1 {
+		t.Errorf("windowed snapshot = %+v", s.Windowed)
+	}
+	if s.WindowedCounters["http.err"].Count != 3 {
+		t.Errorf("windowed counters = %+v", s.WindowedCounters)
+	}
+	// TimeWindowed feeds both views under one name.
+	if s.Histograms["api.op"].Count != 1 || s.Windowed["api.op"].Count != 1 {
+		t.Errorf("TimeWindowed: cumulative=%+v windowed=%+v",
+			s.Histograms["api.op"], s.Windowed["api.op"])
+	}
+	if r.WindowedHistogram("http.search") != r.WindowedHistogram("http.search") {
+		t.Error("windowed histogram not shared by name")
+	}
+}

@@ -39,29 +39,32 @@ func newAdmission(maxInflight int, wait time.Duration, reg *obs.Registry) *admis
 }
 
 // acquire obtains a compute slot, waiting at most the configured deadline
-// (bounded further by ctx). It returns the release func, ErrOverloaded on
-// shed, or the ctx error if the caller gave up first.
-func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+// (bounded further by ctx). It returns the release func, how long the
+// request waited for its slot (the tracing annotation answering "was it
+// admission or compute?"), ErrOverloaded on shed, or the ctx error if the
+// caller gave up first.
+func (a *admission) acquire(ctx context.Context) (release func(), waited time.Duration, err error) {
 	if a == nil {
-		return func() {}, nil
+		return func() {}, 0, nil
 	}
 	select {
 	case a.slots <- struct{}{}:
-		return a.releaseFunc(), nil
+		return a.releaseFunc(), 0, nil
 	default:
 	}
 	a.waiting.Add(1)
 	defer a.waiting.Add(-1)
+	start := time.Now()
 	timer := time.NewTimer(a.wait)
 	defer timer.Stop()
 	select {
 	case a.slots <- struct{}{}:
-		return a.releaseFunc(), nil
+		return a.releaseFunc(), time.Since(start), nil
 	case <-timer.C:
 		a.shed.Inc()
-		return nil, ErrOverloaded
+		return nil, time.Since(start), ErrOverloaded
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, time.Since(start), ctx.Err()
 	}
 }
 

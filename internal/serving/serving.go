@@ -75,6 +75,11 @@ type Options struct {
 	// Metrics receives the layer's instruments; nil disables them (obs
 	// instruments are nil-safe).
 	Metrics *obs.Registry
+	// TraceRing is how many recent request traces stay resolvable by ID;
+	// SlowlogK is the per-endpoint slow-query retention. Zero means the
+	// DefaultTraceRing/DefaultSlowlogK in slowlog.go.
+	TraceRing int
+	SlowlogK  int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,18 +105,25 @@ type Layer struct {
 	flight flightGroup
 	admit  *admission
 	reg    *obs.Registry
+	traces *TraceLog
 }
 
 // New builds a serving layer; zero Options fields take the defaults above.
 func New(src Source, opts Options) *Layer {
 	opts = opts.withDefaults()
 	return &Layer{
-		src:   src,
-		cache: NewCache(opts.CacheSize, opts.CacheTTL, opts.Metrics),
-		admit: newAdmission(opts.MaxInflight, opts.AdmitWait, opts.Metrics),
-		reg:   opts.Metrics,
+		src:    src,
+		cache:  NewCache(opts.CacheSize, opts.CacheTTL, opts.Metrics),
+		admit:  newAdmission(opts.MaxInflight, opts.AdmitWait, opts.Metrics),
+		reg:    opts.Metrics,
+		traces: NewTraceLog(opts.TraceRing, opts.SlowlogK),
 	}
 }
+
+// Traces returns the layer's bounded trace retention (recency ring +
+// per-endpoint slow-query log). HTTP layers Record finished traces here and
+// serve /debug/slowlog and /debug/trace from it.
+func (l *Layer) Traces() *TraceLog { return l.traces }
 
 // Epoch reports the source's current data generation.
 func (l *Layer) Epoch() uint64 { return l.src.Epoch() }
@@ -129,18 +141,31 @@ const sep = "\x1f"
 // computation runs: if a refresh lands mid-flight the fresh result is stored
 // under the pre-refresh key, which post-refresh requests never ask for — so
 // a post-refresh request can never be served pre-refresh data.
-func (l *Layer) do(ctx context.Context, endpoint, key string, compute func() (any, error)) (any, error) {
+func (l *Layer) do(ctx context.Context, endpoint, key string, tr *Trace, compute func() (any, error)) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ck := endpoint + sep + key + sep + strconv.FormatUint(l.src.Epoch(), 10)
+	epoch := l.src.Epoch()
+	// The composed cache key is NOT stored in the trace: storing it would
+	// make the key concatenation escape to the heap and cost the untraced
+	// hit path an allocation. Wrappers annotate the natural argument
+	// (normalized query / record id) instead, which is already heap-resident.
+	if tr != nil {
+		tr.Epoch = epoch
+	}
+	ck := endpoint + sep + key + sep + strconv.FormatUint(epoch, 10)
 	if v, ok := l.cache.Get(ck); ok {
 		l.reg.Counter("serve.hit." + endpoint).Inc()
+		tr.setDisposition(DispositionHit)
 		return v, nil
 	}
 	l.reg.Counter("serve.miss." + endpoint).Inc()
 	v, err, shared := l.flight.do(ck, func() (any, error) {
-		release, aerr := l.admit.acquire(ctx)
+		// This closure runs on the leader's goroutine only, so it may
+		// annotate the leader's trace (tr of the caller that created the
+		// flight); followers annotate their own traces below.
+		release, waited, aerr := l.admit.acquire(ctx)
+		tr.addAdmissionWait(waited)
 		if aerr != nil {
 			return nil, aerr
 		}
@@ -148,8 +173,11 @@ func (l *Layer) do(ctx context.Context, endpoint, key string, compute func() (an
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
-		defer l.reg.Time("serve.compute." + endpoint)()
+		stop := l.reg.Time("serve.compute." + endpoint)
+		start := time.Now()
 		v, err := compute()
+		tr.setCompute(time.Since(start))
+		stop()
 		if err == nil {
 			l.cache.Put(ck, v)
 		}
@@ -158,37 +186,57 @@ func (l *Layer) do(ctx context.Context, endpoint, key string, compute func() (an
 	if shared {
 		l.reg.Counter("serve.coalesced").Inc()
 	}
+	switch {
+	case err == ErrOverloaded:
+		tr.setDisposition(DispositionShed)
+	case shared:
+		tr.setDisposition(DispositionCoalesced)
+	default:
+		tr.setDisposition(DispositionMiss)
+	}
 	return v, err
 }
 
 // Search answers a web query with concept-aware ranking, cached.
 func (l *Layer) Search(ctx context.Context, query string, k int) (*woc.Page, error) {
 	q := textproc.NormalizeQuery(query)
-	v, err := l.do(ctx, "search", q+sep+strconv.Itoa(k), func() (any, error) {
+	tr := TraceFromContext(ctx)
+	tr.setArg(q)
+	v, err := l.do(ctx, "search", q+sep+strconv.Itoa(k), tr, func() (any, error) {
 		return l.src.Search(q, k), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*woc.Page), nil
+	page := v.(*woc.Page)
+	if page != nil {
+		tr.SetResults(len(page.Results))
+	}
+	return page, nil
 }
 
 // ConceptSearch retrieves records answering the query, cached.
 func (l *Layer) ConceptSearch(ctx context.Context, query string, k int) ([]woc.Hit, error) {
 	q := textproc.NormalizeQuery(query)
-	v, err := l.do(ctx, "concepts", q+sep+strconv.Itoa(k), func() (any, error) {
+	tr := TraceFromContext(ctx)
+	tr.setArg(q)
+	v, err := l.do(ctx, "concepts", q+sep+strconv.Itoa(k), tr, func() (any, error) {
 		return l.src.ConceptSearch(q, k), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.([]woc.Hit), nil
+	hits := v.([]woc.Hit)
+	tr.SetResults(len(hits))
+	return hits, nil
 }
 
 // Aggregate builds the aggregation page for a record, cached. Lookup errors
 // (unknown id) are not cached.
 func (l *Layer) Aggregate(ctx context.Context, id string) (*woc.Aggregation, error) {
-	v, err := l.do(ctx, "aggregate", id, func() (any, error) {
+	tr := TraceFromContext(ctx)
+	tr.setArg(id)
+	v, err := l.do(ctx, "aggregate", id, tr, func() (any, error) {
 		return l.src.Aggregate(id)
 	})
 	if err != nil {
@@ -199,24 +247,32 @@ func (l *Layer) Aggregate(ctx context.Context, id string) (*woc.Aggregation, err
 
 // Alternatives recommends substitutes for a record, cached.
 func (l *Layer) Alternatives(ctx context.Context, id string, k int) ([]woc.Suggestion, error) {
-	v, err := l.do(ctx, "alternatives", id+sep+strconv.Itoa(k), func() (any, error) {
+	tr := TraceFromContext(ctx)
+	tr.setArg(id)
+	v, err := l.do(ctx, "alternatives", id+sep+strconv.Itoa(k), tr, func() (any, error) {
 		return l.src.Alternatives(id, k)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.([]woc.Suggestion), nil
+	recs := v.([]woc.Suggestion)
+	tr.SetResults(len(recs))
+	return recs, nil
 }
 
 // Augmentations recommends complements for a record, cached.
 func (l *Layer) Augmentations(ctx context.Context, id string, k int) ([]woc.Suggestion, error) {
-	v, err := l.do(ctx, "augmentations", id+sep+strconv.Itoa(k), func() (any, error) {
+	tr := TraceFromContext(ctx)
+	tr.setArg(id)
+	v, err := l.do(ctx, "augmentations", id+sep+strconv.Itoa(k), tr, func() (any, error) {
 		return l.src.Augmentations(id, k)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.([]woc.Suggestion), nil
+	recs := v.([]woc.Suggestion)
+	tr.SetResults(len(recs))
+	return recs, nil
 }
 
 // Record fetches one record. Store point-lookups are too cheap to cache,
@@ -226,8 +282,15 @@ func (l *Layer) Record(ctx context.Context, id string) (woc.Record, error) {
 	if err := ctx.Err(); err != nil {
 		return woc.Record{}, err
 	}
-	release, err := l.admit.acquire(ctx)
+	tr := TraceFromContext(ctx)
+	tr.setArg(id)
+	tr.setEpoch(l.src.Epoch())
+	release, waited, err := l.admit.acquire(ctx)
+	tr.addAdmissionWait(waited)
 	if err != nil {
+		if err == ErrOverloaded {
+			tr.setDisposition(DispositionShed)
+		}
 		return woc.Record{}, err
 	}
 	defer release()
@@ -239,10 +302,19 @@ func (l *Layer) Lineage(ctx context.Context, id string) ([]string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	release, err := l.admit.acquire(ctx)
+	tr := TraceFromContext(ctx)
+	tr.setArg(id)
+	tr.setEpoch(l.src.Epoch())
+	release, waited, err := l.admit.acquire(ctx)
+	tr.addAdmissionWait(waited)
 	if err != nil {
+		if err == ErrOverloaded {
+			tr.setDisposition(DispositionShed)
+		}
 		return nil, err
 	}
 	defer release()
-	return l.src.Lineage(id)
+	lines, err := l.src.Lineage(id)
+	tr.SetResults(len(lines))
+	return lines, err
 }

@@ -1,0 +1,129 @@
+package serving
+
+import (
+	"sort"
+	"sync"
+)
+
+// TraceLog retains finished request traces in two bounded structures:
+//
+//   - a ring of the most recent traces, indexed by trace ID, backing the
+//     /debug/trace?id= lookup — any ID a client just saw in X-Woc-Trace
+//     resolves while it is among the last ringSize requests;
+//   - a per-endpoint top-K slow-query log ordered by total latency, backing
+//     /debug/slowlog — the worst requests are retained with their full
+//     annotations even after they fall out of the recency ring.
+//
+// Memory is hard-bounded: ringSize + endpoints×K trace copies, no growth
+// under sustained traffic. A nil *TraceLog drops everything.
+type TraceLog struct {
+	mu   sync.Mutex
+	ring []Trace
+	byID map[string]int // trace ID → ring slot, while still resident
+	next int
+
+	topK int
+	slow map[string][]Trace // per endpoint, min-first by Total
+}
+
+// Defaults shared with wocserve's flags.
+const (
+	DefaultTraceRing = 1024
+	DefaultSlowlogK  = 16
+)
+
+// NewTraceLog builds a trace log retaining the last ringSize traces and the
+// topK slowest per endpoint; non-positive values take the defaults.
+func NewTraceLog(ringSize, topK int) *TraceLog {
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRing
+	}
+	if topK <= 0 {
+		topK = DefaultSlowlogK
+	}
+	return &TraceLog{
+		ring: make([]Trace, 0, ringSize),
+		byID: make(map[string]int, ringSize),
+		topK: topK,
+		slow: make(map[string][]Trace),
+	}
+}
+
+// Record stores a copy of the finished trace. Call after Finish; later
+// mutations of t are not reflected.
+func (l *TraceLog) Record(t *Trace) {
+	if l == nil || t == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// Recency ring.
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, *t)
+		l.byID[t.ID] = len(l.ring) - 1
+	} else {
+		delete(l.byID, l.ring[l.next].ID)
+		l.ring[l.next] = *t
+		l.byID[t.ID] = l.next
+		l.next = (l.next + 1) % cap(l.ring)
+	}
+
+	// Per-endpoint top-K, min-first so the cheapest retained trace is at
+	// index 0 and eviction is O(K) shift (K is small).
+	sl := l.slow[t.Endpoint]
+	if len(sl) >= l.topK {
+		if t.Total <= sl[0].Total {
+			return
+		}
+		sl = sl[1:]
+	}
+	i := sort.Search(len(sl), func(i int) bool { return sl[i].Total > t.Total })
+	sl = append(sl, Trace{})
+	copy(sl[i+1:], sl[i:])
+	sl[i] = *t
+	l.slow[t.Endpoint] = sl
+}
+
+// ByID resolves a trace ID still in the recency ring.
+func (l *TraceLog) ByID(id string) (Trace, bool) {
+	if l == nil {
+		return Trace{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i, ok := l.byID[id]
+	if !ok {
+		return Trace{}, false
+	}
+	return l.ring[i], true
+}
+
+// Slowest returns the retained slow queries per endpoint, slowest first.
+// The slices are fresh copies, safe to serialize.
+func (l *TraceLog) Slowest() map[string][]Trace {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string][]Trace, len(l.slow))
+	for ep, sl := range l.slow {
+		cp := make([]Trace, len(sl))
+		for i := range sl {
+			cp[len(sl)-1-i] = sl[i] // reverse: slowest first
+		}
+		out[ep] = cp
+	}
+	return out
+}
+
+// Len reports how many traces the recency ring currently holds.
+func (l *TraceLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}

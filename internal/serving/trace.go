@@ -1,0 +1,162 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped tracing: every request carries one *Trace through the
+// serving layer (admission → cache → singleflight → compute), collecting
+// typed annotations as it goes. The HTTP layer creates the trace, exposes
+// its ID in the X-Woc-Trace response header, finalizes it with the status
+// code and total latency, and records it into the TraceLog — so a slow
+// request is explainable after the fact: was it admission wait, a cache
+// miss, a coalesce stall, or the computation itself?
+//
+// A Trace is written only by its request goroutine (the singleflight leader
+// writes its own trace; followers annotate theirs as coalesced), so the
+// fields need no lock. Recording into the TraceLog copies the struct, and
+// readers only ever see those immutable copies.
+
+// Disposition classifies how the serving layer satisfied (or refused) a
+// request.
+type Disposition string
+
+const (
+	// DispositionNone marks endpoints the result cache does not front
+	// (record, lineage, healthz, debug surfaces).
+	DispositionNone Disposition = ""
+	// DispositionHit: served from the result cache.
+	DispositionHit Disposition = "hit"
+	// DispositionMiss: computed (this request was the singleflight leader).
+	DispositionMiss Disposition = "miss"
+	// DispositionCoalesced: shared a concurrent identical computation.
+	DispositionCoalesced Disposition = "coalesced"
+	// DispositionShed: refused by admission control.
+	DispositionShed Disposition = "shed"
+)
+
+// traceSeq numbers traces process-wide; traceEpochBase anchors IDs to the
+// process start so IDs from different runs do not collide in archived logs.
+var (
+	traceSeq       atomic.Uint64
+	traceEpochBase = uint64(time.Now().UnixNano()) & 0xffffffff
+)
+
+// newTraceID mints a deterministic-format trace ID:
+// "woc-<8 hex process nonce>-<8 hex sequence>". The format (not the value)
+// is the contract — clients and the slow-query log parse nothing, but tests
+// and humans can recognize and correlate the IDs at a glance.
+func newTraceID() string {
+	return fmt.Sprintf("woc-%08x-%08x", traceEpochBase, traceSeq.Add(1))
+}
+
+// Trace is one request's annotation record. Create with NewTrace, thread via
+// WithTrace/TraceFromContext, finalize with Finish.
+type Trace struct {
+	ID       string    `json:"id"`
+	Endpoint string    `json:"endpoint"`
+	Arg      string    `json:"arg,omitempty"` // normalized query or record id
+	Start    time.Time `json:"start"`
+
+	Epoch         uint64        `json:"epoch,omitempty"`             // data generation the response was computed against
+	Disposition   Disposition   `json:"disposition,omitempty"`       // hit/miss/coalesced/shed
+	AdmissionWait time.Duration `json:"admission_wait_ns,omitempty"` // time spent waiting for a compute slot
+	Compute       time.Duration `json:"compute_ns,omitempty"`        // time inside the Source computation
+	Results       int           `json:"results,omitempty"`           // result count (hits, docs, suggestions…)
+
+	Status int           `json:"status,omitempty"`   // HTTP status, set by Finish
+	Total  time.Duration `json:"total_ns,omitempty"` // full request latency, set by Finish
+	Err    string        `json:"err,omitempty"`      // terminal error, if any
+}
+
+// NewTrace starts a trace for one request against the named endpoint.
+func NewTrace(endpoint string) *Trace {
+	return &Trace{ID: newTraceID(), Endpoint: endpoint, Start: time.Now()}
+}
+
+// Finish stamps the terminal status and total latency.
+func (t *Trace) Finish(status int, total time.Duration, err error) {
+	if t == nil {
+		return
+	}
+	t.Status = status
+	t.Total = total
+	if err != nil {
+		t.Err = err.Error()
+	}
+}
+
+// setArg records the request argument once (the first do() call wins; the
+// layer's public methods pass the normalized form).
+func (t *Trace) setArg(arg string) {
+	if t == nil || t.Arg != "" {
+		return
+	}
+	t.Arg = arg
+}
+
+func (t *Trace) setEpoch(e uint64) {
+	if t == nil {
+		return
+	}
+	t.Epoch = e
+}
+
+func (t *Trace) setDisposition(d Disposition) {
+	if t == nil {
+		return
+	}
+	t.Disposition = d
+}
+
+func (t *Trace) addAdmissionWait(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.AdmissionWait += d
+}
+
+func (t *Trace) setCompute(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Compute = d
+}
+
+// SetError records the terminal error before Finish runs; HTTP layers call
+// it where the error is mapped to a status code, so the slow-query log can
+// show why a request failed, not just that it did.
+func (t *Trace) SetError(err error) {
+	if t == nil || err == nil {
+		return
+	}
+	t.Err = err.Error()
+}
+
+// SetResults annotates how many results the response carried.
+func (t *Trace) SetResults(n int) {
+	if t == nil {
+		return
+	}
+	t.Results = n
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches t to the context for the serving layer to annotate.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFromContext returns the request's trace, or nil (all annotation
+// methods are nil-safe, so untraced requests pay only this lookup).
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,318 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"conceptweb/internal/obs"
+	"conceptweb/woc"
+)
+
+// traceSource is a controllable Source for trace tests: epoch is settable,
+// Search latency injectable, and every other endpoint returns canned data.
+type traceSource struct {
+	epoch  uint64
+	delay  time.Duration
+	hits   int
+	gate   chan struct{} // if non-nil, Search parks until closed
+	calls  int
+	callMu sync.Mutex
+}
+
+func (s *traceSource) Epoch() uint64 { return s.epoch }
+
+func (s *traceSource) Search(q string, k int) *woc.Page {
+	s.callMu.Lock()
+	s.calls++
+	s.callMu.Unlock()
+	if s.gate != nil {
+		<-s.gate
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	p := &woc.Page{}
+	for i := 0; i < s.hits; i++ {
+		p.Results = append(p.Results, woc.Doc{URL: fmt.Sprintf("u%d", i)})
+	}
+	return p
+}
+
+func (s *traceSource) ConceptSearch(q string, k int) []woc.Hit {
+	return make([]woc.Hit, s.hits)
+}
+func (s *traceSource) Aggregate(id string) (*woc.Aggregation, error) {
+	return &woc.Aggregation{Title: id}, nil
+}
+func (s *traceSource) Alternatives(id string, k int) ([]woc.Suggestion, error) {
+	return make([]woc.Suggestion, s.hits), nil
+}
+func (s *traceSource) Augmentations(id string, k int) ([]woc.Suggestion, error) {
+	return nil, nil
+}
+func (s *traceSource) Record(id string) (woc.Record, error) {
+	return woc.Record{ID: id}, nil
+}
+func (s *traceSource) Lineage(id string) ([]string, error) {
+	return []string{"a", "b"}, nil
+}
+
+var traceIDRe = regexp.MustCompile(`^woc-[0-9a-f]{8}-[0-9a-f]{8}$`)
+
+func TestTraceIDFormatAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		tr := NewTrace("search")
+		if !traceIDRe.MatchString(tr.ID) {
+			t.Fatalf("trace ID %q does not match the deterministic format", tr.ID)
+		}
+		if seen[tr.ID] {
+			t.Fatalf("duplicate trace ID %q", tr.ID)
+		}
+		seen[tr.ID] = true
+	}
+}
+
+// TestTraceAnnotationsMissThenHit drives the same query twice and asserts
+// the full annotation set: the first request is a miss with epoch and
+// compute time, the second a hit with no compute.
+func TestTraceAnnotationsMissThenHit(t *testing.T) {
+	src := &traceSource{epoch: 7, hits: 3, delay: 2 * time.Millisecond}
+	l := New(src, Options{Metrics: obs.NewRegistry()})
+
+	tr1 := NewTrace("search")
+	ctx := WithTrace(context.Background(), tr1)
+	if _, err := l.Search(ctx, "pizza", 8); err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Disposition != DispositionMiss {
+		t.Errorf("first disposition = %q, want miss", tr1.Disposition)
+	}
+	if tr1.Epoch != 7 {
+		t.Errorf("epoch = %d, want 7", tr1.Epoch)
+	}
+	if tr1.Compute < time.Millisecond {
+		t.Errorf("compute = %v, want >= injected 2ms delay", tr1.Compute)
+	}
+	if tr1.Results != 3 {
+		t.Errorf("results = %d, want 3", tr1.Results)
+	}
+	if tr1.Arg == "" {
+		t.Error("arg not recorded")
+	}
+
+	tr2 := NewTrace("search")
+	if _, err := l.Search(WithTrace(context.Background(), tr2), "pizza", 8); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Disposition != DispositionHit {
+		t.Errorf("second disposition = %q, want hit", tr2.Disposition)
+	}
+	if tr2.Compute != 0 {
+		t.Errorf("hit compute = %v, want 0", tr2.Compute)
+	}
+	if tr2.Results != 3 {
+		t.Errorf("hit results = %d, want 3 (annotated from the cached value)", tr2.Results)
+	}
+}
+
+// TestTraceCoalescedAndShed covers the two contention dispositions: a
+// follower sharing the leader's in-flight computation is marked coalesced;
+// a request shed by admission control is marked shed with its wait recorded.
+func TestTraceCoalescedAndShed(t *testing.T) {
+	src := &traceSource{epoch: 1, hits: 1, gate: make(chan struct{})}
+	l := New(src, Options{
+		CacheSize:   -1, // everything goes to the compute path
+		MaxInflight: 1,
+		AdmitWait:   20 * time.Millisecond,
+		Metrics:     obs.NewRegistry(),
+	})
+
+	leaderTr := NewTrace("search")
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := l.Search(WithTrace(context.Background(), leaderTr), "q", 8)
+		leaderDone <- err
+	}()
+	// Wait for the leader to reach the gated computation.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		src.callMu.Lock()
+		started := src.calls > 0
+		src.callMu.Unlock()
+		if started {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started computing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Identical query: coalesces onto the leader's flight.
+	followerTr := NewTrace("search")
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := l.Search(WithTrace(context.Background(), followerTr), "q", 8)
+		followerDone <- err
+	}()
+
+	// Different query: needs its own compute slot, which the leader holds
+	// past the admit wait → shed.
+	shedTr := NewTrace("search")
+	_, err := l.Search(WithTrace(context.Background(), shedTr), "other", 8)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("contending query err = %v, want ErrOverloaded", err)
+	}
+	if shedTr.Disposition != DispositionShed {
+		t.Errorf("shed disposition = %q, want shed", shedTr.Disposition)
+	}
+	if shedTr.AdmissionWait < 10*time.Millisecond {
+		t.Errorf("shed admission wait = %v, want >= most of the 20ms deadline", shedTr.AdmissionWait)
+	}
+
+	close(src.gate)
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-followerDone; err != nil {
+		t.Fatal(err)
+	}
+	if leaderTr.Disposition != DispositionMiss {
+		t.Errorf("leader disposition = %q, want miss", leaderTr.Disposition)
+	}
+	if followerTr.Disposition != DispositionCoalesced {
+		t.Errorf("follower disposition = %q, want coalesced", followerTr.Disposition)
+	}
+}
+
+// TestUntracedRequestsWork pins the nil-trace fast path: requests without a
+// trace in context must behave identically.
+func TestUntracedRequestsWork(t *testing.T) {
+	src := &traceSource{epoch: 1, hits: 2}
+	l := New(src, Options{Metrics: obs.NewRegistry()})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		page, err := l.Search(ctx, "q", 8)
+		if err != nil || len(page.Results) != 2 {
+			t.Fatalf("untraced search: %v %+v", err, page)
+		}
+	}
+	if _, err := l.Record(ctx, "id1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Lineage(ctx, "id1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceLogRingAndLookup(t *testing.T) {
+	l := NewTraceLog(4, 2)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		tr := NewTrace("search")
+		tr.Finish(200, time.Duration(i+1)*time.Millisecond, nil)
+		l.Record(tr)
+		ids = append(ids, tr.ID)
+	}
+	if l.Len() != 4 {
+		t.Errorf("ring len = %d, want 4", l.Len())
+	}
+	// The two oldest fell out of the ring; the four newest resolve.
+	for _, id := range ids[:2] {
+		if _, ok := l.ByID(id); ok {
+			t.Errorf("evicted trace %s still resolvable", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		got, ok := l.ByID(id)
+		if !ok || got.ID != id {
+			t.Errorf("trace %s not resolvable", id)
+		}
+	}
+}
+
+func TestTraceLogTopKSlowest(t *testing.T) {
+	l := NewTraceLog(64, 3)
+	// Record 10 traces with latencies 1..10ms plus a different endpoint.
+	for i := 1; i <= 10; i++ {
+		tr := NewTrace("search")
+		tr.AdmissionWait = time.Duration(i) * time.Microsecond
+		tr.Finish(200, time.Duration(i)*time.Millisecond, nil)
+		l.Record(tr)
+	}
+	other := NewTrace("aggregate")
+	other.Finish(200, 99*time.Millisecond, nil)
+	l.Record(other)
+
+	slow := l.Slowest()
+	got := slow["search"]
+	if len(got) != 3 {
+		t.Fatalf("search slowlog len = %d, want 3", len(got))
+	}
+	wants := []time.Duration{10 * time.Millisecond, 9 * time.Millisecond, 8 * time.Millisecond}
+	for i, want := range wants {
+		if got[i].Total != want {
+			t.Errorf("slowlog[%d].Total = %v, want %v (slowest first)", i, got[i].Total, want)
+		}
+	}
+	// Annotations survive retention.
+	if got[0].AdmissionWait != 10*time.Microsecond {
+		t.Errorf("slowlog[0].AdmissionWait = %v, want 10µs", got[0].AdmissionWait)
+	}
+	if len(slow["aggregate"]) != 1 || slow["aggregate"][0].Total != 99*time.Millisecond {
+		t.Errorf("aggregate slowlog = %+v", slow["aggregate"])
+	}
+}
+
+// TestTraceLogConcurrent hammers Record/ByID/Slowest under -race.
+func TestTraceLogConcurrent(t *testing.T) {
+	l := NewTraceLog(128, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := NewTrace("search")
+				tr.Finish(200, time.Duration(i)*time.Microsecond, nil)
+				l.Record(tr)
+				if i%20 == 0 {
+					_, _ = l.ByID(tr.ID)
+					_ = l.Slowest()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 128 {
+		t.Errorf("ring len = %d, want full 128", l.Len())
+	}
+	if got := len(l.Slowest()["search"]); got != 8 {
+		t.Errorf("slowlog len = %d, want 8", got)
+	}
+}
+
+func TestTraceLogNilSafety(t *testing.T) {
+	var l *TraceLog
+	l.Record(NewTrace("x"))
+	if _, ok := l.ByID("woc-0-0"); ok {
+		t.Error("nil TraceLog resolved an ID")
+	}
+	if l.Slowest() != nil || l.Len() != 0 {
+		t.Error("nil TraceLog not empty")
+	}
+	var tr *Trace
+	tr.Finish(200, 0, nil)
+	tr.SetResults(1)
+	tr.setArg("x")
+	tr.setEpoch(1)
+	tr.setDisposition(DispositionHit)
+	tr.addAdmissionWait(1)
+	tr.setCompute(1)
+}

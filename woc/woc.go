@@ -257,7 +257,7 @@ type Page struct {
 
 // Search answers a web query with concept-aware ranking.
 func (s *System) Search(query string, k int) *Page {
-	defer s.metrics.Time("api.search")()
+	defer s.metrics.TimeWindowed("api.search")()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	res := s.engine.Search(query, k)
@@ -287,7 +287,7 @@ type Hit struct {
 
 // ConceptSearch retrieves records (not documents) answering the query.
 func (s *System) ConceptSearch(query string, k int) []Hit {
-	defer s.metrics.Time("api.concepts")()
+	defer s.metrics.TimeWindowed("api.concepts")()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []Hit
@@ -316,7 +316,7 @@ type Source struct {
 
 // Aggregate builds the aggregation page for a record.
 func (s *System) Aggregate(id string) (*Aggregation, error) {
-	defer s.metrics.Time("api.aggregate")()
+	defer s.metrics.TimeWindowed("api.aggregate")()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	p, err := s.engine.Aggregate(id)
@@ -417,7 +417,7 @@ type RefreshStats struct {
 // and folding changes into existing records. It holds the maintenance lock:
 // in-flight reads drain first, and no read observes a half-applied pass.
 func (s *System) Refresh(urls []string) (RefreshStats, error) {
-	defer s.metrics.Time("api.refresh")()
+	defer s.metrics.TimeWindowed("api.refresh")()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, err := s.builder.Refresh(s.woc, urls)
