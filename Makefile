@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench microbench profile crashtest servetest loadtest fmt vet
+.PHONY: build test race bench benchshards microbench profile crashtest servetest loadtest fmt vet
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,13 @@ race:
 
 # crashtest runs the store's fault-injection and crash-recovery suites under
 # the race detector: crash-at-every-truncation-point replay, write kills at
-# every byte offset, syscall faults on every Compact step, and the codec
-# corruption matrix. -count=1 defeats test caching so CI always re-proves
-# the durability contract.
+# every byte offset, syscall faults on every Compact step, the codec
+# corruption matrix, and the per-shard fault isolation suite (a write kill
+# in one shard's WAL must latch only that shard). -count=1 defeats test
+# caching so CI always re-proves the durability contract.
 crashtest:
 	$(GO) test -race -count=1 -v \
-		-run 'Crash|Fault|Torn|Recovery|Corrupt|Degraded|Killed|Seq|Frame' \
+		-run 'Crash|Fault|Torn|Recovery|Corrupt|Degraded|Killed|Seq|Frame|Shard|Manifest|Legacy' \
 		./internal/lrec/
 
 # servetest runs the serving-layer suites under the race detector: concurrent
@@ -39,8 +40,15 @@ servetest:
 # (via -cpu, which also sets GOMAXPROCS and hence the default pool size) and
 # archives the per-stage trace metrics. -benchtime=1x -count=3 keeps it fast
 # enough for CI while still exposing run-to-run variance.
+# Both bench targets report numcpu/gomaxprocs custom metrics, so the
+# archived output records the host parallelism it was measured on.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBuildPipeline' -benchtime=1x -count=3 -cpu 1,4,8 . | tee bench-pipeline.txt
+
+# benchshards sweeps the construction pipeline over the (workers x shards)
+# grid — the store/index partitioning cost curve archived as BENCH_PR7.json.
+benchshards:
+	$(GO) test -run '^$$' -bench 'BenchmarkBuildShards' -benchtime=1x -count=3 . | tee bench-shards.txt
 
 # microbench runs the hot-path microbenchmarks with allocation stats:
 # tokenization, repeated-group discovery, and TF-IDF scoring. These are the

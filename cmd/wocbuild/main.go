@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	wocbuild [-seed 1] [-restaurants 120] [-workers N] [-out dir] [-v]
-//	         [-cpuprofile build.pprof] [-memprofile mem.pprof]
+//	wocbuild [-seed 1] [-restaurants 120] [-workers N] [-shards N] [-out dir]
+//	         [-v] [-cpuprofile build.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	restaurants := flag.Int("restaurants", 120, "number of restaurants in the world")
 	out := flag.String("out", "", "directory to persist the concept store (optional)")
 	workers := flag.Int("workers", 0, "worker-pool size for the extract/link/index stages (0 = GOMAXPROCS); output is identical at any value")
+	shards := flag.Int("shards", 0, "hash-partition count for the store and indexes (0 or 1 = single partition); output is identical at any value")
 	verbose := flag.Bool("v", false, "print the per-stage timing table and per-concept record counts")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the build to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the build) to this file")
@@ -71,6 +72,7 @@ func main() {
 	webgen.RegisterConcepts(reg)
 	cfgStd := core.StandardConfig(reg, w.Cities(), webgen.Cuisines())
 	cfgStd.Workers = *workers
+	cfgStd.Shards = *shards
 	b := &core.Builder{Fetcher: w, Cfg: cfgStd}
 	woc, stats, err := b.Build(w.SeedURLs())
 	if err != nil {
@@ -96,7 +98,7 @@ func main() {
 	}
 
 	if *out != "" {
-		durable, err := lrec.Open(*out, lrec.WithRegistry(reg))
+		durable, err := lrec.Open(*out, lrec.WithRegistry(reg), lrec.WithShards(*shards))
 		if err != nil {
 			log.Fatalf("open store: %v", err)
 		}

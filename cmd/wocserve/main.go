@@ -66,6 +66,8 @@ func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", "127.0.0.1:8639", "listen address")
 	seed := flag.Int64("seed", 1, "world seed")
+	shards := flag.Int("shards", 0,
+		"hash-partition count for the store and indexes (0 or 1 = single partition); results are identical at any value")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	cacheSize := flag.Int("cache-size", serving.DefaultCacheSize,
 		"result cache capacity in entries across all shards (negative disables caching)")
@@ -92,7 +94,8 @@ func main() {
 	cfg := webgen.DefaultConfig()
 	cfg.Seed = *seed
 	w := webgen.Generate(cfg)
-	sys, err := woc.Build(w.Fetch, w.SeedURLs(), woc.WithLocalDomain(w.Cities(), webgen.Cuisines()))
+	sys, err := woc.Build(w.Fetch, w.SeedURLs(),
+		woc.WithLocalDomain(w.Cities(), webgen.Cuisines()), woc.WithShards(*shards))
 	if err != nil {
 		log.Fatalf("build: %v", err)
 	}

@@ -46,6 +46,14 @@ type Config struct {
 	// results fan back in by task index, so the same seed and corpus yield
 	// identical stores and indexes whether Workers is 1 or 64.
 	Workers int
+	// Shards partitions the record store and both inverted indexes into
+	// hash-routed shards, letting the resolve and index stages write
+	// concurrently into disjoint partitions instead of queueing on one
+	// lock. 0 or 1 keeps the single-partition layout (and, for durable
+	// stores, the pre-sharding on-disk format). Like Workers, the value
+	// never changes output: store contents, version numbers, and search
+	// results are identical at any (workers × shards) combination.
+	Shards int
 	// Gate, when non-nil, admits a page to a concept's detail extraction;
 	// build one with ClassifierGate to route only relevant pages to each
 	// domain's extractor (§4.2 relational classification). The extract stage
@@ -71,28 +79,59 @@ type WebOfConcepts struct {
 	Graph    *webgraph.Graph
 	// DocIndex indexes page text; RecIndex indexes flattened lrecs — the
 	// paper's stipulation that concept retrieval ride on inverted indexes.
-	DocIndex *index.Index
-	RecIndex *index.Index
+	// Both are hash-sharded (1 shard unless Config.Shards says otherwise).
+	DocIndex *index.Sharded
+	RecIndex *index.Sharded
 	// Assoc maps page URL -> record IDs the page is about; RevAssoc is the
 	// inverse. Both underlie the §5.1 ranking features and §5.4 pivots.
 	Assoc    map[string][]string
 	RevAssoc map[string][]string
 
-	// epoch is the data generation: 1 after Build, bumped by every
-	// maintenance pass that changes visible state (Refresh with changed or
-	// gone pages, Reconcile that trimmed records). Serving layers key result
-	// caches by epoch, so a bump is an O(1) whole-cache invalidation and an
-	// unchanged pass keeps caches warm.
+	// epoch is the maintenance generation counter: 1 after Build, bumped by
+	// every maintenance pass that changes visible state (Refresh with
+	// changed or gone pages, Reconcile that trimmed records). The value
+	// serving layers actually key caches by is Epoch(), which folds this
+	// counter together with the per-shard epochs of the store and both
+	// indexes.
 	epoch atomic.Uint64
 }
 
-// Epoch returns the current data generation (see the epoch field).
-func (woc *WebOfConcepts) Epoch() uint64 { return woc.epoch.Load() }
+// Epoch returns the current data generation, composed from the maintenance
+// counter plus the per-shard mutation epochs of the record store and both
+// inverted indexes. Every shard epoch is monotonic, so the composed value
+// strictly increases on any visible mutation anywhere — the serving
+// contract — and an unchanged maintenance pass reproduces the previous
+// value, keeping epoch-keyed result caches warm. Each shard epoch counts
+// that shard's mutations, so the sum is invariant to how records hash
+// across shards: the same build yields the same epoch at any (workers ×
+// shards) combination.
+func (woc *WebOfConcepts) Epoch() uint64 {
+	e := woc.epoch.Load()
+	if woc.Records != nil {
+		for _, se := range woc.Records.ShardEpochs() {
+			e += se
+		}
+	}
+	if woc.DocIndex != nil {
+		for _, se := range woc.DocIndex.ShardEpochs() {
+			e += se
+		}
+	}
+	if woc.RecIndex != nil {
+		for _, se := range woc.RecIndex.ShardEpochs() {
+			e += se
+		}
+	}
+	return e
+}
 
-// BumpEpoch advances the data generation after a maintenance mutation and
-// returns the new value. Callers that batch several mutations (refresh +
+// BumpEpoch advances the maintenance generation counter and returns the new
+// composed epoch. Callers that batch several mutations (refresh +
 // reconcile) bump once per batch.
-func (woc *WebOfConcepts) BumpEpoch() uint64 { return woc.epoch.Add(1) }
+func (woc *WebOfConcepts) BumpEpoch() uint64 {
+	woc.epoch.Add(1)
+	return woc.Epoch()
+}
 
 // Close flushes and closes the underlying concept store (a no-op for
 // in-memory builds).
@@ -144,11 +183,12 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 		return nil, nil, fmt.Errorf("core: nil registry")
 	}
 	records := lrec.NewMemStore(lrec.WithRegistry(b.Cfg.Registry),
-		lrec.WithMetrics(b.Cfg.Metrics))
+		lrec.WithMetrics(b.Cfg.Metrics), lrec.WithShards(b.Cfg.Shards))
 	var storeRecovery *lrec.RecoveryStats
 	if b.Cfg.StoreDir != "" {
 		durable, err := lrec.Open(b.Cfg.StoreDir,
-			lrec.WithRegistry(b.Cfg.Registry), lrec.WithMetrics(b.Cfg.Metrics))
+			lrec.WithRegistry(b.Cfg.Registry), lrec.WithMetrics(b.Cfg.Metrics),
+			lrec.WithShards(b.Cfg.Shards))
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: open store: %w", err)
 		}
@@ -160,8 +200,8 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 		Registry: b.Cfg.Registry,
 		Records:  records,
 		Pages:    webgraph.NewStore(),
-		DocIndex: index.New(),
-		RecIndex: index.New(),
+		DocIndex: index.NewSharded(b.Cfg.Shards),
+		RecIndex: index.NewSharded(b.Cfg.Shards),
 		Assoc:    make(map[string][]string),
 		RevAssoc: make(map[string][]string),
 	}
@@ -377,21 +417,25 @@ func (b *Builder) resolveAndStore(woc *WebOfConcepts, cands []*extract.Candidate
 			recs = append(recs, pre[id])
 		}
 
+		// Stores go through PutBatch: versions are assigned serially in
+		// cluster order before the writes fan out one goroutine per store
+		// shard, so the store contents — version numbers included — are
+		// identical to a serial Put loop at any (workers × shards)
+		// combination. Association bookkeeping stays serial, in the same
+		// order.
+		toStore := recs
 		if m := b.Cfg.Matchers[concept]; m != nil {
 			clusters := match.Resolve(recs, m, match.DefaultCollectiveOptions())
+			toStore = make([]*lrec.Record, 0, len(clusters))
 			for _, cl := range clusters {
 				stats.ClustersMerged += len(cl.Members) - 1
-				if err := woc.Records.Put(cl.Rep); err == nil {
-					stats.RecordsStored++
-					b.associate(woc, cl.Rep)
-				}
+				toStore = append(toStore, cl.Rep)
 			}
-		} else {
-			for _, r := range recs {
-				if err := woc.Records.Put(r); err == nil {
-					stats.RecordsStored++
-					b.associate(woc, r)
-				}
+		}
+		for i, err := range woc.Records.PutBatch(toStore, b.workers()) {
+			if err == nil {
+				stats.RecordsStored++
+				b.associate(woc, toStore[i])
 			}
 		}
 	}
@@ -535,9 +579,11 @@ func truncateBytes(s string, max int) string {
 
 // buildIndexes fills the document and record inverted indexes. Analysis
 // (DOM text flattening + tokenization, the expensive part) fans out over the
-// worker pool via index.Prepare; the prepared postings merge under the index
-// lock in sorted doc-ID order, so internal doc and field numbering — and
-// hence serialized index state — is identical at any worker count.
+// worker pool via index.Prepare; the prepared postings then merge with one
+// writer per index shard, each adding its shard's documents in sorted
+// doc-ID order, so internal doc and field numbering — and hence serialized
+// index state and every score — is identical at any (workers × shards)
+// combination.
 func (b *Builder) buildIndexes(woc *WebOfConcepts) {
 	w := b.workers()
 
@@ -550,11 +596,7 @@ func (b *Builder) buildIndexes(woc *WebOfConcepts) {
 		}
 		docs[i] = index.Prepare(pageDocument(p))
 	})
-	for _, pd := range docs {
-		if pd.ID != "" {
-			woc.DocIndex.AddPrepared(pd)
-		}
-	}
+	woc.DocIndex.AddPreparedBatch(docs, w)
 
 	var recs []*lrec.Record
 	woc.Records.Scan(func(r *lrec.Record) bool {
@@ -567,8 +609,23 @@ func (b *Builder) buildIndexes(woc *WebOfConcepts) {
 	parallelEach(len(recs), w, func(i int) {
 		rdocs[i] = index.Prepare(recordDocument(recs[i]))
 	})
-	for _, pd := range rdocs {
-		woc.RecIndex.AddPrepared(pd)
+	woc.RecIndex.AddPreparedBatch(rdocs, w)
+	b.updateIndexGauges(woc)
+}
+
+// updateIndexGauges publishes each index shard's posting-entry count as the
+// index.shard.<k>.postings gauge (doc and record indexes summed per shard).
+func (b *Builder) updateIndexGauges(woc *WebOfConcepts) {
+	if b.Cfg.Metrics == nil {
+		return
+	}
+	dp := woc.DocIndex.ShardPostings()
+	rp := woc.RecIndex.ShardPostings()
+	for i, n := range dp {
+		if i < len(rp) {
+			n += rp[i]
+		}
+		b.Cfg.Metrics.Gauge(fmt.Sprintf("index.shard.%d.postings", i)).Set(int64(n))
 	}
 }
 

@@ -64,6 +64,7 @@ func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, err
 		m.Counter("refresh.pages.checked").Add(int64(stats.PagesChecked))
 		m.Counter("refresh.pages.unchanged").Add(int64(stats.PagesUnchanged))
 		m.Counter("refresh.pages.changed").Add(int64(stats.PagesChanged))
+		b.updateIndexGauges(woc)
 	}()
 
 	var changed []*webgraph.Page

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/webgen"
+)
+
+// buildMatrix runs the standard pipeline at the given worker-pool size and
+// shard count, optionally backing the store durably in dir.
+func buildMatrix(t *testing.T, workers, shards int, dir string) (*WebOfConcepts, *BuildStats) {
+	t.Helper()
+	w := smallWorld()
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	cfg := StandardConfig(reg, w.Cities(), webgen.Cuisines())
+	cfg.Workers = workers
+	cfg.Shards = shards
+	cfg.StoreDir = dir
+	b := &Builder{Fetcher: w, Cfg: cfg}
+	woc, stats, err := b.Build(w.SeedURLs())
+	if err != nil {
+		t.Fatalf("build (workers=%d shards=%d): %v", workers, shards, err)
+	}
+	return woc, stats
+}
+
+// fingerprint hashes the canonical record stream, so whole stores compare as
+// one value and divergence messages stay small.
+func fingerprint(woc *WebOfConcepts) string {
+	h := sha256.New()
+	for _, line := range snapshotRecords(woc) {
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestShardWorkerMatrixDeterminism is the PR's determinism bar: the store
+// fingerprint and ranked search results must be byte-identical at every
+// (workers x shards) combination — partitioning is an execution detail, never
+// an output detail. CI runs this under -race, which also exercises the
+// concurrent per-shard writers.
+func TestShardWorkerMatrixDeterminism(t *testing.T) {
+	workerCounts := []int{1, 8}
+	shardCounts := []int{1, 4, 16}
+	queries := []string{
+		"mexican cupertino", "pizza menu", "sushi san jose",
+		"best thai", "restaurant review", "gochi",
+	}
+
+	type run struct {
+		workers, shards int
+		woc             *WebOfConcepts
+		stats           *BuildStats
+	}
+	var runs []run
+	for _, wk := range workerCounts {
+		for _, sh := range shardCounts {
+			woc, stats := buildMatrix(t, wk, sh, "")
+			defer woc.Close()
+			runs = append(runs, run{wk, sh, woc, stats})
+		}
+	}
+	base := runs[0]
+	baseFP := fingerprint(base.woc)
+	baseSearch := map[string][]string{}
+	for _, q := range queries {
+		baseSearch["doc:"+q] = searchIDs(base.woc.DocIndex, q, 10)
+		baseSearch["rec:"+q] = searchIDs(base.woc.RecIndex, q, 10)
+	}
+	baseEpoch := base.woc.Epoch()
+
+	for _, r := range runs[1:] {
+		tag := fmt.Sprintf("workers=%d shards=%d", r.workers, r.shards)
+		if r.woc.Records.NumShards() != r.shards {
+			t.Errorf("%s: NumShards = %d", tag, r.woc.Records.NumShards())
+		}
+		if got := fingerprint(r.woc); got != baseFP {
+			t.Errorf("%s: store fingerprint diverges from workers=1 shards=1", tag)
+		}
+		if r.stats.RecordsStored != base.stats.RecordsStored ||
+			r.stats.Candidates != base.stats.Candidates ||
+			r.stats.ClustersMerged != base.stats.ClustersMerged {
+			t.Errorf("%s: stats diverge: %+v vs %+v", tag, r.stats, base.stats)
+		}
+		if !reflect.DeepEqual(r.woc.Assoc, base.woc.Assoc) {
+			t.Errorf("%s: Assoc maps diverge", tag)
+		}
+		for _, q := range queries {
+			if got := searchIDs(r.woc.DocIndex, q, 10); !reflect.DeepEqual(got, baseSearch["doc:"+q]) {
+				t.Errorf("%s: doc search %q diverges:\n got %v\nwant %v", tag, q, got, baseSearch["doc:"+q])
+			}
+			if got := searchIDs(r.woc.RecIndex, q, 10); !reflect.DeepEqual(got, baseSearch["rec:"+q]) {
+				t.Errorf("%s: rec search %q diverges:\n got %v\nwant %v", tag, q, got, baseSearch["rec:"+q])
+			}
+		}
+		// The composed epoch counts mutations, so it too is invariant.
+		if got := r.woc.Epoch(); got != baseEpoch {
+			t.Errorf("%s: composed epoch %d diverges from %d", tag, got, baseEpoch)
+		}
+	}
+}
+
+// TestShardWALByteIdentityAcrossWorkers: at a fixed shard count, the durable
+// on-disk artifacts (every shard WAL, snapshot, and the manifest) must be
+// byte-identical no matter how many workers built them — the strongest form
+// of the determinism contract.
+func TestShardWALByteIdentityAcrossWorkers(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		dirs := map[int]string{}
+		for _, workers := range []int{1, 8} {
+			dir := t.TempDir()
+			woc, _ := buildMatrix(t, workers, shards, dir)
+			if err := woc.Close(); err != nil {
+				t.Fatalf("close (workers=%d shards=%d): %v", workers, shards, err)
+			}
+			dirs[workers] = dir
+		}
+		files := func(dir string) []string {
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var names []string
+			for _, e := range ents {
+				names = append(names, e.Name())
+			}
+			sort.Strings(names)
+			return names
+		}
+		f1, f8 := files(dirs[1]), files(dirs[8])
+		if !reflect.DeepEqual(f1, f8) {
+			t.Fatalf("shards=%d: directory listings diverge: %v vs %v", shards, f1, f8)
+		}
+		for _, name := range f1 {
+			a, err := os.ReadFile(filepath.Join(dirs[1], name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(filepath.Join(dirs[8], name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Errorf("shards=%d: %s differs between 1 and 8 workers (%d vs %d bytes)",
+					shards, name, len(a), len(b))
+			}
+		}
+	}
+}

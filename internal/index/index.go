@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"conceptweb/internal/textproc"
 )
@@ -63,6 +64,11 @@ type Index struct {
 	// BM25 parameters.
 	K1 float64
 	B  float64
+
+	// epoch counts visible mutations (adds and live-doc removals); the
+	// sharded wrapper folds per-shard epochs into one cache-invalidation
+	// signal for the serving layer.
+	epoch atomic.Uint64
 }
 
 // New returns an empty index with standard BM25 parameters (k1=1.2, b=0.75).
@@ -181,6 +187,25 @@ func (ix *Index) AddPrepared(doc PreparedDoc) {
 			})
 		}
 	}
+	ix.epoch.Add(1)
+}
+
+// Epoch returns the index's mutation counter; it advances on every add and
+// on every removal of a live document.
+func (ix *Index) Epoch() uint64 {
+	return ix.epoch.Load()
+}
+
+// Postings returns the total number of posting entries held, a proxy for
+// the index's memory footprint used by the per-shard gauges.
+func (ix *Index) Postings() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, ps := range ix.postings {
+		n += len(ps)
+	}
+	return n
 }
 
 // Len returns the number of live (non-removed) documents.
@@ -204,8 +229,9 @@ func (ix *Index) Has(id string) bool {
 func (ix *Index) Remove(id string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if n, ok := ix.byExt[id]; ok {
+	if n, ok := ix.byExt[id]; ok && !ix.deleted[n] {
 		ix.deleted[n] = true
+		ix.epoch.Add(1)
 	}
 }
 
@@ -236,23 +262,78 @@ type Result struct {
 	Score float64
 }
 
-// Search runs a BM25F-ranked query and returns up to k results in
-// descending score order (ties broken by ID for determinism).
-func (ix *Index) Search(query string, k int) []Result {
+// localStats carries the corpus-level statistics BM25F scoring depends on:
+// doc count, per-term document frequency, and per-field total length. All
+// fields are integers so stats gathered per shard and summed convert to
+// float64 at exactly the same points as the unsharded path — the foundation
+// of the "identical scores at any shard count" guarantee.
+type localStats struct {
+	ndocs    int
+	df       map[string]int // query term -> live docs containing it
+	fieldLen map[string]int // field name -> total token count
+}
+
+// statsLocked gathers this index's contribution to the query's corpus
+// statistics. Caller holds at least an RLock.
+func (ix *Index) statsLocked(toks []string) localStats {
+	gs := localStats{
+		ndocs:    len(ix.extIDs),
+		df:       make(map[string]int, len(toks)),
+		fieldLen: make(map[string]int, len(ix.fields)),
+	}
+	for _, t := range toks {
+		if _, ok := gs.df[t]; !ok {
+			gs.df[t] = ix.df(t)
+		}
+	}
+	for _, fs := range ix.fields {
+		gs.fieldLen[fs.name] += fs.totalLen
+	}
+	return gs
+}
+
+// searchStats is statsLocked behind the lock, for the sharded wrapper.
+func (ix *Index) searchStats(toks []string) localStats {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	toks := tokenize(query)
-	if len(toks) == 0 || len(ix.extIDs) == 0 {
+	return ix.statsLocked(toks)
+}
+
+// mergeStats sums shard-local statistics into global ones. Every doc lives
+// in exactly one shard, so plain addition reproduces the unsharded counts.
+func mergeStats(parts []localStats) localStats {
+	gs := localStats{df: make(map[string]int), fieldLen: make(map[string]int)}
+	for _, p := range parts {
+		gs.ndocs += p.ndocs
+		for t, n := range p.df {
+			gs.df[t] += n
+		}
+		for f, n := range p.fieldLen {
+			gs.fieldLen[f] += n
+		}
+	}
+	return gs
+}
+
+// searchLocked scores this index's documents against toks using the given
+// corpus statistics — which may span more shards than this one — and
+// returns up to k results. Caller holds at least an RLock. The arithmetic
+// is the original single-index BM25F loop with the document count, term
+// document frequencies, and field totals read from gs instead of local
+// state, so with gs = statsLocked the result is bitwise-identical to the
+// historical Search.
+func (ix *Index) searchLocked(toks []string, gs localStats, k int) []Result {
+	if gs.ndocs == 0 || len(ix.extIDs) == 0 {
 		return nil
 	}
-	ndocs := float64(len(ix.extIDs))
+	ndocs := float64(gs.ndocs)
 	scores := make(map[int]float64)
 	for _, t := range toks {
 		ps := ix.postings[t]
 		if len(ps) == 0 {
 			continue
 		}
-		df := float64(ix.df(t))
+		df := float64(gs.df[t])
 		idf := math.Log(1 + (ndocs-df+0.5)/(df+0.5))
 		// Accumulate boosted, length-normalized term frequency per doc.
 		wtf := make(map[int]float64)
@@ -261,7 +342,7 @@ func (ix *Index) Search(query string, k int) []Result {
 				continue
 			}
 			fs := ix.fields[p.field]
-			avg := fs.totalLen
+			avg := gs.fieldLen[fs.name]
 			if avg == 0 {
 				continue
 			}
@@ -278,6 +359,25 @@ func (ix *Index) Search(query string, k int) []Result {
 		}
 	}
 	return ix.topK(scores, k)
+}
+
+// searchWithStats is searchLocked behind the lock, for the sharded wrapper.
+func (ix *Index) searchWithStats(toks []string, gs localStats, k int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.searchLocked(toks, gs, k)
+}
+
+// Search runs a BM25F-ranked query and returns up to k results in
+// descending score order (ties broken by ID for determinism).
+func (ix *Index) Search(query string, k int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	toks := tokenize(query)
+	if len(toks) == 0 || len(ix.extIDs) == 0 {
+		return nil
+	}
+	return ix.searchLocked(toks, ix.statsLocked(toks), k)
 }
 
 func (ix *Index) topK(scores map[int]float64, k int) []Result {

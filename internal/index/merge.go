@@ -1,0 +1,78 @@
+package index
+
+import "container/heap"
+
+// k-way merge of per-shard ranked result lists. Each shard returns its
+// results already ordered by (score desc, ID asc); doc IDs are unique
+// across shards, so that ordering is a total order and the merge is
+// deterministic regardless of shard count.
+
+// mergeHeap tracks the head of each non-empty list; the heap root is the
+// globally next result.
+type mergeHeap struct {
+	lists [][]Result
+	pos   []int // cursor into each list
+	order []int // heap of list indices
+}
+
+func (h *mergeHeap) Len() int { return len(h.order) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	a := h.lists[h.order[i]][h.pos[h.order[i]]]
+	b := h.lists[h.order[j]][h.pos[h.order[j]]]
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+
+func (h *mergeHeap) Push(x any) { h.order = append(h.order, x.(int)) }
+
+func (h *mergeHeap) Pop() any {
+	x := h.order[len(h.order)-1]
+	h.order = h.order[:len(h.order)-1]
+	return x
+}
+
+// mergeRanked merges per-shard ranked lists into one (score desc, ID asc)
+// list of up to k results; k <= 0 means unlimited. Nil-ness mirrors the
+// unsharded index: nil only when every input list is nil (each shard applies
+// the single index's nil rules locally), else a non-nil slice — so callers
+// see exactly the shapes Index.Search would have produced.
+func mergeRanked(lists [][]Result, k int) []Result {
+	h := &mergeHeap{lists: lists, pos: make([]int, len(lists))}
+	total, allNil := 0, true
+	for i, l := range lists {
+		total += len(l)
+		if l != nil {
+			allNil = false
+		}
+		if len(l) > 0 {
+			h.order = append(h.order, i)
+		}
+	}
+	if total == 0 {
+		if allNil {
+			return nil
+		}
+		return []Result{}
+	}
+	heap.Init(h)
+	if k <= 0 || k > total {
+		k = total
+	}
+	out := make([]Result, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		li := h.order[0]
+		out = append(out, h.lists[li][h.pos[li]])
+		h.pos[li]++
+		if h.pos[li] == len(h.lists[li]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}

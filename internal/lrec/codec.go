@@ -227,8 +227,9 @@ func DecodeRecord(b []byte) (*Record, error) {
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// writeFrame writes one length-prefixed CRC-protected frame.
-func writeFrame(w io.Writer, op byte, r *Record) error {
+// writeFrame writes one length-prefixed CRC-protected frame, reporting the
+// frame's full on-disk size so callers can track the WAL offset.
+func writeFrame(w io.Writer, op byte, r *Record) (int, error) {
 	e := encoder{buf: make([]byte, 0, 256)}
 	e.u8(op)
 	e.record(r)
@@ -236,10 +237,12 @@ func writeFrame(w io.Writer, op byte, r *Record) error {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(e.buf)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(e.buf, crcTable))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err := w.Write(e.buf)
-	return err
+	if _, err := w.Write(e.buf); err != nil {
+		return 0, err
+	}
+	return frameHdrSize + len(e.buf), nil
 }
 
 // errTornTail signals a clean end-of-log (torn final frame), not corruption.

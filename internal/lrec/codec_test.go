@@ -15,7 +15,7 @@ import (
 func frameBytes(t *testing.T, op byte, r *Record) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, op, r); err != nil {
+	if _, err := writeFrame(&buf, op, r); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()

@@ -18,13 +18,32 @@ type faultFS struct {
 	mu         sync.Mutex
 	writeLimit int64 // total writable bytes across all files; <0 = unlimited
 	written    int64
-	failOps    map[string]error // "rename", "sync", "create:lrec.log", ...
+	perFile    map[string]*fileBudget // base name -> per-file write budget
+	failOps    map[string]error       // "rename", "sync", "create:lrec.log", ...
+}
+
+// fileBudget kills writes to one file after limit bytes, independent of the
+// global budget — the shape of a single shard's disk going bad.
+type fileBudget struct {
+	limit   int64
+	written int64
 }
 
 var errInjected = errors.New("faultfs: injected fault")
 
 func newFaultFS() *faultFS {
-	return &faultFS{writeLimit: -1, failOps: map[string]error{}}
+	return &faultFS{
+		writeLimit: -1,
+		perFile:    map[string]*fileBudget{},
+		failOps:    map[string]error{},
+	}
+}
+
+// limitFileWrites caps future writes to the file with the given base name.
+func (f *faultFS) limitFileWrites(base string, n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.perFile[base] = &fileBudget{limit: n}
 }
 
 func (f *faultFS) failOn(ops ...string) {
@@ -64,7 +83,7 @@ func (f *faultFS) Create(name string) (storeFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, f: sf}, nil
+	return &faultFile{fs: f, f: sf, name: filepath.Base(name)}, nil
 }
 
 func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (storeFile, error) {
@@ -75,7 +94,7 @@ func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (storeFile, 
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, f: sf}, nil
+	return &faultFile{fs: f, f: sf, name: filepath.Base(name)}, nil
 }
 
 func (f *faultFS) Rename(oldpath, newpath string) error {
@@ -99,10 +118,11 @@ func (f *faultFS) SyncDir(dir string) error {
 	return f.osFS.SyncDir(dir)
 }
 
-// faultFile enforces the byte budget on writes and injects sync faults.
+// faultFile enforces the byte budgets on writes and injects sync faults.
 type faultFile struct {
-	fs *faultFS
-	f  storeFile
+	fs   *faultFS
+	f    storeFile
+	name string // base name, for per-file budgets
 }
 
 func (w *faultFile) Read(p []byte) (int, error) { return w.f.Read(p) }
@@ -115,6 +135,12 @@ func (w *faultFile) Write(p []byte) (int, error) {
 		if rem := w.fs.writeLimit - w.fs.written; rem < int64(len(p)) {
 			allowed = int(max(rem, 0))
 		}
+	}
+	if fb := w.fs.perFile[w.name]; fb != nil {
+		if rem := fb.limit - fb.written; rem < int64(allowed) {
+			allowed = int(max(rem, 0))
+		}
+		fb.written += int64(allowed)
 	}
 	w.fs.written += int64(allowed)
 	w.fs.mu.Unlock()

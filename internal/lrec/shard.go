@@ -1,0 +1,621 @@
+package lrec
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"conceptweb/internal/obs"
+	"conceptweb/internal/textproc"
+)
+
+// shardEngine is one hash partition of a Store: a map of records with secondary
+// indexes, durably backed by its own append-only log plus snapshots, behind
+// its own mutex. The facade in store.go routes record IDs here with
+// hash(id) % N and assigns versions from a store-wide clock; everything else
+// — replay, torn-tail repair, the degraded latch, compaction — is per shard,
+// so a write failure in one partition leaves the others serving normally.
+// A single-shard store uses the pre-sharding file names (lrec.log,
+// lrec.snap) and is byte-identical to the unpartitioned format.
+type shardEngine struct {
+	id int
+
+	mu   sync.RWMutex
+	recs map[string]*Record
+	// byConcept maps concept name -> set of record ids.
+	byConcept map[string]map[string]bool
+	// byAttr maps concept \x00 key \x00 normalizedValue -> set of ids.
+	byAttr map[string]map[string]bool
+	// history holds superseded versions, newest last, capped per record.
+	history     map[string][]*Record
+	maxVersions int
+
+	// seq is the highest version this shard has observed (replayed or
+	// applied). Compact persists the facade's global clock through it so a
+	// reopened store never hands out duplicate versions.
+	seq uint64
+
+	dir      string
+	logName  string
+	snapName string
+	fs       storeFS
+	logFile  storeFile
+	logW     *bufio.Writer
+	walOff   int64 // bytes appended to the current log (buffered included)
+
+	// degraded, once set, latches the shard read-only: the first log write
+	// or fsync failure means this shard's log no longer reflects memory, so
+	// accepting further mutations would silently widen the divergence.
+	// Sibling shards are unaffected.
+	degraded error
+	recovery RecoveryStats
+
+	// epoch counts applied mutations; serving layers fold the per-shard
+	// vector into one composed cache-invalidation epoch.
+	epoch atomic.Uint64
+
+	metrics  *obs.Registry
+	walBytes *obs.Gauge // store.shard.<id>.wal_bytes; nil without metrics
+}
+
+func newShard(id int, s *Store) *shardEngine {
+	sh := &shardEngine{
+		id:          id,
+		recs:        make(map[string]*Record),
+		byConcept:   make(map[string]map[string]bool),
+		byAttr:      make(map[string]map[string]bool),
+		history:     make(map[string][]*Record),
+		maxVersions: s.maxVersions,
+		fs:          s.fs,
+		metrics:     s.metrics,
+	}
+	if s.metrics != nil {
+		sh.walBytes = s.metrics.Gauge(fmt.Sprintf("store.shard.%d.wal_bytes", id))
+	}
+	return sh
+}
+
+// open replays this shard's snapshot and log from dir and opens the log for
+// appending, repairing a torn tail exactly like the unsharded store did.
+func (sh *shardEngine) open(dir string) error {
+	sh.dir = dir
+	if err := sh.replaySnapshot(filepath.Join(dir, sh.snapName)); err != nil {
+		return err
+	}
+	logPath := filepath.Join(dir, sh.logName)
+	good, size, err := sh.replayLog(logPath)
+	if err != nil {
+		return err
+	}
+	if good < size {
+		// Torn tail: cut the log back to the last good frame so appends
+		// resume exactly where replay will next time.
+		if err := sh.fs.Truncate(logPath, good); err != nil {
+			return fmt.Errorf("lrec: open: truncate torn tail: %w", err)
+		}
+		sh.recovery.TornTail = true
+		sh.recovery.TruncatedBytes = size - good
+		sh.metrics.Counter("lrec.recovery.torn_tails").Inc()
+		sh.metrics.Counter("lrec.recovery.truncated_bytes").Add(size - good)
+	}
+	f, err := sh.fs.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("lrec: open log: %w", err)
+	}
+	// Make the (possibly just-created) log's directory entry durable.
+	if err := sh.fs.SyncDir(dir); err != nil {
+		f.Close()
+		return fmt.Errorf("lrec: open: sync dir: %w", err)
+	}
+	sh.logFile = f
+	sh.logW = bufio.NewWriter(f)
+	sh.setWALBytes(good)
+	return nil
+}
+
+func (sh *shardEngine) setWALBytes(n int64) {
+	sh.walOff = n
+	if sh.walBytes != nil {
+		sh.walBytes.Set(n)
+	}
+}
+
+func (sh *shardEngine) degradedErr() error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.degradedErrLocked()
+}
+
+func (sh *shardEngine) degradedErrLocked() error {
+	if sh.degraded == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrDegraded, sh.degraded)
+}
+
+// latch records the first write-path failure and flips the shard read-only.
+// Caller holds mu.
+func (sh *shardEngine) latch(err error) {
+	if sh.degraded == nil {
+		sh.degraded = err
+		sh.metrics.Gauge("lrec.degraded").Add(1)
+	}
+}
+
+// applyFrame applies one replayed operation and advances the clock. opSeq
+// frames carry only a Version and exist purely to advance the clock.
+func (sh *shardEngine) applyFrame(op byte, r *Record) {
+	switch op {
+	case opPut:
+		sh.applyPut(r)
+	case opDelete:
+		sh.applyDelete(r.ID)
+	}
+	if r.Version > sh.seq {
+		sh.seq = r.Version
+	}
+}
+
+// replaySnapshot applies the snapshot at path. Snapshots are written to a
+// temp file, fsynced, and renamed into place, so a valid one is always
+// complete: any torn or corrupt frame here is real damage and fails Open.
+func (sh *shardEngine) replaySnapshot(path string) error {
+	f, err := sh.fs.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lrec: replay %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		op, r, _, err := readFrame(br)
+		switch {
+		case err == nil:
+		case err == io.EOF:
+			return nil
+		case err == errTornTail:
+			return fmt.Errorf("lrec: replay %s: %w: snapshot damaged (snapshots are atomic; torn frames here are not a crash artifact)", path, ErrCorrupt)
+		default:
+			return fmt.Errorf("lrec: replay %s: %w", path, err)
+		}
+		sh.applyFrame(op, r)
+		if op == opPut {
+			sh.recovery.SnapshotRecords++
+		}
+	}
+}
+
+// replayLog applies the log at path and returns the offset just past the
+// last good frame plus the file's total size; good < size means a torn tail
+// the caller must truncate. A bad frame followed by any CRC-valid frame is
+// mid-log corruption and returns ErrCorrupt: truncating there would discard
+// acknowledged writes, which is exactly what recovery must never do.
+func (sh *shardEngine) replayLog(path string) (good, size int64, err error) {
+	f, err := sh.fs.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("lrec: replay %s: %w", path, err)
+	}
+	defer f.Close()
+	// The whole log is read into memory so the tail beyond a bad frame can
+	// be scanned for valid frames; Compact bounds log growth, keeping this
+	// proportional to one compaction interval rather than store size.
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, 0, fmt.Errorf("lrec: replay %s: %w", path, err)
+	}
+	size = int64(len(data))
+	br := bufio.NewReader(bytes.NewReader(data))
+	for {
+		op, r, n, err := readFrame(br)
+		switch {
+		case err == nil:
+		case err == io.EOF:
+			return good, size, nil
+		case err == errTornTail:
+			if off := scanValidFrame(data[good:]); off >= 0 {
+				return 0, 0, fmt.Errorf("lrec: replay %s: %w: bad frame at offset %d but valid frame at %d — mid-log corruption, refusing to truncate", path, ErrCorrupt, good, good+off)
+			}
+			return good, size, nil
+		default:
+			return 0, 0, fmt.Errorf("lrec: replay %s: %w", path, err)
+		}
+		sh.applyFrame(op, r)
+		good += n
+		sh.recovery.LogFrames++
+	}
+}
+
+// put assigns cp the next global version under the shard lock and applies
+// it. Taking the version inside the lock keeps each shard's logged versions
+// monotonic even under concurrent facade Puts to the same shard.
+func (sh *shardEngine) put(cp *Record, clock *atomic.Uint64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.degradedErrLocked(); err != nil {
+		return err
+	}
+	cp.Version = clock.Add(1)
+	return sh.putLocked(cp)
+}
+
+// putBatch applies pre-versioned clones (the entries of clones selected by
+// idxs, in idxs order) under one lock acquisition, recording each outcome in
+// errs. A log failure mid-batch latches the shard; the remaining entries of
+// this shard fail with ErrDegraded while other shards proceed.
+func (sh *shardEngine) putBatch(clones []*Record, idxs []int, errs []error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, i := range idxs {
+		if err := sh.degradedErrLocked(); err != nil {
+			errs[i] = err
+			continue
+		}
+		errs[i] = sh.putLocked(clones[i])
+	}
+}
+
+// putLocked logs and applies a clone whose Version is already assigned.
+// Caller holds mu.
+func (sh *shardEngine) putLocked(cp *Record) error {
+	if err := sh.logOp(opPut, cp); err != nil {
+		sh.latch(err)
+		return err
+	}
+	sh.applyPut(cp)
+	if cp.Version > sh.seq {
+		sh.seq = cp.Version
+	}
+	sh.epoch.Add(1)
+	// Counted after validation and logging so rejected or failed puts do
+	// not inflate the metric.
+	sh.metrics.Counter("lrec.puts").Inc()
+	return nil
+}
+
+// applyPut installs cp into maps and indexes; caller holds mu.
+func (sh *shardEngine) applyPut(cp *Record) {
+	if old, ok := sh.recs[cp.ID]; ok {
+		sh.unindex(old)
+		sh.pushHistory(old)
+	}
+	sh.recs[cp.ID] = cp
+	sh.indexRec(cp)
+}
+
+func (sh *shardEngine) pushHistory(old *Record) {
+	h := append(sh.history[old.ID], old)
+	if len(h) > sh.maxVersions {
+		h = h[len(h)-sh.maxVersions:]
+	}
+	sh.history[old.ID] = h
+}
+
+// deleteID logs a tombstone for id and removes it. Like put, the tombstone
+// is logged before memory changes; a failed log write leaves the record in
+// place and latches the shard read-only.
+func (sh *shardEngine) deleteID(id string, clock *atomic.Uint64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.degradedErrLocked(); err != nil {
+		return err
+	}
+	old, ok := sh.recs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	tomb := &Record{ID: id, Concept: old.Concept, Version: clock.Add(1), Deleted: true}
+	if err := sh.logOp(opDelete, tomb); err != nil {
+		sh.latch(err)
+		return err
+	}
+	sh.applyDelete(id)
+	if tomb.Version > sh.seq {
+		sh.seq = tomb.Version
+	}
+	sh.epoch.Add(1)
+	// Counted after the not-found check so rejected deletes don't inflate
+	// the metric.
+	sh.metrics.Counter("lrec.deletes").Inc()
+	return nil
+}
+
+func (sh *shardEngine) applyDelete(id string) {
+	old, ok := sh.recs[id]
+	if !ok {
+		return
+	}
+	sh.unindex(old)
+	sh.pushHistory(old)
+	delete(sh.recs, id)
+}
+
+func (sh *shardEngine) logOp(op byte, r *Record) error {
+	if sh.logW == nil {
+		return nil
+	}
+	n, err := writeFrame(sh.logW, op, r)
+	if err != nil {
+		return fmt.Errorf("lrec: log write: %w", err)
+	}
+	sh.setWALBytes(sh.walOff + int64(n))
+	sh.metrics.Counter("lrec.wal.appends").Inc()
+	return nil
+}
+
+func attrKey(concept, key, normVal string) string {
+	return concept + "\x00" + key + "\x00" + normVal
+}
+
+func (sh *shardEngine) indexRec(r *Record) {
+	set := sh.byConcept[r.Concept]
+	if set == nil {
+		set = make(map[string]bool)
+		sh.byConcept[r.Concept] = set
+	}
+	set[r.ID] = true
+	for k, vals := range r.Attrs {
+		for _, v := range vals {
+			ak := attrKey(r.Concept, k, textproc.Normalize(v.Value))
+			m := sh.byAttr[ak]
+			if m == nil {
+				m = make(map[string]bool)
+				sh.byAttr[ak] = m
+			}
+			m[r.ID] = true
+		}
+	}
+}
+
+func (sh *shardEngine) unindex(r *Record) {
+	if set := sh.byConcept[r.Concept]; set != nil {
+		delete(set, r.ID)
+		if len(set) == 0 {
+			delete(sh.byConcept, r.Concept)
+		}
+	}
+	for k, vals := range r.Attrs {
+		for _, v := range vals {
+			ak := attrKey(r.Concept, k, textproc.Normalize(v.Value))
+			if m := sh.byAttr[ak]; m != nil {
+				delete(m, r.ID)
+				if len(m) == 0 {
+					delete(sh.byAttr, ak)
+				}
+			}
+		}
+	}
+}
+
+// get returns a copy of the record with the given id.
+func (sh *shardEngine) get(id string) (*Record, error) {
+	sh.metrics.Counter("lrec.gets").Inc()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.recs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return r.Clone(), nil
+}
+
+func (sh *shardEngine) length() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.recs)
+}
+
+// byConceptClones returns copies of the shard's records of the concept,
+// sorted by ID.
+func (sh *shardEngine) byConceptClones(concept string) []*Record {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ids := sortedIDs(sh.byConcept[concept])
+	out := make([]*Record, len(ids))
+	for i, id := range ids {
+		out[i] = sh.recs[id].Clone()
+	}
+	return out
+}
+
+func (sh *shardEngine) countByConcept(concept string) int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.byConcept[concept])
+}
+
+// byAttrClones returns copies of the shard's records with the given
+// normalized attribute value, sorted by ID.
+func (sh *shardEngine) byAttrClones(ak string) []*Record {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ids := sortedIDs(sh.byAttr[ak])
+	out := make([]*Record, len(ids))
+	for i, id := range ids {
+		out[i] = sh.recs[id].Clone()
+	}
+	return out
+}
+
+func sortedIDs(set map[string]bool) []string {
+	ids := make([]string, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// versions returns copies of superseded versions of id, oldest first.
+func (sh *shardEngine) versions(id string) []*Record {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	h := sh.history[id]
+	out := make([]*Record, len(h))
+	for i, r := range h {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+func (sh *shardEngine) conceptNames(into map[string]bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for c := range sh.byConcept {
+		into[c] = true
+	}
+}
+
+// sync flushes buffered log writes to the OS and fsyncs the log file. A
+// flush or fsync failure latches the shard read-only: after a failed fsync
+// the kernel may have dropped the dirty pages, so pretending later syncs can
+// succeed would break the durability contract.
+func (sh *shardEngine) sync() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.degradedErrLocked(); err != nil {
+		return err
+	}
+	return sh.syncLocked()
+}
+
+func (sh *shardEngine) syncLocked() error {
+	if sh.logW == nil {
+		return nil
+	}
+	if err := sh.logW.Flush(); err != nil {
+		sh.latch(err)
+		return fmt.Errorf("lrec: sync: %w", err)
+	}
+	if err := sh.logFile.Sync(); err != nil {
+		sh.latch(err)
+		return fmt.Errorf("lrec: sync: %w", err)
+	}
+	return nil
+}
+
+// compact writes a snapshot of the shard's live records and truncates its
+// log, bounding recovery time. clock is the facade's global version clock,
+// persisted as the snapshot's opSeq frame so a reopened store resumes
+// version numbering past everything ever assigned — including versions that
+// landed on sibling shards. Crash-safe at every step exactly like the
+// unsharded Compact was: temp file, fsync, rename, directory fsync, and the
+// old log handle stays open until the fresh log exists.
+//
+// The lrec.compactions counter is incremented once per facade Compact, not
+// here, so an N-shard compaction does not count N times.
+func (sh *shardEngine) compact(clock uint64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.dir == "" {
+		return nil
+	}
+	if err := sh.degradedErrLocked(); err != nil {
+		return err
+	}
+	tmp := filepath.Join(sh.dir, sh.snapName+".tmp")
+	f, err := sh.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		sh.fs.Remove(tmp)
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	// The clock goes first: the snapshot holds only live records, so if the
+	// newest mutation was a Delete its tombstone's version would otherwise
+	// be lost and a reopened store would hand out duplicate versions.
+	if _, err := writeFrame(w, opSeq, &Record{Version: clock}); err != nil {
+		return fail(err)
+	}
+	ids := make([]string, 0, len(sh.recs))
+	for id := range sh.recs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, err := writeFrame(w, opPut, sh.recs[id]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		sh.fs.Remove(tmp)
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	if err := sh.fs.Rename(tmp, filepath.Join(sh.dir, sh.snapName)); err != nil {
+		sh.fs.Remove(tmp)
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	// Until the rename is fsynced into the directory, a crash could revert
+	// to the old snapshot — so the log must not be truncated before this.
+	if err := sh.fs.SyncDir(sh.dir); err != nil {
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	// The log is now redundant; replace it. Create the fresh log before
+	// releasing the old handle: if Create fails, appends continue on the
+	// old log, which remains correct (snapshot + old log replays to the
+	// same state).
+	f2, err := sh.fs.Create(filepath.Join(sh.dir, sh.logName))
+	if err != nil {
+		return fmt.Errorf("lrec: compact: %w", err)
+	}
+	if sh.logFile != nil {
+		// Buffered frames are already captured by the snapshot and the log
+		// they belong to is obsolete; close errors change nothing durable.
+		sh.logFile.Close()
+	}
+	sh.logFile = f2
+	sh.logW = bufio.NewWriter(f2)
+	if clock > sh.seq {
+		sh.seq = clock
+	}
+	sh.setWALBytes(0)
+	return nil
+}
+
+// closeShard flushes and closes the shard's files. File handles are released
+// even on error; a degraded shard skips the final sync (its log tail is
+// already suspect and will be handled as a torn tail on the next Open) and
+// reports the latched error.
+func (sh *shardEngine) closeShard() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.logW == nil {
+		return nil
+	}
+	degraded := sh.degradedErrLocked()
+	var syncErr error
+	if degraded == nil {
+		syncErr = sh.syncLocked()
+	}
+	closeErr := sh.logFile.Close()
+	sh.logFile = nil
+	sh.logW = nil
+	switch {
+	case degraded != nil:
+		return degraded
+	case syncErr != nil:
+		return syncErr
+	case closeErr != nil:
+		return fmt.Errorf("lrec: close: %w", closeErr)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package lrec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"conceptweb/internal/shard"
+)
+
+// idForShard scans numbered IDs until one routes to the wanted shard.
+func idForShard(t *testing.T, prefix string, want, n int) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		id := fmt.Sprintf("%s%d", prefix, i)
+		if shard.Of(id, n) == want {
+			return id
+		}
+	}
+	t.Fatalf("no id with prefix %q routes to shard %d of %d", prefix, want, n)
+	return ""
+}
+
+// TestShardWriteFaultLatchesOnlyThatShard is the blast-radius contract of the
+// partitioned store: a write kill on shard k's WAL latches shard k read-only
+// while every other shard keeps accepting writes, the damage is visible in
+// ShardStates (which /healthz renders), and a reopen repairs the torn tail.
+func TestShardWriteFaultLatchesOnlyThatShard(t *testing.T) {
+	const nshards = 4
+	const victim = 2
+	ffs := newFaultFS()
+	dir := t.TempDir()
+	s, err := Open(dir, withFS(ffs), WithShards(nshards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// One synced record per shard, so recovery of the survivors is checkable.
+	ids := make([]string, nshards)
+	for k := 0; k < nshards; k++ {
+		ids[k] = idForShard(t, "seed-", k, nshards)
+		if err := s.Put(testRecord(ids[k], "N"+ids[k], "C")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the victim shard's WAL three bytes into its next frame.
+	walName, _ := shardFileNames(nshards, victim)
+	ffs.limitFileWrites(walName, 3)
+
+	doomed := idForShard(t, "doomed-", victim, nshards)
+	if err := s.Put(bigRecord(doomed)); err == nil {
+		t.Fatal("Put into the killed shard must error")
+	}
+	if _, err := s.Get(doomed); !errors.Is(err, ErrNotFound) {
+		t.Error("failed Put mutated memory; shard diverged from its log")
+	}
+
+	// The victim is latched...
+	if err := s.Degraded(); !errors.Is(err, ErrDegraded) {
+		t.Errorf("Degraded() = %v, want ErrDegraded", err)
+	}
+	if err := s.Put(bigRecord(idForShard(t, "again-", victim, nshards))); !errors.Is(err, ErrDegraded) {
+		t.Errorf("Put into latched shard = %v, want ErrDegraded", err)
+	}
+	// ...but every other shard still serves reads AND writes.
+	for k := 0; k < nshards; k++ {
+		if r, err := s.Get(ids[k]); err != nil || r.Get("name") != "N"+ids[k] {
+			t.Errorf("shard %d: read after fault: %v %v", k, r, err)
+		}
+		if k == victim {
+			continue
+		}
+		if err := s.Put(bigRecord(idForShard(t, "post-", k, nshards))); err != nil {
+			t.Errorf("shard %d: write after shard %d latched: %v", k, victim, err)
+		}
+	}
+
+	// The per-shard breakdown pinpoints the failure for /healthz.
+	states := s.ShardStates()
+	if len(states) != nshards {
+		t.Fatalf("ShardStates len = %d, want %d", len(states), nshards)
+	}
+	for _, st := range states {
+		if st.Shard == victim {
+			if st.Degraded == "" {
+				t.Errorf("shard %d should report its degraded cause", victim)
+			}
+			continue
+		}
+		if st.Degraded != "" {
+			t.Errorf("healthy shard %d reports degraded: %s", st.Shard, st.Degraded)
+		}
+	}
+	s.Close()
+
+	// Reopen on the real filesystem: the manifest pins the shard count, the
+	// victim's torn half-frame is truncated away, and writes work everywhere.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.NumShards(); got != nshards {
+		t.Fatalf("reopened NumShards = %d, want %d", got, nshards)
+	}
+	if rec := s2.Recovery(); !rec.TornTail {
+		t.Error("reopen should report the repaired torn tail")
+	}
+	for k := 0; k < nshards; k++ {
+		if _, err := s2.Get(ids[k]); err != nil {
+			t.Errorf("shard %d: synced record %s lost across reopen: %v", k, ids[k], err)
+		}
+	}
+	if _, err := s2.Get(doomed); !errors.Is(err, ErrNotFound) {
+		t.Errorf("torn record survived reopen: %v", err)
+	}
+	if err := s2.Put(bigRecord(idForShard(t, "fresh-", victim, nshards))); err != nil {
+		t.Errorf("recovered shard must accept writes: %v", err)
+	}
+}

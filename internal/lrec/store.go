@@ -1,17 +1,14 @@
 package lrec
 
 import (
-	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"conceptweb/internal/obs"
+	"conceptweb/internal/shard"
 	"conceptweb/internal/textproc"
 )
 
@@ -20,52 +17,63 @@ import (
 // "logically centralized and unified store that serves as the basis of query
 // processing" (§6). All methods are safe for concurrent use.
 //
-// Durability model: every Put/Delete appends a framed operation to the log
-// before mutating memory, and the log is fsynced on Sync/Close. Open replays
-// snapshot + log; a torn final frame (crash mid-write) is truncated away so
-// subsequent appends continue from the last good frame, while corruption in
-// the middle of the log (valid frames after a bad one) refuses to open with
-// ErrCorrupt rather than silently discarding acknowledged writes. A failed
-// log write or fsync latches the store into a degraded read-only state (see
-// Degraded) instead of letting memory diverge from the log.
+// Internally the store is hash-partitioned into N shards (see WithShards),
+// each with its own WAL file, snapshot, mutex, and degraded latch; record
+// IDs route to shards with hash(id) % N and the count is pinned in a
+// directory manifest so a reopen always routes an ID to the shard that
+// logged it. N = 1 (the default) reproduces the pre-sharding single-file
+// layout byte for byte, so existing directories open unchanged. Version
+// numbers come from one store-wide clock regardless of shard count.
+//
+// Durability model: every Put/Delete appends a framed operation to its
+// shard's log before mutating memory, and logs are fsynced on Sync/Close.
+// Open replays snapshot + log per shard; a torn final frame (crash
+// mid-write) is truncated away so subsequent appends continue from the last
+// good frame, while corruption in the middle of a log (valid frames after a
+// bad one) refuses to open with ErrCorrupt rather than silently discarding
+// acknowledged writes. A failed log write or fsync latches only the failing
+// shard into a degraded read-only state (see Degraded) instead of letting
+// memory diverge from the log; sibling shards keep accepting writes.
 type Store struct {
-	mu   sync.RWMutex
-	recs map[string]*Record
-	// byConcept maps concept name -> set of record ids.
-	byConcept map[string]map[string]bool
-	// byAttr maps concept \x00 key \x00 normalizedValue -> set of ids.
-	byAttr map[string]map[string]bool
-	// history holds superseded versions, newest last, capped per record.
-	history     map[string][]*Record
+	shards []*shardEngine
+
+	// seq is the store-wide logical clock; it advances on every mutation
+	// no matter which shard it lands on, so versions stay totally ordered
+	// (and deterministic) across any shard count.
+	seq atomic.Uint64
+
+	dir         string
+	fs          storeFS
+	registry    *Registry
+	metrics     *obs.Registry // nil-safe; counts puts/gets/WAL appends/compactions
 	maxVersions int
-
-	seq uint64 // logical clock; advances on every mutation
-
-	dir     string
-	fs      storeFS
-	logFile storeFile
-	logW    *bufio.Writer
-
-	// degraded, once set, latches the store read-only: the first log write
-	// or fsync failure means the on-disk log no longer reflects memory, so
-	// accepting further mutations would silently widen the divergence.
-	degraded error
-	recovery RecoveryStats
-
-	registry *Registry
-	metrics  *obs.Registry // nil-safe; counts puts/gets/WAL appends/compactions
+	nshards     int // requested via WithShards; 0 = unspecified (manifest or 1)
 }
 
-// ErrDegraded wraps the first write/fsync error after which the store
+// ErrDegraded wraps the first write/fsync error after which a shard
 // refuses mutations; reads keep working. Reopen the directory to recover.
 var ErrDegraded = errors.New("lrec: store degraded, read-only")
 
 // RecoveryStats reports what Open found and repaired while replaying.
+// For a sharded store the counts are aggregated across shards; use
+// ShardStates for the per-shard breakdown.
 type RecoveryStats struct {
-	SnapshotRecords int   // live records loaded from the snapshot
-	LogFrames       int   // frames replayed from the log
-	TornTail        bool  // the log ended in a torn frame
-	TruncatedBytes  int64 // bytes cut from the log tail to repair it
+	SnapshotRecords int   // live records loaded from the snapshot(s)
+	LogFrames       int   // frames replayed from the log(s)
+	TornTail        bool  // at least one log ended in a torn frame
+	TruncatedBytes  int64 // bytes cut from log tails to repair them
+}
+
+// ShardState is the per-shard view surfaced through health endpoints: which
+// partition, how much data it holds, whether it is latched read-only, and
+// what its Open repaired.
+type ShardState struct {
+	Shard    int
+	Records  int
+	Degraded string // empty while the shard accepts writes
+	Recovery RecoveryStats
+	WALBytes int64
+	Epoch    uint64
 }
 
 // StoreOption configures a Store.
@@ -88,6 +96,16 @@ func WithMetrics(m *obs.Registry) StoreOption {
 	return func(s *Store) { s.metrics = m }
 }
 
+// WithShards partitions the store into n hash-routed shards, each with its
+// own WAL and mutex. n <= 1 keeps the pre-sharding single-file layout. For
+// a durable store the count is pinned by the directory manifest on first
+// create: reopening with a conflicting explicit count fails rather than
+// scattering records across the wrong partitions, and n = 0 (the default)
+// means "whatever the directory already is".
+func WithShards(n int) StoreOption {
+	return func(s *Store) { s.nshards = n }
+}
+
 // withFS injects a filesystem implementation. Only the fault-injection
 // tests use it (fault_test.go); Open defaults to the real filesystem.
 func withFS(fs storeFS) StoreOption {
@@ -97,16 +115,15 @@ func withFS(fs storeFS) StoreOption {
 // NewMemStore returns a purely in-memory store (no durability), used by
 // tests and short-lived pipelines.
 func NewMemStore(opts ...StoreOption) *Store {
-	s := &Store{
-		recs:        make(map[string]*Record),
-		byConcept:   make(map[string]map[string]bool),
-		byAttr:      make(map[string]map[string]bool),
-		history:     make(map[string][]*Record),
-		maxVersions: 4,
-	}
+	s := &Store{maxVersions: 4}
 	for _, o := range opts {
 		o(s)
 	}
+	n := s.nshards
+	if n < 1 {
+		n = 1
+	}
+	s.buildShards(n)
 	return s
 }
 
@@ -115,15 +132,45 @@ const (
 	snapName = "lrec.snap"
 )
 
+// shardFileNames returns the log and snapshot file names for shard i of n.
+// A single shard keeps the historical names so pre-sharding directories
+// stay byte-compatible in both directions.
+func shardFileNames(n, i int) (log, snap string) {
+	if n == 1 {
+		return logName, snapName
+	}
+	return fmt.Sprintf("lrec-%02d.wal", i), fmt.Sprintf("lrec-%02d.snap", i)
+}
+
+func (s *Store) buildShards(n int) {
+	s.shards = make([]*shardEngine, n)
+	for i := range s.shards {
+		sh := newShard(i, s)
+		sh.logName, sh.snapName = shardFileNames(n, i)
+		s.shards[i] = sh
+	}
+}
+
+// shardFor routes a record ID to its shard.
+func (s *Store) shardFor(id string) *shardEngine {
+	return s.shards[shard.Of(id, len(s.shards))]
+}
+
 // Open opens (or creates) a durable store in dir, replaying any snapshot and
-// log found there. A torn log tail (crash mid-append) is truncated to the
-// last good frame before the log is reopened for appending, so new writes
-// never land after bad bytes — the bug class where replay would stop at the
-// old tear forever and silently drop everything written after it. Mid-log
-// corruption (a bad frame with valid frames after it) fails with ErrCorrupt.
-// Recovery details are available from Recovery().
+// log found there. The shard count is resolved from the directory manifest
+// (or the legacy single-file layout) before any shard is touched; see
+// WithShards. Shards replay concurrently. A torn log tail (crash mid-append)
+// is truncated to the last good frame before that shard's log is reopened
+// for appending, so new writes never land after bad bytes — the bug class
+// where replay would stop at the old tear forever and silently drop
+// everything written after it. Mid-log corruption (a bad frame with valid
+// frames after it) fails with ErrCorrupt. Recovery details are available
+// from Recovery() and, per shard, ShardStates().
 func Open(dir string, opts ...StoreOption) (*Store, error) {
-	s := NewMemStore(opts...)
+	s := &Store{maxVersions: 4}
+	for _, o := range opts {
+		o(s)
+	}
 	s.dir = dir
 	if s.fs == nil {
 		s.fs = osFS{}
@@ -131,174 +178,121 @@ func Open(dir string, opts ...StoreOption) (*Store, error) {
 	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lrec: open: %w", err)
 	}
-	if err := s.replaySnapshot(filepath.Join(dir, snapName)); err != nil {
-		return nil, err
-	}
-	logPath := filepath.Join(dir, logName)
-	good, size, err := s.replayLog(logPath)
+	n, err := resolveShardCount(s.fs, dir, s.nshards)
 	if err != nil {
 		return nil, err
 	}
-	if good < size {
-		// Torn tail: cut the log back to the last good frame so appends
-		// resume exactly where replay will next time.
-		if err := s.fs.Truncate(logPath, good); err != nil {
-			return nil, fmt.Errorf("lrec: open: truncate torn tail: %w", err)
+	s.buildShards(n)
+	if n == 1 {
+		if err := s.shards[0].open(dir); err != nil {
+			return nil, err
 		}
-		s.recovery.TornTail = true
-		s.recovery.TruncatedBytes = size - good
-		s.metrics.Counter("lrec.recovery.torn_tails").Inc()
-		s.metrics.Counter("lrec.recovery.truncated_bytes").Add(size - good)
+	} else {
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(i int, sh *shardEngine) {
+				defer wg.Done()
+				errs[i] = sh.open(dir)
+			}(i, sh)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				// Release whatever did open; the store is not returned.
+				for _, sh := range s.shards {
+					sh.closeShard()
+				}
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
 	}
-	f, err := s.fs.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("lrec: open log: %w", err)
+	var max uint64
+	for _, sh := range s.shards {
+		if sh.seq > max {
+			max = sh.seq
+		}
 	}
-	// Make the (possibly just-created) log's directory entry durable.
-	if err := s.fs.SyncDir(dir); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("lrec: open: sync dir: %w", err)
-	}
-	s.logFile = f
-	s.logW = bufio.NewWriter(f)
+	s.seq.Store(max)
 	return s, nil
 }
 
 // Recovery reports what the Open that produced this store found and
-// repaired: snapshot/log frame counts and any torn-tail truncation.
+// repaired, aggregated across shards: snapshot/log frame counts and any
+// torn-tail truncation.
 func (s *Store) Recovery() RecoveryStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.recovery
+	var agg RecoveryStats
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		r := sh.recovery
+		sh.mu.RUnlock()
+		agg.SnapshotRecords += r.SnapshotRecords
+		agg.LogFrames += r.LogFrames
+		agg.TornTail = agg.TornTail || r.TornTail
+		agg.TruncatedBytes += r.TruncatedBytes
+	}
+	return agg
+}
+
+// NumShards returns the store's shard count (1 for unsharded).
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardStates returns the per-shard health view, ordered by shard index.
+func (s *Store) ShardStates() []ShardState {
+	out := make([]ShardState, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		st := ShardState{
+			Shard:    i,
+			Records:  len(sh.recs),
+			Recovery: sh.recovery,
+			WALBytes: sh.walOff,
+			Epoch:    sh.epoch.Load(),
+		}
+		if err := sh.degradedErrLocked(); err != nil {
+			st.Degraded = err.Error()
+		}
+		sh.mu.RUnlock()
+		out[i] = st
+	}
+	return out
+}
+
+// ShardEpochs returns each shard's mutation epoch, ordered by shard index.
+// Serving layers fold this vector into a composed cache-invalidation epoch.
+func (s *Store) ShardEpochs() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.epoch.Load()
+	}
+	return out
 }
 
 // Degraded returns nil while the store accepts writes, or the latched error
-// after a log write or fsync failure has forced it read-only.
+// of the first degraded shard. With multiple shards the error names the
+// failed partition; the others keep serving writes, so callers that can
+// route around a partition should consult ShardStates instead.
 func (s *Store) Degraded() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.degradedErrLocked()
-}
-
-func (s *Store) degradedErrLocked() error {
-	if s.degraded == nil {
-		return nil
-	}
-	return fmt.Errorf("%w: %v", ErrDegraded, s.degraded)
-}
-
-// latch records the first write-path failure and flips the store read-only.
-// Caller holds mu.
-func (s *Store) latch(err error) {
-	if s.degraded == nil {
-		s.degraded = err
-		s.metrics.Gauge("lrec.degraded").Set(1)
-	}
-}
-
-// applyFrame applies one replayed operation and advances the clock. opSeq
-// frames carry only a Version and exist purely to advance the clock.
-func (s *Store) applyFrame(op byte, r *Record) {
-	switch op {
-	case opPut:
-		s.applyPut(r)
-	case opDelete:
-		s.applyDelete(r.ID)
-	}
-	if r.Version > s.seq {
-		s.seq = r.Version
-	}
-}
-
-// replaySnapshot applies the snapshot at path. Snapshots are written to a
-// temp file, fsynced, and renamed into place, so a valid one is always
-// complete: any torn or corrupt frame here is real damage and fails Open.
-func (s *Store) replaySnapshot(path string) error {
-	f, err := s.fs.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("lrec: replay %s: %w", path, err)
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	for {
-		op, r, _, err := readFrame(br)
-		switch {
-		case err == nil:
-		case err == io.EOF:
-			return nil
-		case err == errTornTail:
-			return fmt.Errorf("lrec: replay %s: %w: snapshot damaged (snapshots are atomic; torn frames here are not a crash artifact)", path, ErrCorrupt)
-		default:
-			return fmt.Errorf("lrec: replay %s: %w", path, err)
-		}
-		s.applyFrame(op, r)
-		if op == opPut {
-			s.recovery.SnapshotRecords++
-		}
-	}
-}
-
-// replayLog applies the log at path and returns the offset just past the
-// last good frame plus the file's total size; good < size means a torn tail
-// the caller must truncate. A bad frame followed by any CRC-valid frame is
-// mid-log corruption and returns ErrCorrupt: truncating there would discard
-// acknowledged writes, which is exactly what recovery must never do.
-func (s *Store) replayLog(path string) (good, size int64, err error) {
-	f, err := s.fs.Open(path)
-	if os.IsNotExist(err) {
-		return 0, 0, nil
-	}
-	if err != nil {
-		return 0, 0, fmt.Errorf("lrec: replay %s: %w", path, err)
-	}
-	defer f.Close()
-	// The whole log is read into memory so the tail beyond a bad frame can
-	// be scanned for valid frames; Compact bounds log growth, keeping this
-	// proportional to one compaction interval rather than store size.
-	data, err := io.ReadAll(f)
-	if err != nil {
-		return 0, 0, fmt.Errorf("lrec: replay %s: %w", path, err)
-	}
-	size = int64(len(data))
-	br := bufio.NewReader(bytes.NewReader(data))
-	for {
-		op, r, n, err := readFrame(br)
-		switch {
-		case err == nil:
-		case err == io.EOF:
-			return good, size, nil
-		case err == errTornTail:
-			if off := scanValidFrame(data[good:]); off >= 0 {
-				return 0, 0, fmt.Errorf("lrec: replay %s: %w: bad frame at offset %d but valid frame at %d — mid-log corruption, refusing to truncate", path, ErrCorrupt, good, good+off)
+	for i, sh := range s.shards {
+		if err := sh.degradedErr(); err != nil {
+			if len(s.shards) > 1 {
+				return fmt.Errorf("shard %d: %w", i, err)
 			}
-			return good, size, nil
-		default:
-			return 0, 0, fmt.Errorf("lrec: replay %s: %w", path, err)
+			return err
 		}
-		s.applyFrame(op, r)
-		good += n
-		s.recovery.LogFrames++
 	}
+	return nil
 }
 
 // NextSeq atomically advances and returns the store's logical clock,
 // used to stamp provenance.
 func (s *Store) NextSeq() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seq++
-	return s.seq
+	return s.seq.Add(1)
 }
 
-// Put inserts or replaces the record with r.ID. The stored copy is
-// independent of r. Version is assigned by the store. The operation is
-// logged before memory is mutated: if the log write fails, the store state
-// is unchanged and the store latches read-only (ErrDegraded on later
-// writes) rather than letting memory diverge from the log.
-func (s *Store) Put(r *Record) error {
+// validatePut checks the parts of Put that do not need any lock.
+func (s *Store) validatePut(r *Record) error {
 	if r.ID == "" {
 		return ErrNoID
 	}
@@ -313,207 +307,162 @@ func (s *Store) Put(r *Record) error {
 			return fmt.Errorf("%w: %q", ErrUnknownConcept, r.Concept)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.degradedErrLocked(); err != nil {
-		return err
-	}
-	cp := r.Clone()
-	s.seq++
-	cp.Version = s.seq
-	cp.Deleted = false
-	if err := s.logOp(opPut, cp); err != nil {
-		s.latch(err)
-		return err
-	}
-	s.applyPut(cp)
-	// Counted after validation and logging so rejected or failed puts do
-	// not inflate the metric.
-	s.metrics.Counter("lrec.puts").Inc()
 	return nil
 }
 
-// applyPut installs cp into maps and indexes; caller holds mu.
-func (s *Store) applyPut(cp *Record) {
-	if old, ok := s.recs[cp.ID]; ok {
-		s.unindex(old)
-		s.pushHistory(old)
+// Put inserts or replaces the record with r.ID. The stored copy is
+// independent of r. Version is assigned by the store. The operation is
+// logged before memory is mutated: if the log write fails, the store state
+// is unchanged and the failing shard latches read-only (ErrDegraded on
+// later writes to it) rather than letting memory diverge from the log.
+func (s *Store) Put(r *Record) error {
+	if err := s.validatePut(r); err != nil {
+		return err
 	}
-	s.recs[cp.ID] = cp
-	s.indexRec(cp)
+	cp := r.Clone()
+	cp.Deleted = false
+	return s.shardFor(cp.ID).put(cp, &s.seq)
 }
 
-func (s *Store) pushHistory(old *Record) {
-	h := append(s.history[old.ID], old)
-	if len(h) > s.maxVersions {
-		h = h[len(h)-s.maxVersions:]
+// PutBatch stores recs with up to workers concurrent writers, one per
+// shard, and returns a per-record error slice. Versions are assigned
+// serially in input order before any write starts, so the resulting store
+// state — version numbers included — is identical for every (workers ×
+// shards) combination; only wall-clock time changes. A shard that fails
+// mid-batch latches degraded and fails its remaining records while other
+// shards proceed.
+func (s *Store) PutBatch(recs []*Record, workers int) []error {
+	errs := make([]error, len(recs))
+	clones := make([]*Record, len(recs))
+	perShard := make([][]int, len(s.shards))
+	for i, r := range recs {
+		if err := s.validatePut(r); err != nil {
+			errs[i] = err
+			continue
+		}
+		cp := r.Clone()
+		cp.Deleted = false
+		cp.Version = s.seq.Add(1)
+		clones[i] = cp
+		si := shard.Of(cp.ID, len(s.shards))
+		perShard[si] = append(perShard[si], i)
 	}
-	s.history[old.ID] = h
+	if workers <= 1 || len(s.shards) == 1 {
+		for _, idxs := range perShard {
+			if len(idxs) == 0 {
+				continue
+			}
+			s.shards[shard.Of(clones[idxs[0]].ID, len(s.shards))].putBatch(clones, idxs, errs)
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	for si, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shardEngine, idxs []int) {
+			defer wg.Done()
+			sh.putBatch(clones, idxs, errs)
+		}(s.shards[si], idxs)
+	}
+	wg.Wait()
+	return errs
 }
 
 // Delete removes the record (a tombstone is logged so replay converges).
 // Like Put, the tombstone is logged before memory changes; a failed log
-// write leaves the record in place and latches the store read-only.
+// write leaves the record in place and latches its shard read-only.
 func (s *Store) Delete(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.degradedErrLocked(); err != nil {
-		return err
-	}
-	old, ok := s.recs[id]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNotFound, id)
-	}
-	s.seq++
-	tomb := &Record{ID: id, Concept: old.Concept, Version: s.seq, Deleted: true}
-	if err := s.logOp(opDelete, tomb); err != nil {
-		s.latch(err)
-		return err
-	}
-	s.applyDelete(id)
-	// Counted after the not-found check so rejected deletes don't inflate
-	// the metric.
-	s.metrics.Counter("lrec.deletes").Inc()
-	return nil
-}
-
-func (s *Store) applyDelete(id string) {
-	old, ok := s.recs[id]
-	if !ok {
-		return
-	}
-	s.unindex(old)
-	s.pushHistory(old)
-	delete(s.recs, id)
-}
-
-func (s *Store) logOp(op byte, r *Record) error {
-	if s.logW == nil {
-		return nil
-	}
-	if err := writeFrame(s.logW, op, r); err != nil {
-		return fmt.Errorf("lrec: log write: %w", err)
-	}
-	s.metrics.Counter("lrec.wal.appends").Inc()
-	return nil
-}
-
-func attrKey(concept, key, normVal string) string {
-	return concept + "\x00" + key + "\x00" + normVal
-}
-
-func (s *Store) indexRec(r *Record) {
-	set := s.byConcept[r.Concept]
-	if set == nil {
-		set = make(map[string]bool)
-		s.byConcept[r.Concept] = set
-	}
-	set[r.ID] = true
-	for k, vals := range r.Attrs {
-		for _, v := range vals {
-			ak := attrKey(r.Concept, k, textproc.Normalize(v.Value))
-			m := s.byAttr[ak]
-			if m == nil {
-				m = make(map[string]bool)
-				s.byAttr[ak] = m
-			}
-			m[r.ID] = true
-		}
-	}
-}
-
-func (s *Store) unindex(r *Record) {
-	if set := s.byConcept[r.Concept]; set != nil {
-		delete(set, r.ID)
-		if len(set) == 0 {
-			delete(s.byConcept, r.Concept)
-		}
-	}
-	for k, vals := range r.Attrs {
-		for _, v := range vals {
-			ak := attrKey(r.Concept, k, textproc.Normalize(v.Value))
-			if m := s.byAttr[ak]; m != nil {
-				delete(m, r.ID)
-				if len(m) == 0 {
-					delete(s.byAttr, ak)
-				}
-			}
-		}
-	}
+	return s.shardFor(id).deleteID(id, &s.seq)
 }
 
 // Get returns a copy of the record with the given id.
 func (s *Store) Get(id string) (*Record, error) {
-	s.metrics.Counter("lrec.gets").Inc()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.recs[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
-	}
-	return r.Clone(), nil
+	return s.shardFor(id).get(id)
 }
 
 // Len returns the number of live records.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.recs)
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.length()
+	}
+	return n
 }
 
 // ByConcept returns copies of all records of the concept, sorted by ID.
 func (s *Store) ByConcept(concept string) []*Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := sortedIDs(s.byConcept[concept])
-	out := make([]*Record, len(ids))
-	for i, id := range ids {
-		out[i] = s.recs[id].Clone()
+	if len(s.shards) == 1 {
+		return s.shards[0].byConceptClones(concept)
 	}
+	var out []*Record
+	for _, sh := range s.shards {
+		out = append(out, sh.byConceptClones(concept)...)
+	}
+	if out == nil {
+		out = []*Record{}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // CountByConcept returns the number of live records of the concept.
 func (s *Store) CountByConcept(concept string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byConcept[concept])
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.countByConcept(concept)
+	}
+	return n
 }
 
 // ByAttr returns copies of the concept's records having the given attribute
 // value (compared after normalization), sorted by ID.
 func (s *Store) ByAttr(concept, key, value string) []*Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := sortedIDs(s.byAttr[attrKey(concept, key, textproc.Normalize(value))])
-	out := make([]*Record, len(ids))
-	for i, id := range ids {
-		out[i] = s.recs[id].Clone()
+	ak := attrKey(concept, key, textproc.Normalize(value))
+	if len(s.shards) == 1 {
+		return s.shards[0].byAttrClones(ak)
 	}
+	var out []*Record
+	for _, sh := range s.shards {
+		out = append(out, sh.byAttrClones(ak)...)
+	}
+	if out == nil {
+		out = []*Record{}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
-}
-
-func sortedIDs(set map[string]bool) []string {
-	ids := make([]string, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
 }
 
 // Scan calls fn for every live record in sorted-ID order. fn receives a
 // shared reference for speed and must not mutate it; return false to stop.
+// All shard read-locks are held for the duration, so the scan observes one
+// consistent cut of the store.
 func (s *Store) Scan(fn func(*Record) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := make([]string, 0, len(s.recs))
-	for id := range s.recs {
-		ids = append(ids, id)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.RUnlock()
+		}
+	}()
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh.recs)
+	}
+	ids := make([]string, 0, total)
+	where := make(map[string]*Record, total)
+	for _, sh := range s.shards {
+		for id, r := range sh.recs {
+			ids = append(ids, id)
+			where[id] = r
+		}
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		if !fn(s.recs[id]) {
+		if !fn(where[id]) {
 			return
 		}
 	}
@@ -522,164 +471,85 @@ func (s *Store) Scan(fn func(*Record) bool) {
 // Versions returns copies of superseded versions of id, oldest first.
 // The live version is not included.
 func (s *Store) Versions(id string) []*Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.history[id]
-	out := make([]*Record, len(h))
-	for i, r := range h {
-		out[i] = r.Clone()
-	}
-	return out
+	return s.shardFor(id).versions(id)
 }
 
 // Concepts returns the concept names with at least one live record, sorted.
 func (s *Store) Concepts() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byConcept))
-	for c := range s.byConcept {
+	set := make(map[string]bool)
+	for _, sh := range s.shards {
+		sh.conceptNames(set)
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
 		out = append(out, c)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Sync flushes buffered log writes to the OS and fsyncs the log file. Only
-// mutations acknowledged by a successful Sync (or Close) are guaranteed to
-// survive a crash. A flush or fsync failure latches the store read-only:
-// after a failed fsync the kernel may have dropped the dirty pages, so
-// pretending later syncs can succeed would break the durability contract.
+// Sync flushes buffered log writes to the OS and fsyncs every shard's log
+// file. Only mutations acknowledged by a successful Sync (or Close) are
+// guaranteed to survive a crash. A flush or fsync failure latches that
+// shard read-only: after a failed fsync the kernel may have dropped the
+// dirty pages, so pretending later syncs can succeed would break the
+// durability contract. All shards are synced even if one fails; the first
+// error is returned.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.degradedErrLocked(); err != nil {
-		return err
+	var first error
+	for i, sh := range s.shards {
+		if err := sh.sync(); err != nil && first == nil {
+			if len(s.shards) > 1 {
+				err = fmt.Errorf("shard %d: %w", i, err)
+			}
+			first = err
+		}
 	}
-	return s.syncLocked()
-}
-
-func (s *Store) syncLocked() error {
-	if s.logW == nil {
-		return nil
-	}
-	if err := s.logW.Flush(); err != nil {
-		s.latch(err)
-		return fmt.Errorf("lrec: sync: %w", err)
-	}
-	if err := s.logFile.Sync(); err != nil {
-		s.latch(err)
-		return fmt.Errorf("lrec: sync: %w", err)
-	}
-	return nil
+	return first
 }
 
 // Compact writes a snapshot of the live records and truncates the log,
-// bounding recovery time. Safe to call at any point between mutations, and
-// crash-safe at every step: the snapshot is written to a temp file, fsynced,
-// renamed into place, and the rename itself is made durable with a
-// directory fsync before the log is touched. The old log handle stays open
-// until the fresh log exists, so any mid-compact failure leaves a fully
-// working store (the error paths remove the temp file; replaying the new
-// snapshot plus the old log is idempotent, so the old log is never unsafe).
+// per shard, bounding recovery time. Safe to call at any point between
+// mutations, and crash-safe at every step (see shard.compact). Every
+// shard's snapshot records the store-wide clock, so a reopen resumes
+// version numbering correctly even if only some shards have fresh
+// snapshots. All shards are compacted even if one fails; the first error
+// is returned, and the compactions counter increments only on full
+// success so a partially failed pass is visible as a gap.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.dir == "" {
 		return nil
 	}
-	if err := s.degradedErrLocked(); err != nil {
-		return err
-	}
-	tmp := filepath.Join(s.dir, snapName+".tmp")
-	f, err := s.fs.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("lrec: compact: %w", err)
-	}
-	fail := func(err error) error {
-		f.Close()
-		s.fs.Remove(tmp)
-		return fmt.Errorf("lrec: compact: %w", err)
-	}
-	w := bufio.NewWriter(f)
-	// The clock goes first: the snapshot holds only live records, so if the
-	// newest mutation was a Delete its tombstone's version would otherwise
-	// be lost and a reopened store would hand out duplicate versions.
-	if err := writeFrame(w, opSeq, &Record{Version: s.seq}); err != nil {
-		return fail(err)
-	}
-	ids := make([]string, 0, len(s.recs))
-	for id := range s.recs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		if err := writeFrame(w, opPut, s.recs[id]); err != nil {
-			return fail(err)
+	clock := s.seq.Load()
+	var first error
+	for i, sh := range s.shards {
+		if err := sh.compact(clock); err != nil && first == nil {
+			if len(s.shards) > 1 {
+				err = fmt.Errorf("shard %d: %w", i, err)
+			}
+			first = err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		return fail(err)
+	if first == nil {
+		s.metrics.Counter("lrec.compactions").Inc()
 	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		s.fs.Remove(tmp)
-		return fmt.Errorf("lrec: compact: %w", err)
-	}
-	if err := s.fs.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
-		s.fs.Remove(tmp)
-		return fmt.Errorf("lrec: compact: %w", err)
-	}
-	// Until the rename is fsynced into the directory, a crash could revert
-	// to the old snapshot — so the log must not be truncated before this.
-	if err := s.fs.SyncDir(s.dir); err != nil {
-		return fmt.Errorf("lrec: compact: %w", err)
-	}
-	// The log is now redundant; replace it. Create the fresh log before
-	// releasing the old handle: if Create fails, appends continue on the
-	// old log, which remains correct (snapshot + old log replays to the
-	// same state).
-	f2, err := s.fs.Create(filepath.Join(s.dir, logName))
-	if err != nil {
-		return fmt.Errorf("lrec: compact: %w", err)
-	}
-	if s.logFile != nil {
-		// Buffered frames are already captured by the snapshot and the log
-		// they belong to is obsolete; close errors change nothing durable.
-		s.logFile.Close()
-	}
-	s.logFile = f2
-	s.logW = bufio.NewWriter(f2)
-	s.metrics.Counter("lrec.compactions").Inc()
-	return nil
+	return first
 }
 
 // Close flushes and closes the store's files. The store must not be used
-// afterwards. File handles are released even on error; a degraded store
+// afterwards. File handles are released even on error; a degraded shard
 // skips the final sync (its log tail is already suspect and will be handled
-// as a torn tail on the next Open) and reports the latched error.
+// as a torn tail on the next Open) and reports the latched error. All
+// shards are closed even if one fails; the first error is returned.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.logW == nil {
-		return nil
+	var first error
+	for i, sh := range s.shards {
+		if err := sh.closeShard(); err != nil && first == nil {
+			if len(s.shards) > 1 {
+				err = fmt.Errorf("shard %d: %w", i, err)
+			}
+			first = err
+		}
 	}
-	degraded := s.degradedErrLocked()
-	var syncErr error
-	if degraded == nil {
-		syncErr = s.syncLocked()
-	}
-	closeErr := s.logFile.Close()
-	s.logFile = nil
-	s.logW = nil
-	switch {
-	case degraded != nil:
-		return degraded
-	case syncErr != nil:
-		return syncErr
-	case closeErr != nil:
-		return fmt.Errorf("lrec: close: %w", closeErr)
-	}
-	return nil
+	return first
 }

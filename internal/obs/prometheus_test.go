@@ -20,6 +20,11 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r.Counter("serve.hit.search").Add(42)
 	r.Counter("http.req.search").Add(50)
 	r.Gauge("http.inflight").Set(3)
+	// Per-shard store/index gauges, as published by the partitioned store.
+	r.Gauge("store.shard.0.wal_bytes").Set(4096)
+	r.Gauge("store.shard.1.wal_bytes").Set(8192)
+	r.Gauge("index.shard.0.postings").Set(1234)
+	r.Gauge("index.shard.1.postings").Set(567)
 	h := r.HistogramWith("http.latency.search", []float64{0.001, 0.01, 0.1})
 	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 2} {
 		h.Observe(v)

@@ -1,0 +1,37 @@
+// Package shard is the one routing function the partitioned store and the
+// partitioned inverted index share: FNV-1a over the record/document ID,
+// reduced modulo the shard count.
+//
+// Hash partitioning (not range partitioning) is the right cut for this
+// corpus: site sizes are heavy-tailed (Dalvi et al., "An Analysis of
+// Structured Data on the Web"), so any contiguous key range would
+// concentrate one aggregator's records on one shard, while a hash spreads
+// the head sites evenly. The function is pinned here — and recorded in the
+// store manifest — because every reopen must route an ID to the shard that
+// logged it.
+package shard
+
+// offset64 and prime64 are the FNV-1a 64-bit parameters.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hash returns the FNV-1a 64-bit hash of id. Inlined rather than using
+// hash/fnv to keep routing allocation-free on hot write paths.
+func Hash(id string) uint64 {
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Of routes id to one of n shards. n <= 1 always routes to shard 0.
+func Of(id string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Hash(id) % uint64(n))
+}

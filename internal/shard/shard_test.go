@@ -1,0 +1,48 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestHashMatchesStdlibFNV pins the inlined hash to the stdlib FNV-1a it
+// reimplements: the function is part of the on-disk routing contract, so a
+// drift here would orphan every record in every sharded directory.
+func TestHashMatchesStdlibFNV(t *testing.T) {
+	for _, id := range []string{"", "a", "restaurant:gochi-cupertino", "doc-007", "日本語"} {
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		if got, want := Hash(id), h.Sum64(); got != want {
+			t.Errorf("Hash(%q) = %d, want %d (stdlib fnv-1a)", id, got, want)
+		}
+	}
+}
+
+func TestOf(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if got := Of("anything", n); got != 0 {
+			t.Errorf("Of(_, %d) = %d, want 0", n, got)
+		}
+	}
+	for _, n := range []int{2, 4, 16} {
+		counts := make([]int, n)
+		for i := 0; i < 4096; i++ {
+			k := Of(fmt.Sprintf("id-%d", i), n)
+			if k < 0 || k >= n {
+				t.Fatalf("Of out of range: %d with n=%d", k, n)
+			}
+			counts[k]++
+		}
+		// Stability: same id, same shard, every time.
+		if Of("id-0", n) != Of("id-0", n) {
+			t.Fatal("routing is not deterministic")
+		}
+		// Spread: no shard may be empty or hold the majority at 4096 ids.
+		for k, c := range counts {
+			if c == 0 || c > 4096/2 {
+				t.Errorf("n=%d: shard %d holds %d of 4096 ids — bad spread", n, k, c)
+			}
+		}
+	}
+}

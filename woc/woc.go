@@ -40,6 +40,7 @@ type buildConfig struct {
 	cuisines []string
 	maxPages int
 	storeDir string
+	shards   int
 }
 
 // WithLocalDomain sets the local-domain gazetteer knowledge (cities and
@@ -60,6 +61,17 @@ func WithMaxPages(n int) Option {
 // call Close when done.
 func WithStoreDir(dir string) Option {
 	return func(c *buildConfig) { c.storeDir = dir }
+}
+
+// WithShards partitions the concept store and the inverted indexes into n
+// hash-routed shards, each with its own write-ahead log and lock, so build
+// workers write concurrently into disjoint partitions. Results — records,
+// version numbers, search rankings — are identical at any shard count; only
+// throughput changes. 0 or 1 keeps the single-partition layout. For durable
+// stores the count is pinned in the directory on first create, and a
+// conflicting later value fails the build rather than misrouting records.
+func WithShards(n int) Option {
+	return func(c *buildConfig) { c.shards = n }
 }
 
 // System is a built web of concepts with its application layers.
@@ -101,6 +113,7 @@ func Build(fetch Fetcher, seeds []string, opts ...Option) (*System, error) {
 	coreCfg := core.StandardConfig(reg, cfg.cities, cfg.cuisines)
 	coreCfg.MaxPages = cfg.maxPages
 	coreCfg.StoreDir = cfg.storeDir
+	coreCfg.Shards = cfg.shards
 	coreCfg.Metrics = metrics
 	b := &core.Builder{Fetcher: webgraph.FetcherFunc(fetch), Cfg: coreCfg}
 	built, stats, err := b.Build(seeds)
@@ -161,9 +174,25 @@ type StoreHealth struct {
 	// Only unacknowledged (never-synced) bytes are ever dropped.
 	TornTailRepaired bool
 	TruncatedBytes   int64
-	// SnapshotRecords and LogFrames describe the recovery replay.
+	// SnapshotRecords and LogFrames describe the recovery replay; for a
+	// sharded store they aggregate across shards.
 	SnapshotRecords int
 	LogFrames       int
+	// Shards holds the per-partition breakdown when the store has more than
+	// one shard: a write failure latches only its shard, so the store can be
+	// partially degraded — some partitions read-only, the rest serving
+	// writes. Empty for single-shard stores.
+	Shards []ShardHealth
+}
+
+// ShardHealth is one store partition's durability state.
+type ShardHealth struct {
+	Shard            int
+	Records          int
+	Degraded         string // empty while the shard accepts writes
+	TornTailRepaired bool
+	TruncatedBytes   int64
+	WALBytes         int64
 }
 
 // StoreHealth returns the current durability state. For in-memory builds it
@@ -180,6 +209,18 @@ func (s *System) StoreHealth() StoreHealth {
 	}
 	if err := s.woc.Records.Degraded(); err != nil {
 		h.Degraded = err.Error()
+	}
+	if s.woc.Records.NumShards() > 1 {
+		for _, st := range s.woc.Records.ShardStates() {
+			h.Shards = append(h.Shards, ShardHealth{
+				Shard:            st.Shard,
+				Records:          st.Records,
+				Degraded:         st.Degraded,
+				TornTailRepaired: st.Recovery.TornTail,
+				TruncatedBytes:   st.Recovery.TruncatedBytes,
+				WALBytes:         st.WALBytes,
+			})
+		}
 	}
 	return h
 }
