@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench benchshards microbench profile crashtest servetest loadtest fmt vet
+.PHONY: build test race bench benchshards microbench profile crashtest servetest maintaintest loadtest fmt vet
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,18 @@ crashtest:
 # re-proves the read/maintenance lock.
 servetest:
 	$(GO) test -race -count=1 -v ./internal/serving/ ./cmd/wocserve/
+
+# maintaintest runs the continuous-maintenance suites under the race
+# detector: the scheduler's cohort/sweep/gone-probe unit tests, the churn
+# stress (serving-layer readers hammering the system across >=3 full
+# background sweeps with a page loss and resurrection, p99 read bound), and
+# the delta-vs-rebuild equivalence matrix (incremental passes must land on
+# bit-identical store content and search results as a fresh build, at every
+# workers x shards combination). -count=1 defeats test caching.
+maintaintest:
+	$(GO) test -race -count=1 -v ./internal/maintain/
+	$(GO) test -race -count=1 -v -run 'TestDeltaRefreshConvergesToRebuild|TestRefresh|TestRemove|TestStoreDelete' \
+		./internal/core/ ./internal/index/ ./internal/webgraph/
 
 # bench runs the end-to-end construction benchmark at 1, 4, and 8 workers
 # (via -cpu, which also sets GOMAXPROCS and hence the default pool size) and

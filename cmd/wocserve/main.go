@@ -15,6 +15,8 @@
 //	                             serves the same snapshot as Prometheus text
 //	GET /debug/slowlog           per-endpoint top-K slowest traces
 //	GET /debug/trace?id=...      one recent trace by X-Woc-Trace ID
+//	GET /debug/maintain          maintenance-loop status (passes, sweeps,
+//	                             cumulative refresh totals)
 //	GET /debug/vars              expvar (same snapshot + runtime memstats)
 //	GET /debug/pprof/...         CPU/heap/goroutine profiling (with -pprof)
 //
@@ -37,6 +39,13 @@
 // system's shared obs registry. The server runs with read/write/idle
 // timeouts and drains in-flight requests on SIGINT/SIGTERM, logging uptime
 // and a final metrics snapshot on exit.
+//
+// With -refresh-interval > 0 the server runs the continuous maintenance
+// loop (internal/maintain) in the background: every interval it re-fetches
+// the -refresh-batch least-recently-checked pages and folds content
+// changes, disappearances, and resurrections into the live system while
+// reads keep flowing. Watch it at /debug/maintain and in the maintain.*
+// metrics.
 package main
 
 import (
@@ -56,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"conceptweb/internal/maintain"
 	"conceptweb/internal/obs"
 	"conceptweb/internal/serving"
 	"conceptweb/internal/webgen"
@@ -85,6 +95,10 @@ func main() {
 		"slowest traces retained per endpoint at /debug/slowlog")
 	logSample := flag.Float64("log-sample", 0,
 		"fraction of requests to emit as JSON access-log lines (0 disables, 1 logs all)")
+	refreshInterval := flag.Duration("refresh-interval", 0,
+		"pause between background maintenance passes (0 disables the loop)")
+	refreshBatch := flag.Int("refresh-batch", 64,
+		"pages re-checked per maintenance pass, least-recently-checked first")
 	computeDelay := flag.Duration("compute-delay", 0,
 		"inject artificial latency into each cache-miss computation (load-testing aid: "+
 			"emulates production-scale corpora where computes cost milliseconds, so admission "+
@@ -124,9 +138,20 @@ func main() {
 	log.Printf("serving layer: cache %d entries (ttl %s), max-inflight %d (admit wait %s), request timeout %s",
 		*cacheSize, *cacheTTL, *maxInflight, *admitWait, *reqTimeout)
 
+	var loop *maintain.Loop
+	if *refreshInterval > 0 {
+		loop = maintain.NewLoop(sys, maintain.Options{
+			Interval: *refreshInterval,
+			Batch:    *refreshBatch,
+			Metrics:  sys.Metrics(),
+		})
+		loop.Start()
+		log.Printf("maintenance loop: %d pages per pass, one pass per %s", *refreshBatch, *refreshInterval)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(sys, svc, *reqTimeout, *enablePprof, newAccessLog(*logSample, os.Stderr)),
+		Handler:           newMux(sys, svc, loop, *reqTimeout, *enablePprof, newAccessLog(*logSample, os.Stderr)),
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -155,6 +180,12 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if loop != nil {
+		// Let any in-flight maintenance pass commit before the store closes.
+		loop.Stop()
+		st := loop.Status()
+		log.Printf("maintenance loop: %d passes, %d full sweeps, totals %+v", st.Passes, st.Sweeps, st.Totals)
 	}
 	snap, _ := json.Marshal(sys.Metrics().Snapshot())
 	log.Printf("uptime %s, final metrics: %s", time.Since(start).Round(time.Millisecond), snap)
@@ -223,7 +254,7 @@ var expvarOnce sync.Once
 // endpoint into the system's metrics registry. Each request gets a context
 // deadline of reqTimeout; overload from the serving layer's admission
 // control maps to 503 + Retry-After.
-func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enablePprof bool, alog *accessLog) *http.ServeMux {
+func newMux(sys *woc.System, svc *serving.Layer, loop *maintain.Loop, reqTimeout time.Duration, enablePprof bool, alog *accessLog) *http.ServeMux {
 	reg := sys.Metrics()
 	traces := svc.Traces()
 
@@ -376,6 +407,15 @@ func newMux(sys *woc.System, svc *serving.Layer, reqTimeout time.Duration, enabl
 	// any trace ID a client just saw in X-Woc-Trace.
 	mux.HandleFunc("/debug/slowlog", func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, traces.Slowest())
+	})
+	mux.HandleFunc("/debug/maintain", func(rw http.ResponseWriter, r *http.Request) {
+		if loop == nil {
+			writeJSON(rw, http.StatusOK, map[string]any{"enabled": false})
+			return
+		}
+		writeJSON(rw, http.StatusOK, map[string]any{
+			"enabled": true, "status": loop.Status(), "epoch": sys.Epoch(),
+		})
 	})
 	mux.HandleFunc("/debug/trace", func(rw http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("id")

@@ -42,7 +42,7 @@ func server(t *testing.T) (*webgen.World, *httptest.Server) {
 	t.Helper()
 	buildOnce(t)
 	svc := serving.New(tsys, serving.Options{Metrics: tsys.Metrics()})
-	srv := httptest.NewServer(newMux(tsys, svc, 10*time.Second, true, nil))
+	srv := httptest.NewServer(newMux(tsys, svc, nil, 10*time.Second, true, nil))
 	t.Cleanup(srv.Close)
 	return tw, srv
 }
@@ -259,7 +259,7 @@ func TestOverloadSheds503WithRetryAfter(t *testing.T) {
 		AdmitWait:   30 * time.Millisecond,
 		Metrics:     tsys.Metrics(),
 	})
-	srv := httptest.NewServer(newMux(tsys, svc, 10*time.Second, false, nil))
+	srv := httptest.NewServer(newMux(tsys, svc, nil, 10*time.Second, false, nil))
 	defer srv.Close()
 
 	holder := make(chan error, 1)

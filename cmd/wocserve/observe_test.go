@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"net/url"
 	"strings"
 	"testing"
 	"time"
 
+	"conceptweb/internal/maintain"
 	"conceptweb/internal/serving"
 )
 
@@ -205,5 +207,45 @@ func TestAccessLogDisabledZeroAlloc(t *testing.T) {
 	var off *accessLog
 	if n := testing.AllocsPerRun(1000, func() { off.log(tr) }); n != 0 {
 		t.Errorf("disabled access log allocates %v per call, want 0", n)
+	}
+}
+
+// TestDebugMaintainEndpoint covers both shapes of /debug/maintain: the
+// disabled stub when no loop runs, and the live status snapshot when one
+// does.
+func TestDebugMaintainEndpoint(t *testing.T) {
+	_, srv := server(t) // no loop wired
+	var off struct {
+		Enabled bool `json:"enabled"`
+	}
+	if code := getJSON(t, srv, "/debug/maintain", &off); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if off.Enabled {
+		t.Fatal("loopless server reports maintenance enabled")
+	}
+
+	loop := maintain.NewLoop(tsys, maintain.Options{Batch: 4, Metrics: tsys.Metrics()})
+	if _, err := loop.RunPass(); err != nil {
+		t.Fatal(err)
+	}
+	svc := serving.New(tsys, serving.Options{Metrics: tsys.Metrics()})
+	srv2 := httptest.NewServer(newMux(tsys, svc, loop, 10*time.Second, false, nil))
+	defer srv2.Close()
+	var on struct {
+		Enabled bool   `json:"enabled"`
+		Epoch   uint64 `json:"epoch"`
+		Status  struct {
+			Passes uint64 `json:"Passes"`
+			Totals struct {
+				PagesChecked int `json:"PagesChecked"`
+			} `json:"Totals"`
+		} `json:"status"`
+	}
+	if code := getJSON(t, srv2, "/debug/maintain", &on); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !on.Enabled || on.Status.Passes != 1 || on.Status.Totals.PagesChecked != 4 {
+		t.Fatalf("unexpected maintain status: %+v", on)
 	}
 }

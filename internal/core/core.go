@@ -86,6 +86,11 @@ type WebOfConcepts struct {
 	// inverse. Both underlie the §5.1 ranking features and §5.4 pivots.
 	Assoc    map[string][]string
 	RevAssoc map[string][]string
+	// goneAssoc remembers, for pages removed by a maintenance pass, which
+	// records they fed — the lineage ledger the supersede stage consults
+	// when a gone page resurrects with different content. Entries are
+	// cleared on resurrection; pages that never return keep theirs.
+	goneAssoc map[string][]string
 
 	// epoch is the maintenance generation counter: 1 after Build, bumped by
 	// every maintenance pass that changes visible state (Refresh with
@@ -284,6 +289,15 @@ func pipelineCtx(name string) (context.Context, *obs.Span) {
 // once instead of once per domain. The analyses also return to the caller:
 // the link stage reuses their main-text token streams.
 func (b *Builder) extractAll(pages *webgraph.Store) ([]*extract.Candidate, map[string]*extract.PageAnalysis) {
+	return b.extractHosts(pages, nil)
+}
+
+// extractHosts runs the extract stage over the given hosts (nil = every
+// host). The candidate stream preserves the full-build ordering — hosts
+// sorted, then the config's domain order, then site-page order — so a
+// host-restricted delta extraction emits candidates in the same relative
+// order a fresh build would, which the pre-merge value dedupe depends on.
+func (b *Builder) extractHosts(pages *webgraph.Store, only map[string]bool) ([]*extract.Candidate, map[string]*extract.PageAnalysis) {
 	hosts := pages.Hosts()
 	analyses := make(map[string]*extract.PageAnalysis)
 	type task struct {
@@ -292,6 +306,9 @@ func (b *Builder) extractAll(pages *webgraph.Store) ([]*extract.Candidate, map[s
 	}
 	tasks := make([]task, 0, len(hosts)*len(b.Cfg.Domains))
 	for _, host := range hosts {
+		if only != nil && !only[host] {
+			continue
+		}
 		var sitePas []*extract.PageAnalysis
 		for _, u := range pages.HostPages(host) {
 			if p, err := pages.Get(u); err == nil {

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/textproc"
+	"conceptweb/internal/webgen"
+)
+
+// mutableFetcher serves a world whose pages can be overlaid (content
+// change) or marked gone (fetch failure) between refresh passes.
+type mutableFetcher struct {
+	w  *webgen.World
+	mu sync.Mutex
+
+	overlay map[string]string
+	gone    map[string]bool
+}
+
+func newMutableFetcher(w *webgen.World) *mutableFetcher {
+	return &mutableFetcher{w: w, overlay: map[string]string{}, gone: map[string]bool{}}
+}
+
+func (m *mutableFetcher) Fetch(url string) (string, error) {
+	m.mu.Lock()
+	gone := m.gone[url]
+	html, ok := m.overlay[url]
+	m.mu.Unlock()
+	if gone {
+		return "", fmt.Errorf("gone: %s", url)
+	}
+	if ok {
+		return html, nil
+	}
+	return m.w.Fetch(url)
+}
+
+func (m *mutableFetcher) setOverlay(url, html string) {
+	m.mu.Lock()
+	m.overlay[url] = html
+	m.mu.Unlock()
+}
+
+func (m *mutableFetcher) setGone(url string, gone bool) {
+	m.mu.Lock()
+	if gone {
+		m.gone[url] = true
+	} else {
+		delete(m.gone, url)
+	}
+	m.mu.Unlock()
+}
+
+// contentFingerprint hashes the store at the content level: IDs, concepts,
+// and each attribute's value set with confidence and source provenance.
+// Execution history — Version, Seq, Support — is excluded, and values are
+// compared as sorted sets: a delta pass that strips and re-adds a value
+// reorders it and replays versions, but must converge to the same content
+// a fresh build produces.
+func contentFingerprint(woc *WebOfConcepts) string {
+	h := sha256.New()
+	woc.Records.Scan(func(r *lrec.Record) bool {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s|%s", r.ID, r.Concept)
+		for _, k := range r.Keys() {
+			var vals []string
+			for _, v := range r.All(k) {
+				vals = append(vals, fmt.Sprintf("%s=%s conf=%.6f src=%s ops=%s",
+					k, v.Value, v.Confidence, v.Prov.SourceURL,
+					strings.Join(v.Prov.Operators, "+")))
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				b.WriteString("|")
+				b.WriteString(v)
+			}
+		}
+		h.Write([]byte(b.String()))
+		h.Write([]byte{'\n'})
+		return true
+	})
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestDeltaRefreshConvergesToRebuild is the maintenance-loop equivalence
+// bar (§7.3): a sequence of incremental passes over changed, gone, and
+// resurrected pages must land on the same store content, association maps,
+// and bit-identical search results as a from-scratch build over the final
+// corpus — at every (workers × shards) combination. This leans on the
+// whole PR: physical index removal (stats shrink), the page-store delete
+// (resurrection), the supersede stage (no stale values), and the relink
+// stage (free-text pages follow their new content).
+func TestDeltaRefreshConvergesToRebuild(t *testing.T) {
+	queries := []string{
+		"mexican cupertino", "pizza menu", "sushi san jose",
+		"best thai", "restaurant review", "gochi", "phone",
+	}
+	type combo struct{ workers, shards int }
+	combos := []combo{{1, 1}, {1, 4}, {8, 1}, {8, 4}}
+
+	var baseFP string
+	for _, cb := range combos {
+		cb := cb
+		t.Run(fmt.Sprintf("workers=%d shards=%d", cb.workers, cb.shards), func(t *testing.T) {
+			w := smallWorld()
+			reg := lrec.NewRegistry()
+			webgen.RegisterConcepts(reg)
+			mf := newMutableFetcher(w)
+			cfg := StandardConfig(reg, w.Cities(), webgen.Cuisines())
+			cfg.Workers = cb.workers
+			cfg.Shards = cb.shards
+			b := &Builder{Fetcher: mf, Cfg: cfg}
+			woc, _, err := b.Build(w.SeedURLs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer woc.Close()
+
+			// Three restaurants with homepages and uniquely attributable
+			// records: one changes twice, one goes and returns unchanged,
+			// one goes and returns changed.
+			var targets []*webgen.Restaurant
+			for _, r := range w.Restaurants {
+				if r.Homepage != "" {
+					if recs := woc.Records.ByAttr("restaurant", "phone", r.Phone); len(recs) == 1 {
+						targets = append(targets, r)
+						if len(targets) == 3 {
+							break
+						}
+					}
+				}
+			}
+			if len(targets) < 3 {
+				t.Fatal("world too small for churn scenario")
+			}
+			home := func(r *webgen.Restaurant) string {
+				return strings.TrimSuffix(r.Homepage, "/") + "/"
+			}
+			h1, h2, h3 := home(targets[0]), home(targets[1]), home(targets[2])
+			html := func(u string) string {
+				p, ok := w.PageByURL(u)
+				if !ok {
+					t.Fatalf("page %s not in world", u)
+				}
+				return p.HTML
+			}
+
+			// A free-text page the build linked to a record (it has a review
+			// record); its text will change mid-churn.
+			var reviewURL string
+			for _, u := range woc.Pages.URLs() {
+				if _, err := woc.Records.Get("review:" + textproc.NormalizeKey(u)); err == nil {
+					reviewURL = u
+					break
+				}
+			}
+			if reviewURL == "" {
+				t.Fatal("build linked no review pages; churn scenario needs one")
+			}
+
+			refresh := func(urls ...string) *RefreshStats {
+				t.Helper()
+				st, err := b.Refresh(woc, urls)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			padding := woc.Pages.URLs()[:10] // unchanged cohort filler
+
+			// Pass 1: phone change on h1, text change on the review page.
+			mf.setOverlay(h1, strings.ReplaceAll(html(h1), targets[0].Phone, "408-555-1111"))
+			mf.setOverlay(reviewURL, strings.Replace(html(reviewURL),
+				"</body>", " The service was outstanding and the dining room lovely.</body>", 1))
+			refresh(append([]string{h1, reviewURL}, padding...)...)
+
+			// Pass 2: h1 changes again; h2 goes dark.
+			mf.setOverlay(h1, strings.ReplaceAll(html(h1), targets[0].Phone, "408-555-2222"))
+			mf.setGone(h2, true)
+			refresh(append([]string{h1, h2}, padding...)...)
+
+			// Pass 3: h2 resurrects byte-identical; h3 goes dark.
+			mf.setGone(h2, false)
+			mf.setGone(h3, true)
+			refresh(append([]string{h2, h3}, padding...)...)
+
+			// Pass 4: h3 resurrects with a different phone.
+			mf.setGone(h3, false)
+			mf.setOverlay(h3, strings.ReplaceAll(html(h3), targets[2].Phone, "408-555-3333"))
+			st := refresh(append([]string{h3}, padding...)...)
+			if st.PagesChanged != 1 {
+				t.Fatalf("changed resurrection not detected: %+v", st)
+			}
+
+			// Full rebuild over the final corpus, same knobs.
+			b2 := &Builder{Fetcher: mf, Cfg: cfg}
+			woc2, _, err := b2.Build(w.SeedURLs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer woc2.Close()
+
+			deltaFP, rebuildFP := contentFingerprint(woc), contentFingerprint(woc2)
+			if deltaFP != rebuildFP {
+				diffStores(t, woc, woc2)
+				t.Errorf("store content diverges from rebuild")
+			}
+			if !reflect.DeepEqual(woc.Assoc, woc2.Assoc) {
+				diffStringMaps(t, "Assoc", woc.Assoc, woc2.Assoc)
+				t.Errorf("Assoc maps diverge from rebuild")
+			}
+			if !reflect.DeepEqual(woc.RevAssoc, woc2.RevAssoc) {
+				diffStringMaps(t, "RevAssoc", woc.RevAssoc, woc2.RevAssoc)
+				t.Errorf("RevAssoc maps diverge from rebuild")
+			}
+			if woc.DocIndex.Len() != woc2.DocIndex.Len() || woc.RecIndex.Len() != woc2.RecIndex.Len() {
+				t.Errorf("index sizes diverge: doc %d/%d rec %d/%d",
+					woc.DocIndex.Len(), woc2.DocIndex.Len(), woc.RecIndex.Len(), woc2.RecIndex.Len())
+			}
+			for _, q := range queries {
+				for _, term := range strings.Fields(q) {
+					if a, b := woc.DocIndex.DF(term), woc2.DocIndex.DF(term); a != b {
+						t.Errorf("doc DF(%q) = %d, rebuild %d", term, a, b)
+					}
+				}
+				if a, b := woc.DocIndex.Search(q, 10), woc2.DocIndex.Search(q, 10); !reflect.DeepEqual(a, b) {
+					t.Errorf("doc search %q diverges from rebuild:\n delta: %+v\n fresh: %+v", q, a, b)
+				}
+				if a, b := woc.RecIndex.Search(q, 10), woc2.RecIndex.Search(q, 10); !reflect.DeepEqual(a, b) {
+					t.Errorf("rec search %q diverges from rebuild:\n delta: %+v\n fresh: %+v", q, a, b)
+				}
+			}
+
+			// Every combination converges to the same state: compare the
+			// first combo's fingerprint across the matrix.
+			if baseFP == "" {
+				baseFP = deltaFP
+			} else if deltaFP != baseFP {
+				t.Errorf("fingerprint diverges across the (workers × shards) matrix")
+			}
+		})
+	}
+}
+
+// diffStringMaps prints the first few differing keys of two association maps.
+func diffStringMaps(t *testing.T, label string, a, b map[string][]string) {
+	t.Helper()
+	shown := 0
+	for k, v := range a {
+		if shown >= 6 {
+			return
+		}
+		if w, ok := b[k]; !ok || !reflect.DeepEqual(v, w) {
+			t.Logf("%s[%s]: delta %v, fresh %v", label, k, v, b[k])
+			shown++
+		}
+	}
+	for k, w := range b {
+		if shown >= 6 {
+			return
+		}
+		if _, ok := a[k]; !ok {
+			t.Logf("%s[%s]: delta <missing>, fresh %v", label, k, w)
+			shown++
+		}
+	}
+}
+
+// diffStores prints the first few record-level differences to keep
+// divergence messages debuggable.
+func diffStores(t *testing.T, a, b *WebOfConcepts) {
+	t.Helper()
+	snap := func(woc *WebOfConcepts) map[string]string {
+		out := map[string]string{}
+		woc.Records.Scan(func(r *lrec.Record) bool {
+			var sb strings.Builder
+			for _, k := range r.Keys() {
+				var vals []string
+				for _, v := range r.All(k) {
+					vals = append(vals, fmt.Sprintf("%s=%s conf=%.4f src=%s", k, v.Value, v.Confidence, v.Prov.SourceURL))
+				}
+				sort.Strings(vals)
+				sb.WriteString(strings.Join(vals, ";") + "|")
+			}
+			out[r.ID] = sb.String()
+			return true
+		})
+		return out
+	}
+	sa, sb := snap(a), snap(b)
+	shown := 0
+	for id, v := range sa {
+		if shown >= 5 {
+			break
+		}
+		if w, ok := sb[id]; !ok {
+			t.Logf("only in delta: %s -> %s", id, v)
+			shown++
+		} else if w != v {
+			t.Logf("differs: %s\n delta: %s\n fresh: %s", id, v, w)
+			shown++
+		}
+	}
+	for id, v := range sb {
+		if shown >= 8 {
+			break
+		}
+		if _, ok := sa[id]; !ok {
+			t.Logf("only in rebuild: %s -> %s", id, v)
+			shown++
+		}
+	}
+}

@@ -6,8 +6,12 @@ import (
 	"sync"
 	"testing"
 
+	"conceptweb/internal/extract"
+	"conceptweb/internal/index"
 	"conceptweb/internal/lrec"
+	"conceptweb/internal/match"
 	"conceptweb/internal/webgen"
+	"conceptweb/internal/webgraph"
 )
 
 // flakyFetcher fails deterministically for a fraction of URLs, and can mark
@@ -118,6 +122,242 @@ func TestRefreshHandlesGonePages(t *testing.T) {
 		if u == home {
 			t.Error("record still linked to gone page")
 		}
+	}
+}
+
+// TestRefreshResurrectsGonePage pins the gone→reappear bug: a page that
+// vanishes and later returns with byte-identical content must rejoin the
+// document index and association maps. Before webgraph.Store.Delete
+// existed, the stale page (and its content hash) stayed in woc.Pages, so
+// the reappearance registered as unchanged and was silently dropped.
+func TestRefreshResurrectsGonePage(t *testing.T) {
+	w := smallWorld()
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	ff := &flakyFetcher{w: w, gone: map[string]bool{}}
+	b := &Builder{Fetcher: ff, Cfg: StandardConfig(reg, w.Cities(), webgen.Cuisines())}
+	woc, _, err := b.Build(w.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var target *webgen.Restaurant
+	for _, r := range w.Restaurants {
+		if r.Homepage != "" {
+			if recs := woc.Records.ByAttr("restaurant", "phone", r.Phone); len(recs) == 1 {
+				target = r
+				break
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("no target restaurant")
+	}
+	home := strings.TrimSuffix(target.Homepage, "/") + "/"
+	recID := woc.Records.ByAttr("restaurant", "phone", target.Phone)[0].ID
+
+	// The page dies.
+	ff.gone[home] = true
+	if _, err := b.Refresh(woc, []string{home}); err != nil {
+		t.Fatal(err)
+	}
+	if woc.DocIndex.Has(home) {
+		t.Fatal("gone page still indexed")
+	}
+	if _, err := woc.Pages.Get(home); err == nil {
+		t.Fatal("gone page still in the page store")
+	}
+
+	// The page returns with identical bytes ("the restaurant re-opens").
+	delete(ff.gone, home)
+	stats, err := b.Refresh(woc, []string{home})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesChanged != 1 {
+		t.Fatalf("resurrection not detected as a change: %+v", stats)
+	}
+	if !woc.DocIndex.Has(home) {
+		t.Error("resurrected page missing from the document index")
+	}
+	if _, err := woc.Pages.Get(home); err != nil {
+		t.Error("resurrected page missing from the page store")
+	}
+	found := false
+	for _, id := range woc.AssocOf(home) {
+		if id == recID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("resurrected page not re-associated with its record: %v", woc.AssocOf(home))
+	}
+	recs := woc.Records.ByAttr("restaurant", "phone", target.Phone)
+	if len(recs) != 1 {
+		t.Fatalf("record count after resurrection = %d", len(recs))
+	}
+}
+
+// TestUpsertTieBreakLowestID pins the entity-match tie-break: when two
+// stored candidates score identically against an incoming record, the merge
+// must land on the lowest record ID — ByConcept iterates in ascending ID
+// order and an incumbent is displaced only by a strictly higher score.
+func TestUpsertTieBreakLowestID(t *testing.T) {
+	reg := lrec.NewRegistry()
+	reg.Register(lrec.Concept{Name: "widget", Domain: "test", Attrs: []lrec.AttrSpec{
+		{Key: "name", Kind: lrec.KindName}, {Key: "color", Kind: lrec.KindText},
+	}})
+	// One comparator whose agreement weight log(0.99/0.01) ≈ 4.6 clears the
+	// default Upper threshold of 4.5 on its own.
+	m := match.NewMatcher([]match.Comparator{{
+		Key: "name",
+		Sim: func(a, b string) float64 {
+			if a == b {
+				return 1
+			}
+			return 0
+		},
+		AgreeAt: 0.9, M: 0.99, U: 0.01,
+	}})
+	b := &Builder{Cfg: Config{Registry: reg, Matchers: map[string]*match.Matcher{"widget": m}}}
+	woc := &WebOfConcepts{
+		Registry: reg,
+		Records:  lrec.NewMemStore(lrec.WithRegistry(reg)),
+		Pages:    webgraph.NewStore(),
+		DocIndex: index.NewSharded(1),
+		RecIndex: index.NewSharded(1),
+		Assoc:    map[string][]string{},
+		RevAssoc: map[string][]string{},
+	}
+	// Insert in descending-ID order so "first stored wins" cannot mask an
+	// iteration-order accident.
+	for _, id := range []string{"widget:zz", "widget:aa"} {
+		r := lrec.NewRecord(id, "widget")
+		r.Set("name", "Same Name")
+		if err := woc.Records.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := extract.NewCandidate("widget", "w.example/x", "test")
+	c.Add("name", "Same Name", 1)
+	c.Add("color", "blue", 1)
+	created, updated := b.upsert(woc, c.ToRecord(c.SynthesizeID(), woc.Records.NextSeq()))
+	if created != 0 || updated != 1 {
+		t.Fatalf("upsert = (%d created, %d updated), want (0, 1)", created, updated)
+	}
+	low, _ := woc.Records.Get("widget:aa")
+	if low.Get("color") != "blue" {
+		t.Errorf("equal-score merge skipped the lowest ID: widget:aa = %s", low)
+	}
+	high, _ := woc.Records.Get("widget:zz")
+	if high.Get("color") != "" {
+		t.Errorf("equal-score merge landed on the highest ID: widget:zz = %s", high)
+	}
+}
+
+// TestReconcileDegradedStore: when the store latches read-only mid-flight,
+// Reconcile must not diverge what callers read from what the store holds —
+// the trim happens on a clone and is only adopted after a successful put.
+func TestReconcileDegradedStore(t *testing.T) {
+	reg := lrec.NewRegistry()
+	reg.Register(lrec.Concept{Name: "widget", Domain: "test", Attrs: []lrec.AttrSpec{
+		{Key: "phone", Kind: lrec.KindPhone, MaxValues: 1},
+	}})
+	mk := func() *WebOfConcepts {
+		store := lrec.NewMemStore(lrec.WithRegistry(reg))
+		r := lrec.NewRecord("widget:1", "widget")
+		r.Add("phone", lrec.AttrValue{Value: "111", Confidence: 0.9, Prov: lrec.Provenance{Seq: 1}})
+		r.Add("phone", lrec.AttrValue{Value: "222", Confidence: 0.8, Prov: lrec.Provenance{Seq: 2}})
+		if err := store.Put(r); err != nil {
+			t.Fatal(err)
+		}
+		return &WebOfConcepts{Registry: reg, Records: store}
+	}
+
+	// Healthy store: the over-full attribute trims and persists.
+	healthy := mk()
+	if changed := healthy.Reconcile("widget", PreferRecent); changed != 1 {
+		t.Fatalf("healthy reconcile changed = %d, want 1", changed)
+	}
+	if cur, _ := healthy.Records.Get("widget:1"); len(cur.All("phone")) != 1 {
+		t.Fatalf("healthy reconcile left %d phones", len(cur.All("phone")))
+	}
+
+	// Degraded store: the put fails, nothing is counted, and the stored
+	// record still holds both values — no memory/store divergence.
+	degraded := mk()
+	degraded.Records.LatchReadOnly(fmt.Errorf("injected log failure"))
+	if changed := degraded.Reconcile("widget", PreferRecent); changed != 0 {
+		t.Errorf("degraded reconcile changed = %d, want 0", changed)
+	}
+	cur, err := degraded.Records.Get("widget:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.All("phone")) != 2 {
+		t.Errorf("degraded reconcile diverged: store holds %d phone values, want 2 untouched", len(cur.All("phone")))
+	}
+}
+
+// TestLiveValueErrorPaths covers the three failure modes of the live-read
+// path: a value with no source URL in its provenance, a fetch failure on
+// the source page, and a refetched page the recognizer no longer matches.
+func TestLiveValueErrorPaths(t *testing.T) {
+	w := smallWorld()
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	of := &overlayFetcher{w: w, overlay: map[string]string{}}
+	ff := &flakyFetcher{w: w, gone: map[string]bool{}}
+	// Chain: gone-able wrapper over the overlay wrapper over the world.
+	fetch := webgraph.FetcherFunc(func(url string) (string, error) {
+		if ff.gone[url] {
+			return "", fmt.Errorf("gone: %s", url)
+		}
+		return of.Fetch(url)
+	})
+	b := &Builder{Fetcher: fetch, Cfg: StandardConfig(reg, w.Cities(), webgen.Cuisines())}
+	woc, _, err := b.Build(w.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *lrec.Record
+	for _, r := range w.Restaurants {
+		if recs := woc.Records.ByAttr("restaurant", "phone", r.Phone); len(recs) == 1 {
+			rec = recs[0]
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatal("no target record")
+	}
+	best, _ := rec.Best("phone")
+	src := best.Prov.SourceURL
+	if src == "" {
+		t.Fatal("target phone has no provenance; test setup broken")
+	}
+
+	// Missing provenance URL: a record whose best value carries no source.
+	unsourced := lrec.NewRecord("restaurant:unsourced-test", "restaurant")
+	unsourced.Add("name", lrec.AttrValue{Value: "No Prov Cafe", Confidence: 1})
+	unsourced.Add("phone", lrec.AttrValue{Value: "408-555-0000", Confidence: 1})
+	if err := woc.Records.Put(unsourced); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.LiveValue(woc, "restaurant:unsourced-test", "phone"); err == nil {
+		t.Error("unsourced value should fail")
+	}
+
+	// Fetch failure: the source page is gone.
+	ff.gone[src] = true
+	if _, err := b.LiveValue(woc, rec.ID, "phone"); err == nil {
+		t.Error("fetch failure should surface as an error")
+	}
+	delete(ff.gone, src)
+
+	// Recognizer miss: the page now holds no recognizable phone.
+	of.overlay[src] = "<html><head><title>moved</title></head><body>we have moved, call the new owner</body></html>"
+	if _, err := b.LiveValue(woc, rec.ID, "phone"); err == nil {
+		t.Error("recognizer miss should surface as an error")
 	}
 }
 

@@ -215,6 +215,12 @@ func (ix *Index) Len() int {
 	return len(ix.extIDs) - len(ix.deleted)
 }
 
+// NDocs returns the live document count that BM25 statistics are computed
+// over — the same value Len reports, named for the stats contract.
+func (ix *Index) NDocs() int {
+	return ix.Len()
+}
+
 // Has reports whether a live document with the given external ID is indexed.
 func (ix *Index) Has(id string) bool {
 	ix.mu.RLock()
@@ -223,16 +229,103 @@ func (ix *Index) Has(id string) bool {
 	return ok && !ix.deleted[n]
 }
 
-// Remove drops the document from retrieval (§7.3: pages disappear). The
-// postings stay until the next rebuild; queries skip them. Removing an
-// unknown ID is a no-op; re-Adding the ID revives it.
+// Remove drops the document from retrieval (§7.3: pages disappear) and
+// shrinks the corpus statistics immediately: the doc's field lengths leave
+// the per-field totals and it stops counting toward ndocs, so BM25 scores
+// after a removal are bit-identical to an index that never held the doc.
+// The doc-number slot itself is tombstoned and its postings linger until
+// enough tombstones accumulate to trigger compaction (see
+// CompactTombstones); queries skip them meanwhile. Removing an unknown ID
+// is a no-op; re-Adding the ID revives it.
 func (ix *Index) Remove(id string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if n, ok := ix.byExt[id]; ok && !ix.deleted[n] {
+		for f, l := range ix.docLens[n] {
+			ix.fields[f].totalLen -= l
+		}
+		// Nil the lengths so a later AddPrepared revival doesn't subtract
+		// them a second time.
+		ix.docLens[n] = nil
 		ix.deleted[n] = true
 		ix.epoch.Add(1)
+		ix.maybeCompactLocked()
 	}
+}
+
+// Tombstones returns the number of removed doc slots not yet reclaimed by
+// compaction.
+func (ix *Index) Tombstones() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.deleted)
+}
+
+// compactMinTombstones and compactFraction gate automatic compaction: it
+// runs once at least 64 tombstones have accumulated AND they make up at
+// least 1/8 of all doc slots. Small indexes under churn compact eagerly
+// enough, large ones amortize the O(postings) sweep.
+const (
+	compactMinTombstones = 64
+	compactFraction      = 8
+)
+
+func (ix *Index) maybeCompactLocked() {
+	if len(ix.deleted) >= compactMinTombstones &&
+		len(ix.deleted)*compactFraction >= len(ix.extIDs) {
+		ix.compactLocked()
+	}
+}
+
+// CompactTombstones reclaims all tombstoned doc slots immediately:
+// postings of removed docs are physically deleted and live docs are
+// renumbered densely. Renumbering preserves the relative order of live
+// docs and of each doc's postings, so scores stay bit-identical; no epoch
+// bump because retrieval output is unchanged.
+func (ix *Index) CompactTombstones() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.deleted) > 0 {
+		ix.compactLocked()
+	}
+}
+
+func (ix *Index) compactLocked() {
+	// Dense renumbering in old doc-number order keeps posting lists and
+	// extIDs in their original relative order.
+	renum := make([]int, len(ix.extIDs))
+	live := 0
+	for n := range ix.extIDs {
+		if ix.deleted[n] {
+			renum[n] = -1
+			continue
+		}
+		renum[n] = live
+		ix.extIDs[live] = ix.extIDs[n]
+		ix.docLens[live] = ix.docLens[n]
+		live++
+	}
+	ix.extIDs = ix.extIDs[:live]
+	ix.docLens = ix.docLens[:live]
+	ix.byExt = make(map[string]int, live)
+	for n, id := range ix.extIDs {
+		ix.byExt[id] = n
+	}
+	for t, ps := range ix.postings {
+		kept := ps[:0]
+		for _, p := range ps {
+			if m := renum[p.doc]; m >= 0 {
+				p.doc = m
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.postings, t)
+		} else {
+			ix.postings[t] = kept
+		}
+	}
+	ix.deleted = make(map[int]bool)
 }
 
 // DF returns the document frequency of the query term (after normalization).
@@ -277,7 +370,7 @@ type localStats struct {
 // statistics. Caller holds at least an RLock.
 func (ix *Index) statsLocked(toks []string) localStats {
 	gs := localStats{
-		ndocs:    len(ix.extIDs),
+		ndocs:    len(ix.extIDs) - len(ix.deleted),
 		df:       make(map[string]int, len(toks)),
 		fieldLen: make(map[string]int, len(ix.fields)),
 	}

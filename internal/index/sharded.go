@@ -109,6 +109,27 @@ func (s *Sharded) Len() int {
 	return n
 }
 
+// NDocs returns the live document count across all shards; alias of Len,
+// named for the stats contract.
+func (s *Sharded) NDocs() int { return s.Len() }
+
+// Tombstones returns the number of removed-but-unreclaimed doc slots
+// across all shards.
+func (s *Sharded) Tombstones() int {
+	n := 0
+	for _, ix := range s.shards {
+		n += ix.Tombstones()
+	}
+	return n
+}
+
+// CompactTombstones reclaims tombstoned doc slots in every shard.
+func (s *Sharded) CompactTombstones() {
+	for _, ix := range s.shards {
+		ix.CompactTombstones()
+	}
+}
+
 // DF returns the document frequency of the query term across all shards.
 func (s *Sharded) DF(term string) int {
 	n := 0

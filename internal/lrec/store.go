@@ -285,6 +285,19 @@ func (s *Store) Degraded() error {
 	return nil
 }
 
+// LatchReadOnly flips every shard into the degraded read-only state, as if
+// its first log write had failed with cause. Reads keep working; every
+// subsequent Put/Delete returns ErrDegraded. Intended for fault-injection
+// tests of layers above the store that must stay consistent when writes
+// start failing; there is no un-latch, matching the real failure path.
+func (s *Store) LatchReadOnly(cause error) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.latch(cause)
+		sh.mu.Unlock()
+	}
+}
+
 // NextSeq atomically advances and returns the store's logical clock,
 // used to stamp provenance.
 func (s *Store) NextSeq() uint64 {

@@ -116,6 +116,34 @@ func (s *Store) Put(p *Page) (changed bool) {
 	return true
 }
 
+// Delete removes the page at url and reports whether it was present.
+// The maintenance loop (§7.3) calls this when a page vanishes from the
+// web; forgetting the old content hash is what lets a page that later
+// reappears with identical bytes register as changed in Put and rejoin
+// the index.
+func (s *Store) Delete(url string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[url]
+	if !ok {
+		return false
+	}
+	delete(s.pages, url)
+	urls := s.byHost[p.Host]
+	for i, u := range urls {
+		if u == url {
+			urls = append(urls[:i], urls[i+1:]...)
+			break
+		}
+	}
+	if len(urls) == 0 {
+		delete(s.byHost, p.Host)
+	} else {
+		s.byHost[p.Host] = urls
+	}
+	return true
+}
+
 // Get returns the page at url.
 func (s *Store) Get(url string) (*Page, error) {
 	s.mu.RLock()

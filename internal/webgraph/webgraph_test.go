@@ -103,6 +103,39 @@ func TestStoreChangeDetection(t *testing.T) {
 	}
 }
 
+func TestStoreDelete(t *testing.T) {
+	st := NewStore()
+	st.Put(NewPage("a.example/1", "<html><body>one</body></html>"))
+	st.Put(NewPage("a.example/2", "<html><body>two</body></html>"))
+	if !st.Delete("a.example/1") {
+		t.Error("Delete of present page should report true")
+	}
+	if st.Delete("a.example/1") {
+		t.Error("second Delete should report false")
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len after delete = %d", st.Len())
+	}
+	if _, err := st.Get("a.example/1"); err == nil {
+		t.Error("deleted page still readable")
+	}
+	if got := st.HostPages("a.example"); !reflect.DeepEqual(got, []string{"a.example/2"}) {
+		t.Errorf("HostPages after delete = %v", got)
+	}
+	// The resurrection contract: identical bytes after a delete must
+	// register as changed again, because the old hash is gone.
+	if !st.Put(NewPage("a.example/1", "<html><body>one</body></html>")) {
+		t.Error("re-Put after Delete should report changed")
+	}
+	if st.Delete("a.example/2") && st.Delete("a.example/1") {
+		if got := st.Hosts(); len(got) != 0 {
+			t.Errorf("Hosts after deleting all pages = %v", got)
+		}
+	} else {
+		t.Error("deletes of present pages failed")
+	}
+}
+
 func TestStoreHostIndex(t *testing.T) {
 	st := NewStore()
 	st.Put(NewPage("a.example/1", linked()))

@@ -447,8 +447,19 @@ type RefreshStats struct {
 	PagesChecked   int
 	PagesUnchanged int
 	PagesChanged   int
+	// PagesGone counts URLs whose fetch failed: the page left the corpus
+	// and its lineage was retired (it may resurrect on a later pass).
+	PagesGone      int
 	RecordsUpdated int
 	RecordsCreated int
+	// RecordsSuperseded counts records retired and rebuilt from their
+	// re-extracted hosts; RecordsDeleted counts records the new corpus no
+	// longer supports.
+	RecordsSuperseded int
+	RecordsDeleted    int
+	// PagesRelinked counts free-text pages whose concept link changed in
+	// the pass's relink stage.
+	PagesRelinked int
 	// Epoch is the data generation after the pass; it advanced only if the
 	// pass changed visible state.
 	Epoch uint64
@@ -467,9 +478,20 @@ func (s *System) Refresh(urls []string) (RefreshStats, error) {
 	}
 	return RefreshStats{
 		PagesChecked: st.PagesChecked, PagesUnchanged: st.PagesUnchanged,
-		PagesChanged: st.PagesChanged, RecordsUpdated: st.RecordsUpdated,
-		RecordsCreated: st.RecordsCreated, Epoch: st.Epoch,
+		PagesChanged: st.PagesChanged, PagesGone: st.PagesGone,
+		RecordsUpdated: st.RecordsUpdated, RecordsCreated: st.RecordsCreated,
+		RecordsSuperseded: st.RecordsSuperseded, RecordsDeleted: st.RecordsDeleted,
+		PagesRelinked: st.PagesRelinked, Epoch: st.Epoch,
 	}, nil
+}
+
+// PageURLs returns every URL currently in the page store, sorted. The
+// maintenance loop (internal/maintain) selects refresh cohorts from it;
+// URLs that went gone drop out and resurrect here as passes discover them.
+func (s *System) PageURLs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.woc.Pages.URLs()
 }
 
 // Reconcile trims attribute values violating the concept's multiplicity
