@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench benchshards microbench profile crashtest servetest maintaintest loadtest fmt vet
+.PHONY: build test race bench benchshards benchscale microbench profile crashtest servetest maintaintest loadtest fmt vet
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,35 @@ bench:
 # grid — the store/index partitioning cost curve archived as BENCH_PR7.json.
 benchshards:
 	$(GO) test -run '^$$' -bench 'BenchmarkBuildShards' -benchtime=1x -count=3 . | tee bench-shards.txt
+
+# benchscale measures the corpus-scale streamed build: heavy-tail worlds at
+# increasing page counts run through BuildStream with the disk-backed page
+# store, one process per size so every peak-RSS sample (VmHWM) is isolated.
+# Each run appends a JSON line via -stats-json; the lines are assembled into
+# BENCH_PR9.json — the scaling curve (pages vs wall vs peak RSS). Override
+# SCALE_SIZES / SCALE_RSS_CEILING for a quick smoke: CI runs a single
+# 20k-page world and fails the build if peak RSS crosses a fixed ceiling,
+# which is the bounded-memory property under regression test.
+SCALE_SIZES ?= 20000 50000 100000
+SCALE_RSS_CEILING ?= 0
+
+benchscale:
+	$(GO) build -o bin/wocbuild ./cmd/wocbuild
+	@set -e; \
+	rm -f benchscale-lines.json; \
+	for n in $(SCALE_SIZES); do \
+		rm -rf bin/benchscale-pages; \
+		./bin/wocbuild -world-profile heavytail -pages $$n \
+			-page-store bin/benchscale-pages -stats-json benchscale-lines.json \
+			-rss-ceiling $(SCALE_RSS_CEILING); \
+	done; \
+	{ echo '{"bench": "corpus-scale streamed build (heavy-tail world, disk page store)",'; \
+	  echo ' "rss_ceiling_bytes": $(SCALE_RSS_CEILING),'; \
+	  echo ' "runs": ['; \
+	  sed '$$!s/$$/,/' benchscale-lines.json; \
+	  echo ']}'; } > BENCH_PR9.json; \
+	rm -f benchscale-lines.json bin/wocbuild; rm -rf bin/benchscale-pages; \
+	cat BENCH_PR9.json
 
 # microbench runs the hot-path microbenchmarks with allocation stats:
 # tokenization, repeated-group discovery, and TF-IDF scoring. These are the

@@ -1,34 +1,60 @@
-// Command wocbuild generates the synthetic web, runs the full
-// web-of-concepts construction pipeline over it, and prints build
-// statistics. With -out it also persists the concept store durably.
+// Command wocbuild generates a synthetic web, runs the web-of-concepts
+// construction pipeline over it, and prints build statistics. With -out it
+// also persists the concept store durably.
+//
+// Two world profiles are supported:
+//
+//   - default: the 2011-page fixed world, built through the crawl pipeline
+//     (core.Builder.Build). Output is byte-identical run to run.
+//   - heavytail: a streamed heavy-tail world of -pages pages (a few huge
+//     aggregators, a long tail of small sites) built through the
+//     bounded-memory pipeline (core.Builder.BuildStream), optionally with a
+//     disk-backed page store (-page-store) so page bytes never reside in
+//     memory. This is the corpus-scale path; pair with -stats-json and
+//     -rss-ceiling to record and enforce the memory envelope.
 //
 // Usage:
 //
 //	wocbuild [-seed 1] [-restaurants 120] [-workers N] [-shards N] [-out dir]
+//	         [-world-profile default|heavytail] [-pages 100000]
+//	         [-page-store dir] [-page-cache N]
+//	         [-stats-json file] [-rss-ceiling bytes]
 //	         [-v] [-cpuprofile build.pprof] [-memprofile mem.pprof]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
 
 	"conceptweb/internal/core"
 	"conceptweb/internal/lrec"
 	"conceptweb/internal/webgen"
+	"conceptweb/internal/webgraph"
 )
 
 func main() {
 	log.SetFlags(0)
 	seed := flag.Int64("seed", 1, "world generation seed")
-	restaurants := flag.Int("restaurants", 120, "number of restaurants in the world")
+	restaurants := flag.Int("restaurants", 120, "number of restaurants in the world (default profile)")
+	profile := flag.String("world-profile", "default", "world profile: default (fixed world, crawl pipeline) or heavytail (streamed bounded-memory pipeline)")
+	pages := flag.Int("pages", 100000, "approximate world size in pages (heavytail profile)")
+	pageStoreDir := flag.String("page-store", "", "directory for a disk-backed page store (heavytail profile; empty = in-memory)")
+	pageCache := flag.Int("page-cache", 0, "parsed-page LRU capacity of the disk page store (0 = default)")
+	statsJSON := flag.String("stats-json", "", "append one JSON line of build statistics (pages, wall_ms, peak_rss_bytes, ...) to this file")
+	rssCeiling := flag.Int64("rss-ceiling", 0, "exit non-zero if peak RSS exceeds this many bytes (0 = unenforced)")
 	out := flag.String("out", "", "directory to persist the concept store (optional)")
 	workers := flag.Int("workers", 0, "worker-pool size for the extract/link/index stages (0 = GOMAXPROCS); output is identical at any value")
 	shards := flag.Int("shards", 0, "hash-partition count for the store and indexes (0 or 1 = single partition); output is identical at any value")
-	verbose := flag.Bool("v", false, "print the per-stage timing table and per-concept record counts")
+	verbose := flag.Bool("v", false, "periodic progress lines on stderr, plus the per-stage timing table and per-concept record counts")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the build to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the build) to this file")
 	flag.Parse()
@@ -61,26 +87,77 @@ func main() {
 		}
 	}()
 
-	cfg := webgen.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Restaurants = *restaurants
-	w := webgen.Generate(cfg)
-	fmt.Printf("world: %d pages across %d sites (%d restaurants, %d papers, %d products)\n",
-		len(w.Pages()), len(w.Sites), len(w.Restaurants), len(w.Papers), len(w.Products))
+	start := time.Now()
+	var woc *core.WebOfConcepts
+	var stats *core.BuildStats
+	var reg *lrec.Registry
+	var worldPages int
 
-	reg := lrec.NewRegistry()
-	webgen.RegisterConcepts(reg)
-	cfgStd := core.StandardConfig(reg, w.Cities(), webgen.Cuisines())
-	cfgStd.Workers = *workers
-	cfgStd.Shards = *shards
-	b := &core.Builder{Fetcher: w, Cfg: cfgStd}
-	woc, stats, err := b.Build(w.SeedURLs())
-	if err != nil {
-		log.Fatalf("build: %v", err)
+	switch *profile {
+	case "default":
+		cfg := webgen.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Restaurants = *restaurants
+		w := webgen.Generate(cfg)
+		worldPages = len(w.Pages())
+		fmt.Printf("world: %d pages across %d sites (%d restaurants, %d papers, %d products)\n",
+			len(w.Pages()), len(w.Sites), len(w.Restaurants), len(w.Papers), len(w.Products))
+
+		reg = lrec.NewRegistry()
+		webgen.RegisterConcepts(reg)
+		cfgStd := core.StandardConfig(reg, w.Cities(), webgen.Cuisines())
+		cfgStd.Workers = *workers
+		cfgStd.Shards = *shards
+		if *verbose {
+			cfgStd.Progress = progressPrinter()
+		}
+		b := &core.Builder{Fetcher: w, Cfg: cfgStd}
+		var err error
+		woc, stats, err = b.Build(w.SeedURLs())
+		if err != nil {
+			log.Fatalf("build: %v", err)
+		}
+		fmt.Printf("crawl:   %d pages fetched, %d failures\n", stats.PagesFetched, stats.FetchFailures)
+
+	case "heavytail":
+		scfg := webgen.HeavyTailConfig(*pages)
+		scfg.Seed = *seed
+		w := webgen.NewStreamWorld(scfg)
+		worldPages = w.PlannedPages()
+		fmt.Printf("world: %d pages planned across %d sites (heavy-tail profile, seed %d)\n",
+			w.PlannedPages(), len(w.Plans()), *seed)
+
+		reg = lrec.NewRegistry()
+		webgen.RegisterScaleConcepts(reg)
+		cfgScale := core.ScaleConfig(reg, w.Cities(), webgen.Cuisines())
+		cfgScale.Workers = *workers
+		cfgScale.Shards = *shards
+		if *verbose {
+			cfgScale.Progress = progressPrinter()
+		}
+		if *pageStoreDir != "" {
+			ps, err := webgraph.OpenDiskStore(*pageStoreDir, webgraph.DiskOptions{CachePages: *pageCache})
+			if err != nil {
+				log.Fatalf("page store: %v", err)
+			}
+			cfgScale.PageStore = ps
+		}
+		b := &core.Builder{Fetcher: w, Cfg: cfgScale}
+		var err error
+		woc, stats, err = b.BuildStream(w)
+		if err != nil {
+			log.Fatalf("build: %v", err)
+		}
+		fmt.Printf("ingest:  %d pages streamed into the page store\n", stats.PagesFetched)
+
+	default:
+		log.Fatalf("unknown -world-profile %q (want default or heavytail)", *profile)
 	}
-	changed := woc.Reconcile("restaurant", core.PreferSupport)
+	defer woc.Close()
 
-	fmt.Printf("crawl:   %d pages fetched, %d failures\n", stats.PagesFetched, stats.FetchFailures)
+	changed := woc.Reconcile("restaurant", core.PreferSupport)
+	wall := time.Since(start)
+
 	fmt.Printf("extract: %d candidates\n", stats.Candidates)
 	fmt.Printf("resolve: %d records stored, %d candidates merged away\n",
 		stats.RecordsStored, stats.ClustersMerged)
@@ -98,33 +175,125 @@ func main() {
 	}
 
 	if *out != "" {
-		durable, err := lrec.Open(*out, lrec.WithRegistry(reg), lrec.WithShards(*shards))
-		if err != nil {
-			log.Fatalf("open store: %v", err)
+		persistRecords(woc, reg, *out, *shards)
+	}
+
+	rss := peakRSSBytes()
+	fmt.Printf("build: %d pages in %s, peak rss %d MiB\n", stats.PagesFetched, wall.Round(time.Millisecond), rss>>20)
+
+	if *statsJSON != "" {
+		pageStore := "mem"
+		if *pageStoreDir != "" {
+			pageStore = "disk"
 		}
-		if rec := durable.Recovery(); rec.SnapshotRecords > 0 || rec.LogFrames > 0 || rec.TornTail {
-			fmt.Printf("store recovery: %d snapshot records, %d log frames replayed\n",
-				rec.SnapshotRecords, rec.LogFrames)
-			if rec.TornTail {
-				fmt.Printf("store recovery: truncated %d-byte torn log tail (previous process crashed mid-append)\n",
-					rec.TruncatedBytes)
-			}
-		}
-		n := 0
-		woc.Records.Scan(func(r *lrec.Record) bool {
-			if err := durable.Put(r); err != nil {
-				log.Printf("put %s: %v", r.ID, err)
-				return true
-			}
-			n++
-			return true
+		appendStatsJSON(*statsJSON, map[string]any{
+			"profile":        *profile,
+			"pages_planned":  worldPages,
+			"pages":          stats.PagesFetched,
+			"wall_ms":        wall.Milliseconds(),
+			"peak_rss_bytes": rss,
+			"candidates":     stats.Candidates,
+			"records_stored": stats.RecordsStored,
+			"pages_linked":   stats.PagesLinked,
+			"workers":        stats.Workers,
+			"shards":         *shards,
+			"page_store":     pageStore,
 		})
-		if err := durable.Compact(); err != nil {
-			log.Fatalf("compact: %v", err)
+	}
+	if *rssCeiling > 0 && rss > *rssCeiling {
+		log.Fatalf("peak rss %d bytes exceeds ceiling %d bytes", rss, *rssCeiling)
+	}
+}
+
+// persistRecords writes every record to a durable lrec store at dir.
+func persistRecords(woc *core.WebOfConcepts, reg *lrec.Registry, dir string, shards int) {
+	durable, err := lrec.Open(dir, lrec.WithRegistry(reg), lrec.WithShards(shards))
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	if rec := durable.Recovery(); rec.SnapshotRecords > 0 || rec.LogFrames > 0 || rec.TornTail {
+		fmt.Printf("store recovery: %d snapshot records, %d log frames replayed\n",
+			rec.SnapshotRecords, rec.LogFrames)
+		if rec.TornTail {
+			fmt.Printf("store recovery: truncated %d-byte torn log tail (previous process crashed mid-append)\n",
+				rec.TruncatedBytes)
 		}
-		if err := durable.Close(); err != nil {
-			log.Fatalf("close: %v", err)
+	}
+	n := 0
+	woc.Records.Scan(func(r *lrec.Record) bool {
+		if err := durable.Put(r); err != nil {
+			log.Printf("put %s: %v", r.ID, err)
+			return true
 		}
-		fmt.Printf("persisted %d records to %s\n", n, *out)
+		n++
+		return true
+	})
+	if err := durable.Compact(); err != nil {
+		log.Fatalf("compact: %v", err)
+	}
+	if err := durable.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	fmt.Printf("persisted %d records to %s\n", n, dir)
+}
+
+// progressPrinter returns a core.Config.Progress callback that emits
+// rate-limited progress lines on stderr: at most one every 2s, tagged with
+// the current peak RSS so a watcher sees the memory envelope evolve live.
+func progressPrinter() func(stage string, done, total int) {
+	var mu sync.Mutex
+	last := time.Now()
+	return func(stage string, done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(last) < 2*time.Second {
+			return
+		}
+		last = time.Now()
+		if total > 0 {
+			fmt.Fprintf(os.Stderr, "progress: %-8s %d/%d  rss=%dMiB\n", stage, done, total, peakRSSBytes()>>20)
+		} else {
+			fmt.Fprintf(os.Stderr, "progress: %-8s %d  rss=%dMiB\n", stage, done, peakRSSBytes()>>20)
+		}
+	}
+}
+
+// peakRSSBytes reports the process's peak resident set size. On Linux this
+// is VmHWM from /proc/self/status (the kernel's high-water mark, which is
+// what a container memory limit would enforce against); elsewhere it falls
+// back to the Go runtime's view of memory obtained from the OS.
+func peakRSSBytes() int64 {
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			f := strings.Fields(line)
+			if len(f) >= 2 {
+				if kb, err := strconv.ParseInt(f[1], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}
+
+// appendStatsJSON appends one JSON object per line to path, so repeated runs
+// (e.g. make benchscale) accumulate a scaling curve.
+func appendStatsJSON(path string, rec map[string]any) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		log.Fatalf("stats-json: %v", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Fatalf("stats-json: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		log.Fatalf("stats-json: %v", err)
 	}
 }

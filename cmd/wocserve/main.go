@@ -143,7 +143,10 @@ func main() {
 		loop = maintain.NewLoop(sys, maintain.Options{
 			Interval: *refreshInterval,
 			Batch:    *refreshBatch,
-			Metrics:  sys.Metrics(),
+			// Re-enforce multiplicity constraints whenever a pass writes
+			// records, so incremental refreshes can't drift the store.
+			ReconcileConcepts: []string{"restaurant"},
+			Metrics:           sys.Metrics(),
 		})
 		loop.Start()
 		log.Printf("maintenance loop: %d pages per pass, one pass per %s", *refreshBatch, *refreshInterval)

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/webgen"
+	"conceptweb/internal/webgraph"
+)
+
+// worldSource adapts a fully materialized webgen.World to the PageSource
+// interface, so the streamed pipeline can be compared head-to-head with the
+// crawl pipeline over the identical corpus.
+type worldSource struct{ w *webgen.World }
+
+func (s worldSource) StreamPages(emit func(url, html string) error) error {
+	for _, p := range s.w.Pages() {
+		if err := emit(p.URL, p.HTML); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func streamBuilder(w *webgen.World, pageStore *webgraph.Store) *Builder {
+	reg := lrec.NewRegistry()
+	webgen.RegisterConcepts(reg)
+	cfg := StandardConfig(reg, w.Cities(), webgen.Cuisines())
+	cfg.PageStore = pageStore
+	return &Builder{Fetcher: w, Cfg: cfg}
+}
+
+// TestBuildStreamMatchesBuild: over the same corpus, the bounded-memory
+// streamed pipeline must produce the same web of concepts as the crawl
+// pipeline — same records (IDs, versions, values, provenance), same
+// associations, same ranked search results. Streaming is an execution
+// strategy, not a semantic variant.
+func TestBuildStreamMatchesBuild(t *testing.T) {
+	w := smallWorld()
+
+	full := streamBuilder(w, nil)
+	wocBuild, statsBuild, err := full.Build(w.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wocBuild.Close()
+
+	streamed := streamBuilder(w, nil)
+	wocStream, statsStream, err := streamed.BuildStream(worldSource{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wocStream.Close()
+
+	if statsStream.PagesFetched != statsBuild.PagesFetched {
+		t.Errorf("ingested %d pages, crawl fetched %d", statsStream.PagesFetched, statsBuild.PagesFetched)
+	}
+	if statsStream.Candidates != statsBuild.Candidates ||
+		statsStream.RecordsStored != statsBuild.RecordsStored ||
+		statsStream.ClustersMerged != statsBuild.ClustersMerged ||
+		statsStream.PagesLinked != statsBuild.PagesLinked ||
+		statsStream.ReviewRecords != statsBuild.ReviewRecords {
+		t.Errorf("stats diverge:\nstream %+v\nbuild  %+v", statsStream, statsBuild)
+	}
+	if got, want := fingerprint(wocStream), fingerprint(wocBuild); got != want {
+		t.Error("record store fingerprints diverge between BuildStream and Build")
+	}
+	if !reflect.DeepEqual(wocStream.Assoc, wocBuild.Assoc) {
+		t.Error("Assoc maps diverge")
+	}
+	if !reflect.DeepEqual(wocStream.RevAssoc, wocBuild.RevAssoc) {
+		t.Error("RevAssoc maps diverge")
+	}
+	for _, q := range []string{"mexican cupertino", "pizza menu", "sushi san jose", "best thai"} {
+		if got, want := searchIDs(wocStream.DocIndex, q, 10), searchIDs(wocBuild.DocIndex, q, 10); !reflect.DeepEqual(got, want) {
+			t.Errorf("doc search %q diverges:\n got %v\nwant %v", q, got, want)
+		}
+		if got, want := searchIDs(wocStream.RecIndex, q, 10), searchIDs(wocBuild.RecIndex, q, 10); !reflect.DeepEqual(got, want) {
+			t.Errorf("rec search %q diverges:\n got %v\nwant %v", q, got, want)
+		}
+	}
+	if wocStream.Graph != nil {
+		t.Error("BuildStream should not build the link graph")
+	}
+}
+
+// TestBuildStreamDiskPageStore: the same streamed build through a disk-backed
+// page store (segment files + parse cache) must be indistinguishable from the
+// in-memory page store — the Store facade contract, proven through the whole
+// extraction pipeline rather than per-method assertions.
+func TestBuildStreamDiskPageStore(t *testing.T) {
+	w := smallWorld()
+
+	mem := streamBuilder(w, nil)
+	wocMem, statsMem, err := mem.BuildStream(worldSource{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wocMem.Close()
+
+	ds, err := webgraph.OpenDiskStore(t.TempDir(), webgraph.DiskOptions{CachePages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	disk := streamBuilder(w, ds)
+	wocDisk, statsDisk, err := disk.BuildStream(worldSource{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wocDisk.Close()
+
+	if statsDisk.Candidates != statsMem.Candidates ||
+		statsDisk.RecordsStored != statsMem.RecordsStored ||
+		statsDisk.PagesLinked != statsMem.PagesLinked {
+		t.Errorf("stats diverge:\ndisk %+v\nmem  %+v", statsDisk, statsMem)
+	}
+	if got, want := fingerprint(wocDisk), fingerprint(wocMem); got != want {
+		t.Error("record store fingerprints diverge between disk and memory page stores")
+	}
+	if !reflect.DeepEqual(wocDisk.Assoc, wocMem.Assoc) {
+		t.Error("Assoc maps diverge")
+	}
+	for _, q := range []string{"mexican cupertino", "restaurant review"} {
+		if got, want := searchIDs(wocDisk.DocIndex, q, 10), searchIDs(wocMem.DocIndex, q, 10); !reflect.DeepEqual(got, want) {
+			t.Errorf("doc search %q diverges", q)
+		}
+	}
+}
+
+// TestBuildStreamProgress: the Progress callback fires for every stage with
+// monotonic done counts.
+func TestBuildStreamProgress(t *testing.T) {
+	w := smallWorld()
+	var calls atomic.Int64
+	stages := make(map[string]bool)
+	var mu sync.Mutex
+	b := streamBuilder(w, nil)
+	b.Cfg.Progress = func(stage string, done, total int) {
+		calls.Add(1)
+		mu.Lock()
+		stages[stage] = true
+		mu.Unlock()
+		if done < 0 || total < 0 {
+			t.Errorf("negative progress: %s %d/%d", stage, done, total)
+		}
+	}
+	woc, _, err := b.BuildStream(worldSource{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer woc.Close()
+	if calls.Load() == 0 {
+		t.Fatal("Progress never called")
+	}
+	for _, s := range []string{"ingest", "extract", "resolve", "index"} {
+		if !stages[s] {
+			t.Errorf("no progress reported for stage %s", s)
+		}
+	}
+}

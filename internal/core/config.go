@@ -25,6 +25,17 @@ func StandardConfig(reg *lrec.Registry, cities, cuisines []string) Config {
 	}
 }
 
+// ScaleConfig extends StandardConfig with the hotel domain the streamed
+// heavy-tail corpus exercises (pair it with webgen.RegisterScaleConcepts).
+// Hotels get no collective matcher: hotel aggregators render names and phone
+// digits consistently, so synthesized IDs already merge cross-site mentions;
+// restaurants keep the full matcher.
+func ScaleConfig(reg *lrec.Registry, cities, cuisines []string) Config {
+	cfg := StandardConfig(reg, cities, cuisines)
+	cfg.Domains = append(cfg.Domains, extract.HotelDomain(cities))
+	return cfg
+}
+
 // ClassifierGate builds a Gate from a trained global classifier refined with
 // each gated host's relational structure (§4.2's "filtering out only those
 // pages that belong to a certain category and then doing further extraction

@@ -64,6 +64,15 @@ type Config struct {
 	// StoreDir, when set, backs the concept store durably (write-ahead log
 	// plus snapshots) in that directory instead of memory.
 	StoreDir string
+	// PageStore, when non-nil, receives crawled or ingested pages instead of
+	// a fresh in-memory store. Pass webgraph.OpenDiskStore's result to keep
+	// page bytes in segment files with only a bounded parse cache resident —
+	// the corpus-scale configuration BuildStream is designed around.
+	PageStore *webgraph.Store
+	// Progress, when non-nil, receives pipeline progress callbacks: a stage
+	// name plus done/total counts (total is 0 when unknown). Callbacks come
+	// from multiple goroutines and must be cheap and concurrency-safe.
+	Progress func(stage string, done, total int)
 	// Metrics, when non-nil, receives pipeline counters, store counters, and
 	// per-stage latency histograms. Stage traces in BuildStats/RefreshStats
 	// are produced regardless.
@@ -184,31 +193,9 @@ type Builder struct {
 // returned on BuildStats.Trace and, when Cfg.Metrics is set, into per-stage
 // latency histograms named "build.<stage>".
 func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
-	if b.Cfg.Registry == nil {
-		return nil, nil, fmt.Errorf("core: nil registry")
-	}
-	records := lrec.NewMemStore(lrec.WithRegistry(b.Cfg.Registry),
-		lrec.WithMetrics(b.Cfg.Metrics), lrec.WithShards(b.Cfg.Shards))
-	var storeRecovery *lrec.RecoveryStats
-	if b.Cfg.StoreDir != "" {
-		durable, err := lrec.Open(b.Cfg.StoreDir,
-			lrec.WithRegistry(b.Cfg.Registry), lrec.WithMetrics(b.Cfg.Metrics),
-			lrec.WithShards(b.Cfg.Shards))
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: open store: %w", err)
-		}
-		records = durable
-		rec := durable.Recovery()
-		storeRecovery = &rec
-	}
-	woc := &WebOfConcepts{
-		Registry: b.Cfg.Registry,
-		Records:  records,
-		Pages:    webgraph.NewStore(),
-		DocIndex: index.NewSharded(b.Cfg.Shards),
-		RecIndex: index.NewSharded(b.Cfg.Shards),
-		Assoc:    make(map[string][]string),
-		RevAssoc: make(map[string][]string),
+	woc, storeRecovery, err := b.newWoc()
+	if err != nil {
+		return nil, nil, err
 	}
 	stats := &BuildStats{Workers: b.workers(), StoreRecovery: storeRecovery}
 	ctx, root := pipelineCtx("build")
@@ -247,6 +234,50 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 	m.Counter("build.records.stored").Add(int64(stats.RecordsStored))
 	m.Counter("build.pages.linked").Add(int64(stats.PagesLinked))
 	return woc, stats, nil
+}
+
+// newWoc assembles the empty artifact a build fills: the record store
+// (memory or durable per StoreDir), the page store (Config.PageStore or a
+// fresh in-memory one), and the sharded indexes.
+func (b *Builder) newWoc() (*WebOfConcepts, *lrec.RecoveryStats, error) {
+	if b.Cfg.Registry == nil {
+		return nil, nil, fmt.Errorf("core: nil registry")
+	}
+	records := lrec.NewMemStore(lrec.WithRegistry(b.Cfg.Registry),
+		lrec.WithMetrics(b.Cfg.Metrics), lrec.WithShards(b.Cfg.Shards))
+	var storeRecovery *lrec.RecoveryStats
+	if b.Cfg.StoreDir != "" {
+		durable, err := lrec.Open(b.Cfg.StoreDir,
+			lrec.WithRegistry(b.Cfg.Registry), lrec.WithMetrics(b.Cfg.Metrics),
+			lrec.WithShards(b.Cfg.Shards))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: open store: %w", err)
+		}
+		records = durable
+		rec := durable.Recovery()
+		storeRecovery = &rec
+	}
+	pages := b.Cfg.PageStore
+	if pages == nil {
+		pages = webgraph.NewStore()
+	}
+	woc := &WebOfConcepts{
+		Registry: b.Cfg.Registry,
+		Records:  records,
+		Pages:    pages,
+		DocIndex: index.NewSharded(b.Cfg.Shards),
+		RecIndex: index.NewSharded(b.Cfg.Shards),
+		Assoc:    make(map[string][]string),
+		RevAssoc: make(map[string][]string),
+	}
+	return woc, storeRecovery, nil
+}
+
+// progress reports pipeline progress to Config.Progress when set.
+func (b *Builder) progress(stage string, done, total int) {
+	if b.Cfg.Progress != nil {
+		b.Cfg.Progress(stage, done, total)
+	}
 }
 
 // stage runs fn inside a child span of ctx named name, mirroring its
@@ -614,7 +645,12 @@ func (b *Builder) buildIndexes(woc *WebOfConcepts) {
 		docs[i] = index.Prepare(pageDocument(p))
 	})
 	woc.DocIndex.AddPreparedBatch(docs, w)
+	b.indexRecords(woc, w)
+}
 
+// indexRecords fills the record inverted index; shared by the full-batch and
+// chunked (BuildStream) page-indexing paths.
+func (b *Builder) indexRecords(woc *WebOfConcepts, w int) {
 	var recs []*lrec.Record
 	woc.Records.Scan(func(r *lrec.Record) bool {
 		if r.Concept != "review" { // reviews are reachable via their subject

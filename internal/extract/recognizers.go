@@ -326,6 +326,32 @@ func EventDomain(cities []string) Domain {
 	}
 }
 
+// HotelDomain returns the domain knowledge for hotel listings, the streamed
+// corpus's second business domain. Evidence is keyed on the hotel-type word
+// every hotel name carries (Inn, Suites, ...) rather than on phone/street:
+// restaurant pages also expose phones and streets, and without the lexical
+// key the hotel extractor would shadow-extract every restaurant directory.
+// Hotels carry no collective matcher — aggregators render hotel names and
+// phone digits consistently, so synthesized IDs merge cross-site mentions.
+func HotelDomain(cities []string) Domain {
+	return Domain{
+		Concept: "hotel",
+		Recognizers: []Recognizer{
+			PhoneRecognizer(), StreetRecognizer(),
+			GazetteerRecognizer("city", lrec.KindCity, cities, 0.7),
+			GazetteerRecognizer("hoteltype", lrec.KindCategory,
+				[]string{"hotel", "inn", "suites", "lodge", "resort", "motel"}, 0.4),
+		},
+		NameFrom: "anchor",
+		NameKey:  "name",
+		Evidence: []string{"hoteltype"},
+		Constraints: []Constraint{
+			{Key: "phone", MaxValues: 2},
+			{Key: "street", MaxValues: 1},
+		},
+	}
+}
+
 // ProductDomain returns the domain knowledge for product listings.
 func ProductDomain() Domain {
 	return Domain{

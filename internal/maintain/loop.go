@@ -27,6 +27,9 @@ type System interface {
 	PageURLs() []string
 	// Refresh re-fetches the given URLs and folds changes into the store.
 	Refresh(urls []string) (woc.RefreshStats, error)
+	// Reconcile re-enforces the concept's multiplicity constraints over the
+	// record store, returning how many records changed.
+	Reconcile(concept string) int
 }
 
 // Options configures a Loop. Zero values take the defaults below.
@@ -38,6 +41,12 @@ type Options struct {
 	// GoneRetries is how many passes a vanished URL stays in rotation as a
 	// resurrection probe before the loop stops re-fetching it (default 3).
 	GoneRetries int
+	// ReconcileConcepts lists concepts whose multiplicity constraints are
+	// re-enforced (System.Reconcile) after any pass that updated or created
+	// records. Refresh folds new evidence into records one cohort at a time,
+	// so constraint drift accumulates between full rebuilds; reconciling on
+	// the write path keeps the store converged. Empty disables it.
+	ReconcileConcepts []string
 	// Metrics receives maintain.* instruments; nil disables them.
 	Metrics *obs.Registry
 }
@@ -66,6 +75,7 @@ type Totals struct {
 	RecordsCreated    int
 	RecordsSuperseded int
 	RecordsDeleted    int
+	RecordsReconciled int
 }
 
 // Status is a point-in-time snapshot of the loop, safe to read while a pass
@@ -77,6 +87,10 @@ type Status struct {
 	// once since).
 	Passes uint64
 	Sweeps uint64
+	// Reconciles counts passes that triggered a constraint-reconcile;
+	// LastReconciled is how many records the most recent one changed.
+	Reconciles     uint64
+	LastReconciled int
 	// PagesTracked is the scheduler's view of the corpus; GoneTracked is
 	// how many vanished URLs still hold a resurrection-probe budget.
 	PagesTracked int
@@ -184,11 +198,11 @@ func (l *Loop) RunPass() (woc.RefreshStats, error) {
 	stopTimer()
 
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.status.Passes++
 	l.status.LastPassAt = time.Now()
 	if err != nil {
 		l.status.LastErr = err.Error()
+		l.mu.Unlock()
 		m.Counter("maintain.errors").Inc()
 		return st, err
 	}
@@ -250,6 +264,25 @@ func (l *Loop) RunPass() (woc.RefreshStats, error) {
 	m.Counter("maintain.records.created").Add(int64(st.RecordsCreated))
 	m.Counter("maintain.records.superseded").Add(int64(st.RecordsSuperseded))
 	m.Counter("maintain.records.deleted").Add(int64(st.RecordsDeleted))
+	l.mu.Unlock()
+
+	// A pass that wrote records may have left a concept over its multiplicity
+	// constraints (each cohort folds evidence in isolation); reconcile outside
+	// the scheduler lock — System.Reconcile takes the system's own write lock
+	// and Status must stay readable meanwhile.
+	if st.RecordsUpdated+st.RecordsCreated > 0 && len(l.opts.ReconcileConcepts) > 0 {
+		trimmed := 0
+		for _, c := range l.opts.ReconcileConcepts {
+			trimmed += l.sys.Reconcile(c)
+		}
+		m.Counter("maintain.reconcile.runs").Inc()
+		m.Counter("maintain.reconcile.records").Add(int64(trimmed))
+		l.mu.Lock()
+		l.status.Reconciles++
+		l.status.LastReconciled = trimmed
+		l.status.Totals.RecordsReconciled += trimmed
+		l.mu.Unlock()
+	}
 	return st, nil
 }
 

@@ -14,15 +14,17 @@ import (
 // fakeSys is a scheduling-only System: Refresh records the cohort and
 // applies gone/resurrection transitions to the page set, without any store.
 type fakeSys struct {
-	mu    sync.Mutex
-	pages map[string]bool
-	gone  map[string]bool
-	calls [][]string
-	err   error
+	mu         sync.Mutex
+	pages      map[string]bool
+	gone       map[string]bool
+	dirty      map[string]bool // next refresh of this URL reports an updated record
+	calls      [][]string
+	reconciled []string // concepts passed to Reconcile, in call order
+	err        error
 }
 
 func newFakeSys(urls ...string) *fakeSys {
-	f := &fakeSys{pages: map[string]bool{}, gone: map[string]bool{}}
+	f := &fakeSys{pages: map[string]bool{}, gone: map[string]bool{}, dirty: map[string]bool{}}
 	for _, u := range urls {
 		f.pages[u] = true
 	}
@@ -60,11 +62,34 @@ func (f *fakeSys) Refresh(urls []string) (woc.RefreshStats, error) {
 		case !f.pages[u]:
 			f.pages[u] = true // resurrection: fetch succeeded again
 			st.PagesChanged++
+		case f.dirty[u]:
+			delete(f.dirty, u) // content changed: a record absorbed new evidence
+			st.PagesChanged++
+			st.RecordsUpdated++
 		default:
 			st.PagesUnchanged++
 		}
 	}
 	return st, nil
+}
+
+func (f *fakeSys) Reconcile(concept string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reconciled = append(f.reconciled, concept)
+	return 1
+}
+
+func (f *fakeSys) reconcileCalls() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.reconciled...)
+}
+
+func (f *fakeSys) setDirty(u string) {
+	f.mu.Lock()
+	f.dirty[u] = true
+	f.mu.Unlock()
 }
 
 func (f *fakeSys) setGone(u string, gone bool) {
@@ -222,6 +247,66 @@ func TestLoopRefreshError(t *testing.T) {
 	}
 	if st := l.Status(); st.LastErr != "" {
 		t.Fatalf("LastErr sticky after recovery: %q", st.LastErr)
+	}
+}
+
+// TestLoopAutoReconcile: a pass that updates or creates records triggers one
+// Reconcile per configured concept, in declaration order; clean passes and
+// loops with no ReconcileConcepts never call it.
+func TestLoopAutoReconcile(t *testing.T) {
+	sys := newFakeSys("a", "b", "c")
+	reg := obs.NewRegistry()
+	l := NewLoop(sys, Options{
+		Batch:             10,
+		ReconcileConcepts: []string{"restaurant", "hotel"},
+		Metrics:           reg,
+	})
+
+	if _, err := l.RunPass(); err != nil { // nothing changed: no reconcile
+		t.Fatal(err)
+	}
+	if got := sys.reconcileCalls(); len(got) != 0 {
+		t.Fatalf("clean pass reconciled %v", got)
+	}
+
+	sys.setDirty("b")
+	st, err := l.RunPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecordsUpdated != 1 {
+		t.Fatalf("dirty page did not update a record: %+v", st)
+	}
+	if got, want := sys.reconcileCalls(), []string{"restaurant", "hotel"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("reconcile calls = %v, want %v", got, want)
+	}
+	s := l.Status()
+	if s.Reconciles != 1 || s.LastReconciled != 2 || s.Totals.RecordsReconciled != 2 {
+		t.Fatalf("reconcile status not recorded: %+v", s)
+	}
+	if reg.Counter("maintain.reconcile.runs").Value() != 1 {
+		t.Fatal("maintain.reconcile.runs not incremented")
+	}
+	if reg.Counter("maintain.reconcile.records").Value() != 2 {
+		t.Fatal("maintain.reconcile.records not accumulated")
+	}
+
+	if _, err := l.RunPass(); err != nil { // back to clean: no further calls
+		t.Fatal(err)
+	}
+	if got := sys.reconcileCalls(); len(got) != 2 {
+		t.Fatalf("clean pass reconciled again: %v", got)
+	}
+
+	// No configured concepts: updates never reconcile.
+	sys2 := newFakeSys("a", "b")
+	l2 := NewLoop(sys2, Options{Batch: 10})
+	sys2.setDirty("a")
+	if _, err := l2.RunPass(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys2.reconcileCalls(); len(got) != 0 {
+		t.Fatalf("unconfigured loop reconciled %v", got)
 	}
 }
 

@@ -136,6 +136,7 @@ const (
 	ConceptShow       = "tvshow"
 	ConceptActor      = "actor"
 	ConceptEvent      = "event"
+	ConceptHotel      = "hotel"
 )
 
 // Domain names.
@@ -213,6 +214,23 @@ func RegisterConcepts(reg *lrec.Registry) {
 		Attrs: []lrec.AttrSpec{
 			{Key: "name", Kind: lrec.KindName, Required: true},
 			{Key: "shows", Kind: lrec.KindText},
+		}})
+}
+
+// RegisterScaleConcepts registers the default concept set plus the concepts
+// only the streamed heavy-tail world exercises (hotels). The default world's
+// registry is deliberately left alone — its store snapshots are byte-stable
+// across releases and a new concept would perturb them.
+func RegisterScaleConcepts(reg *lrec.Registry) {
+	RegisterConcepts(reg)
+	reg.Register(lrec.Concept{Name: ConceptHotel, Domain: DomainLocal,
+		Attrs: []lrec.AttrSpec{
+			{Key: "name", Kind: lrec.KindName, Required: true},
+			{Key: "hoteltype", Kind: lrec.KindCategory},
+			{Key: "street", Kind: lrec.KindAddress, MaxValues: 1},
+			{Key: "city", Kind: lrec.KindCity},
+			{Key: "phone", Kind: lrec.KindPhone, MaxValues: 2},
+			{Key: "homepage", Kind: lrec.KindURL, MaxValues: 1},
 		}})
 }
 

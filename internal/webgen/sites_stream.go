@@ -1,0 +1,631 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// Site generators for the streamed heavy-tail world. Each generator emits
+// exactly plan.Size pages for its site, derived purely from (seed, plan) —
+// calling it twice yields byte-identical pages. Layout variant selection is
+// per page within a host (hash of the path modulo the host's Variants),
+// which is what produces Dalvi et al.'s within-site wrapper diversity; the
+// variant is visible in the markup as a layout-v<N> class so distribution
+// tests (and wrapper tooling) can count variants per host.
+
+func (w *StreamWorld) genSite(p *SitePlan) []*Page {
+	switch p.Kind {
+	case SiteAggRestaurant:
+		return w.genAggRest(p)
+	case SiteAggHotel:
+		return w.genAggHotel(p)
+	case SiteRestHome:
+		return w.genRestHome(p)
+	case SiteHotel:
+		return w.genHotelSite(p)
+	case SiteEventCal:
+		return w.genEventCal(p)
+	case SitePortal:
+		return w.genPortal(p)
+	default:
+		return w.genBlog(p)
+	}
+}
+
+// sitePages accumulates one site's pages.
+type sitePages struct {
+	host  string
+	pages []*Page
+}
+
+func (sp *sitePages) add(path, html string, truth PageTruth) {
+	truth.Site = sp.host
+	sp.pages = append(sp.pages, &Page{URL: sp.host + path, HTML: html, Truth: truth})
+}
+
+// variantOf picks the template variant for a page of this host.
+func variantOf(p *SitePlan, path string) int {
+	return permille(p.Host, "variant:"+path, p.Index) % p.Variants
+}
+
+// vwrap tags body markup with its layout-variant class.
+func vwrap(v int, body string) string {
+	return fmt.Sprintf(`<div class="layout-v%d">`, v) + body + "</div>"
+}
+
+// addBoilerplate emits the /about, /contact, /help trio (3 pages).
+func (sp *sitePages) addBoilerplate(nav [][2]string) {
+	for _, path := range []string{"/about", "/contact", "/help"} {
+		var b hb
+		b.el("h1", "", titleCase(path[1:]))
+		b.el("p", "", "Information about "+sp.host+", our editorial team, and how to reach us.")
+		sp.add(path, pageShell(titleCase(path[1:]), sp.host, nav, b.String()),
+			PageTruth{Kind: KindSiteIndex, Category: CatOther})
+	}
+}
+
+func (w *StreamWorld) maxBiz() int {
+	return w.Cfg.MaxAggregatorPages - w.Cfg.MaxAggregatorPages/w.Cfg.ListPageSize - 4
+}
+
+// --- restaurant aggregator ---
+
+func (w *StreamWorld) genAggRest(p *SitePlan) []*Page {
+	sp := &sitePages{host: p.Host}
+	nav := stdNav(p.Host)
+	nameVar := p.Index % 3
+	phoneStyle := p.Index % 4
+	ids := w.coveredEntities(p.Host, w.nRest, p.CovPermille, w.maxBiz())
+	l := w.Cfg.ListPageSize
+
+	// Root: links the paginated directory.
+	nDirs := ceilDiv(len(ids), l)
+	var root hb
+	root.el("h1", "", "Find restaurants on "+p.Host)
+	root.open("ul", `class="dir-index"`)
+	for d := 0; d < nDirs; d++ {
+		root.open("li", "")
+		root.a(p.Host+"/dir/"+strconv.Itoa(d), fmt.Sprintf("Directory page %d", d+1))
+		root.close("li")
+	}
+	root.close("ul")
+	sp.add("/", pageShell(p.Host, p.Host, nav, root.String()),
+		PageTruth{Kind: KindSiteIndex, Category: CatOther})
+
+	// Paginated directory listings: the repeated structure the list
+	// extractor mines, each item anchoring a biz page.
+	for d := 0; d < nDirs; d++ {
+		lo, hi := d*l, (d+1)*l
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		v := variantOf(p, "/dir/"+strconv.Itoa(d))
+		var h hb
+		h.el("h1", "", fmt.Sprintf("Restaurants %d-%d", lo+1, hi))
+		var entIDs []string
+		if v%2 == 0 {
+			h.open("ul", `class="results"`)
+			for _, i := range ids[lo:hi] {
+				r := w.restaurantAt(i)
+				entIDs = append(entIDs, r.ID)
+				h.open("li", `class="result"`)
+				h.f(`<a class="name" href="%s">`, w.bizURL(p.Host, r, i))
+				h.text(r.NameVariant(nameVar))
+				h.close("a")
+				h.el("span", `class="addr"`, r.Street)
+				h.el("span", `class="zip"`, r.Zip)
+				h.el("span", `class="phone"`, rephone(r.Phone, phoneStyle))
+				h.close("li")
+			}
+			h.close("ul")
+		} else {
+			h.open("table", `class="results"`)
+			h.open("tr", "")
+			for _, th := range []string{"Restaurant", "Address", "Zip", "Phone"} {
+				h.el("th", "", th)
+			}
+			h.close("tr")
+			for _, i := range ids[lo:hi] {
+				r := w.restaurantAt(i)
+				entIDs = append(entIDs, r.ID)
+				h.open("tr", `class="result-row"`)
+				h.open("td", "")
+				h.a(w.bizURL(p.Host, r, i), r.NameVariant(nameVar))
+				h.close("td")
+				h.el("td", "", r.Street)
+				h.el("td", "", r.Zip)
+				h.el("td", "", rephone(r.Phone, phoneStyle))
+				h.close("tr")
+			}
+			h.close("table")
+		}
+		sp.add("/dir/"+strconv.Itoa(d),
+			pageShell(fmt.Sprintf("Directory %d - %s", d+1, p.Host), p.Host, nav, vwrap(v, h.String())),
+			PageTruth{Kind: KindCategory, Category: CatRestaurants, EntityIDs: entIDs})
+	}
+
+	// Biz detail pages.
+	for _, i := range ids {
+		r := w.restaurantAt(i)
+		path := w.bizPath(r, i)
+		v := variantOf(p, path)
+		name := r.NameVariant(nameVar)
+		phone := rephone(r.Phone, phoneStyle)
+		body := renderBizVariant(v, name, r, phone)
+		sp.add(path, pageShell(name+" - "+p.Host, p.Host, nav, vwrap(v, body)),
+			PageTruth{Kind: KindBiz, Category: CatRestaurants, EntityIDs: []string{r.ID},
+				Attrs: truthAttrs("name", name, "street", r.Street, "city", r.City,
+					"zip", r.Zip, "phone", phone, "cuisine", r.Cuisine)})
+	}
+
+	sp.addBoilerplate(nav)
+	return sp.pages
+}
+
+func (w *StreamWorld) bizPath(r *Restaurant, i int) string {
+	return "/biz/" + slugify(r.Name) + "-" + strconv.Itoa(i)
+}
+
+func (w *StreamWorld) bizURL(host string, r *Restaurant, i int) string {
+	return host + w.bizPath(r, i)
+}
+
+// renderBizVariant renders one restaurant detail page in one of five layout
+// families. Every family exposes name (h1), street, city, zip, and phone —
+// the recognizer evidence — through different markup.
+func renderBizVariant(v int, name string, r *Restaurant, phone string) string {
+	var h hb
+	switch v % 5 {
+	case 0: // card of classed spans
+		h.open("div", `class="biz-card"`)
+		h.el("h1", `class="biz-name"`, name)
+		h.el("span", `class="rating"`, fmt.Sprintf("%.1f stars", r.Rating))
+		h.open("div", `class="biz-info"`)
+		h.el("span", `class="address"`, r.Street)
+		h.raw(", ")
+		h.el("span", `class="city"`, r.City)
+		h.raw(", CA ")
+		h.el("span", `class="zip"`, r.Zip)
+		h.raw(" ")
+		h.el("span", `class="phone"`, phone)
+		h.raw(" ")
+		h.el("span", `class="cuisine"`, titleCase(r.Cuisine))
+		h.raw(" · ")
+		h.el("span", `class="price"`, r.Price)
+		h.close("div")
+		h.el("p", `class="blurb"`, "Known for "+r.Menu[0]+" and "+r.Menu[1%len(r.Menu)]+".")
+		h.close("div")
+	case 1: // property table
+		h.el("h1", "", name)
+		h.open("table", `class="detail"`)
+		row := func(k, val string) {
+			h.open("tr", "")
+			h.el("th", "", k)
+			h.el("td", "", val)
+			h.close("tr")
+		}
+		row("Name", name)
+		row("Address", fmt.Sprintf("%s, %s, CA %s", r.Street, r.City, r.Zip))
+		row("Phone", phone)
+		row("Cuisine", titleCase(r.Cuisine))
+		row("Hours", r.Hours)
+		row("Price", r.Price)
+		h.close("table")
+	case 2: // definition list
+		h.el("h1", "", name)
+		h.open("dl", `class="listing"`)
+		pair := func(k, val string) {
+			h.el("dt", "", k)
+			h.el("dd", "", val)
+		}
+		pair("Business", name)
+		pair("Street", r.Street)
+		pair("City", r.City+", CA")
+		pair("Zip", r.Zip)
+		pair("Telephone", phone)
+		pair("Category", titleCase(r.Cuisine)+" Restaurants")
+		h.close("dl")
+	case 3: // label/value grid
+		h.el("h1", `class="hd"`, name)
+		h.open("div", `class="spec-grid"`)
+		cell := func(k, val string) {
+			h.open("div", `class="spec"`)
+			h.el("span", `class="label"`, k)
+			h.el("span", `class="value"`, val)
+			h.close("div")
+		}
+		cell("Phone", phone)
+		cell("Street", r.Street)
+		cell("City", r.City)
+		cell("Zip", r.Zip)
+		cell("Cuisine", titleCase(r.Cuisine))
+		cell("Rating", fmt.Sprintf("%.1f stars", r.Rating))
+		h.close("div")
+	default: // prose
+		h.el("h1", "", name)
+		h.el("p", "", fmt.Sprintf(
+			"%s serves %s classics at %s in %s, CA %s. Call %s to book a table. Hours: %s. Price range %s.",
+			name, r.Cuisine, r.Street, r.City, r.Zip, phone, r.Hours, r.Price))
+		h.el("p", "", "Regulars recommend the "+r.Menu[0]+".")
+	}
+	return h.String()
+}
+
+// --- hotel aggregator ---
+
+func (w *StreamWorld) genAggHotel(p *SitePlan) []*Page {
+	sp := &sitePages{host: p.Host}
+	nav := stdNav(p.Host)
+	phoneStyle := p.Index % 4
+	ids := w.coveredEntities(p.Host, w.nHotel, p.CovPermille, w.maxBiz())
+	l := w.Cfg.ListPageSize
+
+	nDirs := ceilDiv(len(ids), l)
+	var root hb
+	root.el("h1", "", "Compare hotels on "+p.Host)
+	root.open("ul", `class="dir-index"`)
+	for d := 0; d < nDirs; d++ {
+		root.open("li", "")
+		root.a(p.Host+"/hotels/"+strconv.Itoa(d), fmt.Sprintf("Hotels page %d", d+1))
+		root.close("li")
+	}
+	root.close("ul")
+	sp.add("/", pageShell(p.Host, p.Host, nav, root.String()),
+		PageTruth{Kind: KindSiteIndex, Category: CatOther})
+
+	for d := 0; d < nDirs; d++ {
+		lo, hi := d*l, (d+1)*l
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		v := variantOf(p, "/hotels/"+strconv.Itoa(d))
+		var h hb
+		h.el("h1", "", fmt.Sprintf("Hotels %d-%d", lo+1, hi))
+		h.open("ul", `class="results"`)
+		for _, i := range ids[lo:hi] {
+			hot := w.hotelAt(i)
+			h.open("li", `class="result"`)
+			h.f(`<a class="name" href="%s">`, p.Host+w.hotelPath(hot, i))
+			h.text(hot.Name)
+			h.close("a")
+			h.el("span", `class="addr"`, hot.Street)
+			h.el("span", `class="city"`, hot.City)
+			h.el("span", `class="phone"`, rephone(hot.Phone, phoneStyle))
+			h.close("li")
+		}
+		h.close("ul")
+		sp.add("/hotels/"+strconv.Itoa(d),
+			pageShell(fmt.Sprintf("Hotels %d - %s", d+1, p.Host), p.Host, nav, vwrap(v, h.String())),
+			PageTruth{Kind: KindCategory, Category: CatHotels})
+	}
+
+	for _, i := range ids {
+		hot := w.hotelAt(i)
+		path := w.hotelPath(hot, i)
+		v := variantOf(p, path)
+		phone := rephone(hot.Phone, phoneStyle)
+		var h hb
+		h.el("h1", "", hot.Name)
+		if v%2 == 0 {
+			h.open("dl", `class="listing"`)
+			pair := func(k, val string) {
+				h.el("dt", "", k)
+				h.el("dd", "", val)
+			}
+			pair("Name", hot.Name)
+			pair("Street", hot.Street)
+			pair("City", hot.City+", CA")
+			pair("Telephone", phone)
+			h.close("dl")
+		} else {
+			h.el("p", "", fmt.Sprintf(
+				"%s welcomes guests at %s in %s. Reservations: %s.",
+				hot.Name, hot.Street, hot.City, phone))
+		}
+		sp.add(path, pageShell(hot.Name+" - "+p.Host, p.Host, nav, vwrap(v, h.String())),
+			PageTruth{Kind: KindBiz, Category: CatHotels, EntityIDs: []string{hot.ID},
+				Attrs: truthAttrs("name", hot.Name, "street", hot.Street,
+					"city", hot.City, "phone", phone)})
+	}
+
+	sp.addBoilerplate(nav)
+	return sp.pages
+}
+
+func (w *StreamWorld) hotelPath(h *Hotel, i int) string {
+	return "/h/" + slugify(h.Name) + "-" + strconv.Itoa(i)
+}
+
+// --- official restaurant site (tail) ---
+
+func (w *StreamWorld) genRestHome(p *SitePlan) []*Page {
+	sp := &sitePages{host: p.Host}
+	r := w.restaurantAt(p.Lo)
+	rng := rand.New(rand.NewSource(w.mix("resthome", p.Lo)))
+	nav := [][2]string{
+		{p.Host + "/", "Home"},
+		{p.Host + "/menu", "Menu"},
+		{p.Host + "/location", "Location & Directions"},
+	}
+
+	var h hb
+	h.el("h1", `class="name"`, r.Name)
+	h.el("p", `class="tagline"`, fmt.Sprintf(
+		"Family-owned %s restaurant in %s. Try our famous %s!",
+		r.Cuisine, r.City, r.Menu[0]))
+	h.open("div", `class="contact"`)
+	h.el("span", `class="street"`, r.Street)
+	h.raw(" · ")
+	h.el("span", `class="citystate"`, fmt.Sprintf("%s, CA %s", r.City, r.Zip))
+	h.raw(" · ")
+	h.el("span", `class="tel"`, r.Phone)
+	h.close("div")
+	h.el("p", `class="hours"`, "Hours of operation: "+r.Hours)
+	sp.add("/", pageShell(r.Name, p.Host, nav, h.String()),
+		PageTruth{Kind: KindHome, Category: CatRestaurants, EntityIDs: []string{r.ID},
+			Attrs: truthAttrs("name", r.Name, "street", r.Street, "city", r.City,
+				"zip", r.Zip, "phone", r.Phone, "hours", r.Hours)})
+
+	v := variantOf(p, "/menu")
+	var m hb
+	m.el("h1", "", r.Name+" Menu")
+	m.open("ul", `class="menu"`)
+	for _, dish := range r.Menu {
+		price := fmt.Sprintf("$%d.%02d", 7+rng.Intn(18), 25*rng.Intn(4))
+		m.open("li", `class="dish"`)
+		m.el("span", `class="dish-name"`, titleCase(dish))
+		m.el("span", `class="dish-price"`, price)
+		m.close("li")
+	}
+	m.close("ul")
+	sp.add("/menu", pageShell(r.Name+" Menu", p.Host, nav, vwrap(v, m.String())),
+		PageTruth{Kind: KindMenu, Category: CatRestaurants, EntityIDs: []string{r.ID}})
+
+	var loc hb
+	loc.el("h1", "", "Find "+r.Name)
+	loc.el("p", `class="address"`, r.Address())
+	loc.el("p", `class="phone"`, "Call us: "+r.Phone)
+	sp.add("/location", pageShell("Location - "+r.Name, p.Host, nav, loc.String()),
+		PageTruth{Kind: KindLocation, Category: CatRestaurants, EntityIDs: []string{r.ID},
+			Attrs: truthAttrs("street", r.Street, "city", r.City, "zip", r.Zip, "phone", r.Phone)})
+
+	// Filler: press/news posts mentioning the restaurant and its dishes —
+	// text-link fodder, no structured evidence.
+	for j := 0; j < p.Size-3; j++ {
+		dish := r.Menu[(j+1)%len(r.Menu)]
+		pv := variantOf(p, "/press-"+strconv.Itoa(j))
+		var b hb
+		b.el("h1", "", fmt.Sprintf("News %d from %s", j+1, r.Name))
+		b.el("p", "", fmt.Sprintf(
+			"This week at %s in %s: our chef's take on %s, plus seasonal specials all weekend.",
+			r.Name, r.City, dish))
+		sp.add("/press-"+strconv.Itoa(j),
+			pageShell(fmt.Sprintf("News %d - %s", j+1, r.Name), p.Host, nav, vwrap(pv, b.String())),
+			PageTruth{Kind: KindReviewPost, Category: CatRestaurants, EntityIDs: []string{r.ID}})
+	}
+	return sp.pages
+}
+
+// --- official hotel site (tail) ---
+
+func (w *StreamWorld) genHotelSite(p *SitePlan) []*Page {
+	sp := &sitePages{host: p.Host}
+	hot := w.hotelAt(p.Lo)
+	nav := [][2]string{
+		{p.Host + "/", "Home"},
+		{p.Host + "/rooms", "Rooms"},
+		{p.Host + "/rates", "Rates"},
+		{p.Host + "/location", "Location"},
+	}
+
+	var h hb
+	h.el("h1", `class="name"`, hot.Name)
+	h.el("p", "", fmt.Sprintf("%s offers comfortable rooms at %s in %s. Reservations: %s.",
+		hot.Name, hot.Street, hot.City, hot.Phone))
+	sp.add("/", pageShell(hot.Name, p.Host, nav, h.String()),
+		PageTruth{Kind: KindHome, Category: CatHotels, EntityIDs: []string{hot.ID},
+			Attrs: truthAttrs("name", hot.Name, "street", hot.Street,
+				"city", hot.City, "phone", hot.Phone)})
+
+	rng := rand.New(rand.NewSource(w.mix("hotelsite", p.Lo)))
+	var rooms hb
+	rooms.el("h1", "", "Rooms at "+hot.Name)
+	rooms.open("ul", `class="rooms"`)
+	for _, kind := range []string{"Standard Queen", "Double Double", "King Suite"} {
+		rooms.open("li", `class="room"`)
+		rooms.el("span", `class="room-name"`, kind)
+		rooms.el("span", `class="room-rate"`, fmt.Sprintf("$%d.00", 89+10*rng.Intn(12)))
+		rooms.close("li")
+	}
+	rooms.close("ul")
+	sp.add("/rooms", pageShell("Rooms - "+hot.Name, p.Host, nav, rooms.String()),
+		PageTruth{Kind: KindPortalLeaf, Category: CatHotels, EntityIDs: []string{hot.ID}})
+
+	var rates hb
+	rates.el("h1", "", "Rates and Policies")
+	rates.el("p", "", fmt.Sprintf("Nightly rates from $%d.00. Call %s for group bookings.",
+		89+10*rng.Intn(8), hot.Phone))
+	sp.add("/rates", pageShell("Rates - "+hot.Name, p.Host, nav, rates.String()),
+		PageTruth{Kind: KindPortalLeaf, Category: CatHotels, EntityIDs: []string{hot.ID}})
+
+	var loc hb
+	loc.el("h1", "", "Find "+hot.Name)
+	loc.el("p", `class="address"`, fmt.Sprintf("%s, %s, CA", hot.Street, hot.City))
+	loc.el("p", `class="phone"`, "Front desk: "+hot.Phone)
+	sp.add("/location", pageShell("Location - "+hot.Name, p.Host, nav, loc.String()),
+		PageTruth{Kind: KindLocation, Category: CatHotels, EntityIDs: []string{hot.ID},
+			Attrs: truthAttrs("street", hot.Street, "city", hot.City, "phone", hot.Phone)})
+
+	for j := 0; j < p.Size-4; j++ {
+		pv := variantOf(p, "/deals-"+strconv.Itoa(j))
+		var b hb
+		b.el("h1", "", fmt.Sprintf("Special offer %d", j+1))
+		b.el("p", "", fmt.Sprintf("Stay two nights at %s in %s and save. Mention offer %d when booking.",
+			hot.Name, hot.City, j+1))
+		sp.add("/deals-"+strconv.Itoa(j),
+			pageShell(fmt.Sprintf("Offer %d - %s", j+1, hot.Name), p.Host, nav, vwrap(pv, b.String())),
+			PageTruth{Kind: KindPortalLeaf, Category: CatHotels, EntityIDs: []string{hot.ID}})
+	}
+	return sp.pages
+}
+
+// --- event calendar site (tail) ---
+
+func (w *StreamWorld) genEventCal(p *SitePlan) []*Page {
+	sp := &sitePages{host: p.Host}
+	nav := stdNav(p.Host)
+
+	var root hb
+	root.el("h1", "", "Upcoming events")
+	root.open("ul", `class="calendar"`)
+	for i := p.Lo; i < p.Hi; i++ {
+		e := w.eventAt(i)
+		root.open("li", `class="event"`)
+		root.a(p.Host+w.eventPath(e, i), e.Name)
+		root.el("span", `class="date"`, e.Date)
+		root.close("li")
+	}
+	root.close("ul")
+	sp.add("/", pageShell("Events - "+p.Host, p.Host, nav, root.String()),
+		PageTruth{Kind: KindPortalIndex, Category: CatEvents})
+
+	for i := p.Lo; i < p.Hi; i++ {
+		e := w.eventAt(i)
+		v := variantOf(p, w.eventPath(e, i))
+		var h hb
+		h.el("h1", "", e.Name)
+		if v%2 == 0 {
+			h.el("p", "", fmt.Sprintf("Join us for the %s at %s on %s.", e.Name, e.Venue, e.Date))
+			h.el("p", `class="where"`, "Where: "+e.Venue+", "+e.City)
+		} else {
+			h.el("p", `class="when"`, "When: "+e.Date)
+			h.el("p", `class="where"`, "Where: "+e.Venue+", "+e.City)
+			h.el("p", "", "Gates open at noon and admission is free.")
+		}
+		sp.add(w.eventPath(e, i),
+			pageShell(e.Name+" - "+p.Host, p.Host, nav, vwrap(v, h.String())),
+			PageTruth{Kind: KindEvent, Category: CatEvents, EntityIDs: []string{e.ID},
+				Attrs: truthAttrs("name", e.Name, "city", e.City, "venue", e.Venue, "date", e.Date)})
+	}
+
+	sp.addBoilerplate(nav)
+	return sp.pages
+}
+
+func (w *StreamWorld) eventPath(e *Event, i int) string {
+	return "/e/" + slugify(e.Name) + "-" + strconv.Itoa(i)
+}
+
+// --- metro portal (tail) ---
+
+func (w *StreamWorld) genPortal(p *SitePlan) []*Page {
+	sp := &sitePages{host: p.Host}
+	nav := stdNav(p.Host)
+	nLeaves := p.Size - 5
+	voice := p.Index % 3
+
+	type leafRef struct {
+		path, title string
+	}
+	var refs []leafRef
+	leafPaths := make([]string, nLeaves)
+	for j := 0; j < nLeaves; j++ {
+		leafPaths[j] = "/guide/entry-" + strconv.Itoa(j)
+	}
+
+	for j := 0; j < nLeaves; j++ {
+		rng := rand.New(rand.NewSource(w.mix("portal-leaf", p.Index*100000+j)))
+		v := variantOf(p, leafPaths[j])
+		var b hb
+		var title string
+		var truth PageTruth
+		switch j % 3 {
+		case 0: // dining leaf
+			r := w.restaurantAt(rng.Intn(w.nRest))
+			title = r.Name
+			b.el("h2", "", r.Name)
+			b.el("p", "", fmt.Sprintf(diningVoice[voice], r.Name, r.Cuisine, r.Street, r.Phone, r.Menu[0]))
+			truth = PageTruth{Kind: KindPortalLeaf, Category: CatRestaurants, EntityIDs: []string{r.ID}}
+		case 1: // hotel leaf
+			hot := w.hotelAt(rng.Intn(w.nHotel))
+			title = hot.Name
+			b.el("h2", "", hot.Name)
+			b.el("p", "", fmt.Sprintf(hotelVoice[voice], hot.Name, hot.Street, hot.Phone))
+			truth = PageTruth{Kind: KindPortalLeaf, Category: CatHotels, EntityIDs: []string{hot.ID}}
+		default: // attraction filler
+			title = titleCase(pick(rng, attractionWords))
+			b.el("h2", "", title)
+			b.el("p", "", fmt.Sprintf(attractionVoice[voice], title, "the metro area"))
+			truth = PageTruth{Kind: KindPortalLeaf, Category: CatAttractions}
+		}
+		refs = append(refs, leafRef{leafPaths[j], title})
+		sp.add(leafPaths[j], pageShell(title+" - "+p.Host, p.Host, nav, vwrap(v, b.String())), truth)
+	}
+
+	var idx hb
+	idx.el("h1", "", "Metro guide")
+	idx.open("ul", `class="dir-list"`)
+	for _, ref := range refs {
+		idx.open("li", "")
+		idx.a(p.Host+ref.path, ref.title)
+		idx.close("li")
+	}
+	idx.close("ul")
+	sp.add("/guide/", pageShell("Guide - "+p.Host, p.Host, nav, idx.String()),
+		PageTruth{Kind: KindPortalIndex, Category: CatOther})
+
+	var root hb
+	root.el("h1", "", "Welcome to "+p.Host)
+	root.open("ul", `class="sections"`)
+	root.open("li", "")
+	root.a(p.Host+"/guide/", "Guide")
+	root.close("li")
+	root.close("ul")
+	sp.add("/", pageShell(p.Host, p.Host, nav, root.String()),
+		PageTruth{Kind: KindPortalIndex, Category: CatOther})
+
+	sp.addBoilerplate(nav)
+	return sp.pages
+}
+
+// --- review blog (tail) ---
+
+func (w *StreamWorld) genBlog(p *SitePlan) []*Page {
+	sp := &sitePages{host: p.Host}
+	nav := stdNav(p.Host)
+	nPosts := p.Size - 4
+
+	var root hb
+	root.el("h1", "", p.Host)
+	root.open("ul", `class="posts"`)
+	for j := 0; j < nPosts; j++ {
+		root.open("li", "")
+		root.a(p.Host+"/post/"+strconv.Itoa(j), fmt.Sprintf("Dinner notes %d", j+1))
+		root.close("li")
+	}
+	root.close("ul")
+	sp.add("/", pageShell(p.Host, p.Host, nav, root.String()),
+		PageTruth{Kind: KindSiteIndex, Category: CatOther})
+
+	for j := 0; j < nPosts; j++ {
+		rng := rand.New(rand.NewSource(w.mix("blogpost", p.Index*10000+j)))
+		r := w.restaurantAt(rng.Intn(w.nRest))
+		v := variantOf(p, "/post/"+strconv.Itoa(j))
+		mention := r.NameVariant(rng.Intn(3))
+		dish := r.Menu[rng.Intn(len(r.Menu))]
+		dish2 := r.Menu[rng.Intn(len(r.Menu))]
+		title := "Dinner notes: " + mention
+		var b hb
+		b.el("h1", `class="post-title"`, title)
+		b.el("p", "", fmt.Sprintf(
+			"Stopped by %s in %s last week. The %s was outstanding and the %s is arguably the best %s in %s.",
+			mention, r.City, dish, dish2, dish2, r.City))
+		sp.add("/post/"+strconv.Itoa(j),
+			pageShell(title, p.Host, nav, vwrap(v, b.String())),
+			PageTruth{Kind: KindReviewPost, Category: CatOther, EntityIDs: []string{r.ID}})
+	}
+
+	sp.addBoilerplate(nav)
+	return sp.pages
+}

@@ -1,0 +1,505 @@
+package webgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Streaming heavy-tail world generation (ISSUE 9 tentpole layer 1).
+//
+// Generate() materializes every page of the world up front — fine at 2011
+// pages, fatal at 100k–1M. StreamWorld never holds the world: it computes a
+// deterministic *site plan* (one small struct per site) and regenerates any
+// site's pages on demand from pure functions of (seed, kind, index). Entity
+// ground truth is likewise derived, not stored: restaurant i is the same
+// restaurant every time restaurantAt(i) is called, on every site that
+// covers it, with zero resident entity state.
+//
+// The site-size distribution follows Dalvi et al.'s measurements ("An
+// Analysis of Structured Data on the Web", PAPERS.md): a handful of huge
+// aggregator sites (capped near 10k pages) carry roughly AggregatorShare
+// of all pages, and the rest is a long tail of 5–50-page sites drawn from
+// a discrete power law with exponent TailAlpha. Template diversity is also
+// per their wrapper findings: each host renders its pages through 1–6
+// layout variants (marked layout-v<N> in the HTML), so wrapper-style
+// assumptions of one template per site are wrong here, as on the real web.
+//
+// Beyond the default world's restaurant focus, the stream adds two more
+// extractable domains: hotels (aggregators + standalone hotel sites,
+// extracted by extract.HotelDomain) and events (dedicated calendar sites,
+// extracted by the existing EventDomain).
+
+// Stream site kinds.
+const (
+	SiteAggRestaurant = "agg-restaurant" // restaurant aggregator (huge)
+	SiteAggHotel      = "agg-hotel"      // hotel aggregator (huge)
+	SiteRestHome      = "rest-home"      // one restaurant's official site
+	SiteHotel         = "hotel-site"     // one hotel's official site
+	SiteEventCal      = "event-cal"      // event calendar site
+	SitePortal        = "metro-portal"   // mixed-entity metro guide
+	SiteBlog          = "blog"           // review blog
+)
+
+// StreamConfig controls a streamed heavy-tail world. Zero values take the
+// documented defaults; use HeavyTailConfig for the standard profile.
+type StreamConfig struct {
+	Seed int64
+	// TargetPages is the approximate world size; the planner lands within
+	// a few percent (PlannedPages reports the exact count).
+	TargetPages int
+	// AggregatorShare is the fraction of pages on aggregator sites
+	// (default 0.45).
+	AggregatorShare float64
+	// TailAlpha is the power-law exponent for tail site sizes on [5,50]
+	// (default 2.2: many 5-page sites, few 50-page ones).
+	TailAlpha float64
+	// MaxAggregatorPages caps any single aggregator (default 10000).
+	MaxAggregatorPages int
+	// ListPageSize is entities per paginated listing page (default 40).
+	ListPageSize int
+}
+
+// HeavyTailConfig returns the standard heavy-tail profile for ~pages pages.
+func HeavyTailConfig(pages int) StreamConfig {
+	return StreamConfig{Seed: 1, TargetPages: pages}
+}
+
+func (c *StreamConfig) fill() {
+	if c.TargetPages <= 0 {
+		c.TargetPages = 20000
+	}
+	if c.TargetPages < 2000 {
+		c.TargetPages = 2000
+	}
+	if c.AggregatorShare <= 0 || c.AggregatorShare >= 1 {
+		c.AggregatorShare = 0.45
+	}
+	if c.TailAlpha <= 1 {
+		c.TailAlpha = 2.2
+	}
+	if c.MaxAggregatorPages <= 0 {
+		c.MaxAggregatorPages = 10000
+	}
+	if c.ListPageSize <= 0 {
+		c.ListPageSize = 40
+	}
+}
+
+// SitePlan is the resident footprint of one planned site: everything
+// needed to regenerate its pages, and nothing else.
+type SitePlan struct {
+	Host string
+	Kind string
+	// Index is the global site index (template/seed mixing).
+	Index int
+	// Size is the exact number of pages the site emits.
+	Size int
+	// Lo and Hi delimit the entity range the site is about; their meaning
+	// depends on Kind (single entity for official sites, a range for
+	// calendars, unused for aggregators whose coverage is hash-derived).
+	Lo, Hi int
+	// CovPermille is the aggregator coverage of its entity pool, in 1/1000.
+	CovPermille int
+	// Variants is how many template variants this host renders with.
+	Variants int
+}
+
+// StreamWorld is a planned heavy-tail world whose pages are generated on
+// demand, site by site. Safe for concurrent Fetch.
+type StreamWorld struct {
+	Cfg StreamConfig
+
+	plans  []SitePlan
+	byHost map[string]int
+	cities []string
+	nRest  int
+	nHotel int
+	total  int
+
+	mu         sync.Mutex
+	siteCache  map[string][]*Page // host -> generated pages
+	cacheByURL map[string]map[string]*Page
+	cacheOrder []string // LRU, most recent last
+}
+
+const fetchCacheSites = 8
+
+// NewStreamWorld plans a heavy-tail world. Planning is cheap (no pages are
+// generated) and fully deterministic in cfg.
+func NewStreamWorld(cfg StreamConfig) *StreamWorld {
+	cfg.fill()
+	w := &StreamWorld{
+		Cfg:        cfg,
+		byHost:     make(map[string]int),
+		siteCache:  make(map[string][]*Page),
+		cacheByURL: make(map[string]map[string]*Page),
+	}
+	w.cities = scaleCityList(cfg.TargetPages)
+	w.plan()
+	return w
+}
+
+// scaleCityList grows the city gazetteer with world size: the 10 default
+// cities plus synthetic ones, bounded so gazetteer matching stays cheap.
+func scaleCityList(pages int) []string {
+	n := 10 + pages/6000
+	if n > 36 {
+		n = 36
+	}
+	out := append([]string(nil), cityNames...)
+	for i := 0; len(out) < n; i++ {
+		c := cityPrefix[i%len(cityPrefix)] + citySuffix[(i/len(cityPrefix))%len(citySuffix)]
+		out = append(out, c)
+	}
+	return out[:n]
+}
+
+// scaleZipBase returns the deterministic zip prefix for city index ci,
+// always in the recognizer's 9xxxx range.
+func scaleZipBase(ci int) int { return 90000 + (ci*937)%9990 }
+
+// Syllable pools for entity names. Composing the first token from two
+// syllables gives ~500 distinct leading tokens, which keeps the matcher's
+// name-token blocks small at corpus scale (a word-list first token would
+// put thousands of candidates in one block and make collective matching
+// quadratic in them).
+var nameSyllA = []string{
+	"Zan", "Mor", "Vel", "Tor", "Bran", "Cas", "Del", "Fen", "Gal", "Hol",
+	"Jas", "Kel", "Lun", "Nor", "Os", "Pel", "Quin", "Ras", "Sal", "Tam",
+	"Ul", "Ver", "Wes", "Yar",
+}
+
+var nameSyllB = []string{
+	"vo", "dale", "mont", "brook", "field", "haven", "ridge", "ton",
+	"mere", "wick", "ford", "stone", "gate", "crest", "well", "marsh",
+	"den", "low", "bury", "col",
+}
+
+var cityPrefix = []string{
+	"North", "East", "West", "South", "Lake", "Glen", "Fair", "Cedar",
+	"Oak", "Pine", "River", "Summit", "Harbor",
+}
+
+var citySuffix = []string{"vale", "brook", "port", "crest", "wood", "view", "ton", "field"}
+
+var hotelSuffix = []string{"Hotel", "Inn", "Suites", "Lodge", "Resort"}
+
+// mix derives a stable sub-seed from the world seed, a kind tag, and an
+// index — the whole trick behind zero-memory entities.
+func (w *StreamWorld) mix(kind string, i int) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(w.Cfg.Seed))
+	h.Write(b[:])
+	h.Write([]byte(kind))
+	binary.LittleEndian.PutUint64(b[:], uint64(i))
+	h.Write(b[:])
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// permille hashes (host, salt, i) to [0,1000) for coverage decisions.
+func permille(host, salt string, i int) int {
+	h := fnv.New64a()
+	h.Write([]byte(host))
+	h.Write([]byte(salt))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(i))
+	h.Write(b[:])
+	return int(h.Sum64() % 1000)
+}
+
+// --- pure-function entities ---
+
+// restaurantAt derives restaurant i. Same i, same restaurant, forever.
+func (w *StreamWorld) restaurantAt(i int) *Restaurant {
+	rng := rand.New(rand.NewSource(w.mix("rest", i)))
+	first := nameSyllA[rng.Intn(len(nameSyllA))] + nameSyllB[rng.Intn(len(nameSyllB))]
+	name := first + " " + pick(rng, restaurantSecond) + " " + pick(rng, restaurantSuffix)
+	ci := rng.Intn(len(w.cities))
+	cuisine := pick(rng, cuisines)
+	return &Restaurant{
+		ID:      fmt.Sprintf("srest-%06d", i),
+		Name:    name,
+		Street:  fmt.Sprintf("%d %s", 100+rng.Intn(9900), pick(rng, streetNames)),
+		City:    w.cities[ci],
+		State:   "CA",
+		Zip:     fmt.Sprintf("%05d", scaleZipBase(ci)+rng.Intn(3)),
+		Phone:   formatPhone(200+(i*131)%800, 100+(i*17)%900, i%10000, 0),
+		Cuisine: cuisine,
+		Price:   priceDollars(rng),
+		Rating:  float64(20+rng.Intn(31)) / 10,
+		Hours:   fmt.Sprintf("Mon-Sun %d:00-%d:00", 10+rng.Intn(2), 20+rng.Intn(3)),
+		Menu:    pickN(rng, menuItems[cuisine], 4+rng.Intn(4)),
+	}
+}
+
+// hotelAt derives hotel i.
+func (w *StreamWorld) hotelAt(i int) *Hotel {
+	rng := rand.New(rand.NewSource(w.mix("hotel", i)))
+	name := nameSyllA[rng.Intn(len(nameSyllA))] + nameSyllB[rng.Intn(len(nameSyllB))] +
+		" " + pick(rng, hotelSuffix)
+	ci := rng.Intn(len(w.cities))
+	return &Hotel{
+		ID:     fmt.Sprintf("shot-%06d", i),
+		Name:   name,
+		City:   w.cities[ci],
+		Street: fmt.Sprintf("%d %s", 100+rng.Intn(9900), pick(rng, streetNames)),
+		Phone:  formatPhone(200+(i*73)%800, 100+(i*29)%900, (i+5000)%10000, 0),
+	}
+}
+
+// eventAt derives event i.
+func (w *StreamWorld) eventAt(i int) *Event {
+	rng := rand.New(rand.NewSource(w.mix("event", i)))
+	city := w.cities[rng.Intn(len(w.cities))]
+	return &Event{
+		ID:    fmt.Sprintf("sev-%06d", i),
+		Name:  titleCase(pick(rng, eventKinds)) + fmt.Sprintf(" %d", 1+i%97),
+		City:  city,
+		Venue: city + " " + pick(rng, []string{"Community Center", "Fairgrounds", "Civic Plaza", "Amphitheater"}),
+		Date:  fmt.Sprintf("2009-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)),
+	}
+}
+
+func priceDollars(rng *rand.Rand) string {
+	n := 1 + rng.Intn(4)
+	return "$$$$"[:n]
+}
+
+// --- planning ---
+
+// Aggregator coverage ladders (permille of the entity pool).
+var aggRestCov = []int{950, 600, 350}
+var aggHotelCov = []int{900, 500}
+
+var aggRestHosts = []string{"dinefind.example", "tastemap.example", "localplates.example"}
+var aggHotelHosts = []string{"stayscan.example", "roomlister.example"}
+
+func (w *StreamWorld) plan() {
+	cfg := &w.Cfg
+	n := cfg.TargetPages
+	l := float64(cfg.ListPageSize)
+	aggBudget := float64(n) * cfg.AggregatorShare
+	listFactor := 1 + 1/l
+
+	// Size the entity pools so aggregator coverage sums spend the budget.
+	var sumR, sumH float64
+	for _, c := range aggRestCov {
+		sumR += float64(c) / 1000
+	}
+	for _, c := range aggHotelCov {
+		sumH += float64(c) / 1000
+	}
+	w.nRest = int(aggBudget * 0.6 / (sumR * listFactor))
+	w.nHotel = int(aggBudget * 0.4 / (sumH * listFactor))
+
+	siteIdx := 0
+	addPlan := func(p SitePlan) {
+		p.Index = siteIdx
+		siteIdx++
+		w.byHost[p.Host] = len(w.plans)
+		w.plans = append(w.plans, p)
+		w.total += p.Size
+	}
+
+	// Aggregators: exact sizes come from counting the same hash-coverage
+	// predicate generation will use.
+	maxBiz := cfg.MaxAggregatorPages - cfg.MaxAggregatorPages/cfg.ListPageSize - 4
+	for j, host := range aggRestHosts {
+		biz := w.countCovered(host, w.nRest, aggRestCov[j], maxBiz)
+		addPlan(SitePlan{Host: host, Kind: SiteAggRestaurant,
+			Size:        biz + ceilDiv(biz, cfg.ListPageSize) + 4,
+			CovPermille: aggRestCov[j], Variants: 3 + j})
+	}
+	for j, host := range aggHotelHosts {
+		biz := w.countCovered(host, w.nHotel, aggHotelCov[j], maxBiz)
+		addPlan(SitePlan{Host: host, Kind: SiteAggHotel,
+			Size:        biz + ceilDiv(biz, cfg.ListPageSize) + 4,
+			CovPermille: aggHotelCov[j], Variants: 2 + j})
+	}
+
+	// Long tail: power-law sizes, site kinds in fixed proportions.
+	remaining := n - w.total
+	prng := rand.New(rand.NewSource(w.mix("plan", 0)))
+	restIdx, hotelIdx, eventIdx := 0, 0, 0
+	calCount, portalCount, blogCount := 0, 0, 0
+	for remaining >= 5 {
+		size := powerLawSize(prng.Float64(), cfg.TailAlpha)
+		if size > remaining {
+			size = remaining
+		}
+		k := prng.Float64()
+		switch {
+		case k < 0.30 && restIdx < w.nRest:
+			r := w.restaurantAt(restIdx)
+			host := fmt.Sprintf("%s-%d.example", slugify(r.Name), restIdx)
+			addPlan(SitePlan{Host: host, Kind: SiteRestHome, Size: size,
+				Lo: restIdx, Variants: 1 + prng.Intn(3)})
+			restIdx++
+		case k < 0.50 && hotelIdx < w.nHotel:
+			h := w.hotelAt(hotelIdx)
+			host := fmt.Sprintf("hotel-%s-%d.example", slugify(h.Name), hotelIdx)
+			addPlan(SitePlan{Host: host, Kind: SiteHotel, Size: size,
+				Lo: hotelIdx, Variants: 1 + prng.Intn(3)})
+			hotelIdx++
+		case k < 0.70:
+			host := fmt.Sprintf("events-%04d.example", calCount)
+			calCount++
+			nEv := size - 4
+			addPlan(SitePlan{Host: host, Kind: SiteEventCal, Size: size,
+				Lo: eventIdx, Hi: eventIdx + nEv, Variants: 1 + prng.Intn(3)})
+			eventIdx += nEv
+		case k < 0.85:
+			if size < 8 {
+				size = 8
+			}
+			host := fmt.Sprintf("metroguide-%04d.example", portalCount)
+			portalCount++
+			addPlan(SitePlan{Host: host, Kind: SitePortal, Size: size,
+				Variants: 1 + prng.Intn(4)})
+		default:
+			host := fmt.Sprintf("eats-%04d.example", blogCount)
+			blogCount++
+			addPlan(SitePlan{Host: host, Kind: SiteBlog, Size: size,
+				Variants: 1 + prng.Intn(3)})
+		}
+		remaining = n - w.total
+	}
+}
+
+// countCovered counts entities an aggregator covers: the planning-time twin
+// of the generation-time coverage walk, so planned sizes are exact.
+func (w *StreamWorld) countCovered(host string, pool, cov, maxBiz int) int {
+	n := 0
+	for i := 0; i < pool && n < maxBiz; i++ {
+		if permille(host, "cov", i) < cov {
+			n++
+		}
+	}
+	return n
+}
+
+// coveredEntities returns the entity indexes an aggregator covers.
+func (w *StreamWorld) coveredEntities(host string, pool, cov, maxBiz int) []int {
+	out := make([]int, 0, pool)
+	for i := 0; i < pool && len(out) < maxBiz; i++ {
+		if permille(host, "cov", i) < cov {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// powerLawSize samples a discrete power-law site size on [5,50] by inverse
+// transform: P(s) ∝ s^-alpha.
+func powerLawSize(u, alpha float64) int {
+	a := 1 - alpha
+	lo := math.Pow(5, a)
+	hi := math.Pow(51, a)
+	s := int(math.Pow(lo+u*(hi-lo), 1/a))
+	if s < 5 {
+		s = 5
+	}
+	if s > 50 {
+		s = 50
+	}
+	return s
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// --- world API ---
+
+// PlannedPages returns the exact page count the stream will emit.
+func (w *StreamWorld) PlannedPages() int { return w.total }
+
+// Plans returns the site plans (read-only; do not mutate).
+func (w *StreamWorld) Plans() []SitePlan { return w.plans }
+
+// Cities returns the scaled city gazetteer.
+func (w *StreamWorld) Cities() []string {
+	return append([]string(nil), w.cities...)
+}
+
+// Restaurants and Hotels report entity pool sizes.
+func (w *StreamWorld) Restaurants() int { return w.nRest }
+
+// Hotels reports the hotel entity pool size.
+func (w *StreamWorld) Hotels() int { return w.nHotel }
+
+// EachPage generates the world site by site, calling fn for every page in
+// deterministic order. Memory high-water is one site's pages (≤ the
+// aggregator cap), never the world.
+func (w *StreamWorld) EachPage(fn func(*Page) error) error {
+	for i := range w.plans {
+		for _, p := range w.genSite(&w.plans[i]) {
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StreamPages adapts EachPage to a raw (url, html) emitter — the shape
+// core.BuildStream ingests.
+func (w *StreamWorld) StreamPages(emit func(url, html string) error) error {
+	return w.EachPage(func(p *Page) error { return emit(p.URL, p.HTML) })
+}
+
+// SeedURLs returns every site root, mirroring World.SeedURLs.
+func (w *StreamWorld) SeedURLs() []string {
+	out := make([]string, 0, len(w.plans))
+	for i := range w.plans {
+		out = append(out, w.plans[i].Host+"/")
+	}
+	return out
+}
+
+// Fetch implements webgraph.Fetcher by regenerating the owning site, with a
+// small LRU of recently generated sites (the crawler's sorted frontier is
+// host-clustered, so locality is high).
+func (w *StreamWorld) Fetch(url string) (string, error) {
+	host, _ := splitHostPath(url)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	byURL, ok := w.cacheByURL[host]
+	if !ok {
+		pi, found := w.byHost[host]
+		if !found {
+			return "", fmt.Errorf("webgen: no site at %s", host)
+		}
+		pages := w.genSite(&w.plans[pi])
+		byURL = make(map[string]*Page, len(pages))
+		for _, p := range pages {
+			byURL[p.URL] = p
+		}
+		w.siteCache[host] = pages
+		w.cacheByURL[host] = byURL
+		w.cacheOrder = append(w.cacheOrder, host)
+		if len(w.cacheOrder) > fetchCacheSites {
+			evict := w.cacheOrder[0]
+			w.cacheOrder = w.cacheOrder[1:]
+			delete(w.siteCache, evict)
+			delete(w.cacheByURL, evict)
+		}
+	}
+	p, ok := byURL[url]
+	if !ok {
+		return "", fmt.Errorf("webgen: no page at %s", url)
+	}
+	return p.HTML, nil
+}
+
+func splitHostPath(url string) (host, path string) {
+	for i := 0; i < len(url); i++ {
+		if url[i] == '/' {
+			return url[:i], url[i:]
+		}
+	}
+	return url, "/"
+}

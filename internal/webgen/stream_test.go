@@ -1,0 +1,189 @@
+package webgen
+
+import (
+	"regexp"
+	"testing"
+)
+
+// The streamed world's contract: plans are exact, the size distribution is
+// heavy-tailed, hosts render through multiple template variants, the page
+// mix spans domains, and everything is a pure function of the seed.
+
+func streamWorld(t *testing.T, pages int) *StreamWorld {
+	t.Helper()
+	return NewStreamWorld(HeavyTailConfig(pages))
+}
+
+func TestStreamPlanMatchesEmission(t *testing.T) {
+	w := streamWorld(t, 20000)
+	if got := w.PlannedPages(); got < 19000 || got > 21500 {
+		t.Fatalf("PlannedPages = %d, want within a few %% of 20000", got)
+	}
+	perSite := make(map[string]int)
+	count := 0
+	if err := w.EachPage(func(p *Page) error {
+		count++
+		perSite[p.Truth.Site]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != w.PlannedPages() {
+		t.Fatalf("emitted %d pages, planned %d", count, w.PlannedPages())
+	}
+	for _, pl := range w.Plans() {
+		if perSite[pl.Host] != pl.Size {
+			t.Errorf("site %s (%s): plan says %d pages, generator emitted %d",
+				pl.Host, pl.Kind, pl.Size, perSite[pl.Host])
+		}
+	}
+}
+
+func TestStreamHeavyTailDistribution(t *testing.T) {
+	w := streamWorld(t, 20000)
+	plans := w.Plans()
+
+	var aggPages, total, small, large int
+	maxSite := 0
+	for _, p := range plans {
+		total += p.Size
+		agg := p.Kind == SiteAggRestaurant || p.Kind == SiteAggHotel
+		if agg {
+			aggPages += p.Size
+		}
+		if p.Size > maxSite {
+			maxSite = p.Size
+		}
+		if !agg {
+			if p.Size < 5 || p.Size > 50 {
+				t.Errorf("tail site %s has size %d outside [5,50]", p.Host, p.Size)
+			}
+			if p.Size <= 9 {
+				small++
+			}
+			if p.Size >= 40 {
+				large++
+			}
+		}
+	}
+	// A few huge aggregators carry roughly AggregatorShare of all pages.
+	share := float64(aggPages) / float64(total)
+	if share < 0.30 || share > 0.60 {
+		t.Errorf("aggregator page share = %.2f, want near 0.45", share)
+	}
+	if maxSite < 1000 {
+		t.Errorf("largest site has %d pages; want a corpus-dominating aggregator", maxSite)
+	}
+	// Power-law sanity: 5–9-page sites vastly outnumber 40–50-page sites.
+	if small < 5*large {
+		t.Errorf("tail not heavy: %d small sites vs %d large", small, large)
+	}
+}
+
+var layoutRe = regexp.MustCompile(`layout-v([0-9]+)`)
+
+func TestStreamTemplateVariantsPerHost(t *testing.T) {
+	w := streamWorld(t, 20000)
+	variants := make(map[string]map[string]bool) // host -> set of layout markers
+	if err := w.EachPage(func(p *Page) error {
+		for _, m := range layoutRe.FindAllStringSubmatch(p.HTML, -1) {
+			set := variants[p.Truth.Site]
+			if set == nil {
+				set = make(map[string]bool)
+				variants[p.Truth.Site] = set
+			}
+			set[m[1]] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, pl := range w.Plans() {
+		got := len(variants[pl.Host])
+		if got > pl.Variants {
+			t.Errorf("host %s renders %d layout variants, plan allows %d", pl.Host, got, pl.Variants)
+		}
+		// Large sites with >1 allowed variant should actually exercise >1.
+		if pl.Variants > 1 && pl.Size >= 100 && got < 2 {
+			t.Errorf("host %s (size %d, %d variants allowed) rendered only %d", pl.Host, pl.Size, pl.Variants, got)
+		}
+		if got > 1 {
+			multi++
+		}
+	}
+	if multi < 10 {
+		t.Errorf("only %d hosts render multiple template variants; want per-site wrapper diversity", multi)
+	}
+}
+
+func TestStreamCrossDomainMix(t *testing.T) {
+	w := streamWorld(t, 20000)
+	cats := make(map[string]int)
+	if err := w.EachPage(func(p *Page) error {
+		cats[p.Truth.Category]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range []string{CatRestaurants, CatHotels, CatEvents} {
+		if cats[cat] < 100 {
+			t.Errorf("category %s has only %d pages; want a real cross-domain mix (got %v)", cat, cats[cat], cats)
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	w1 := streamWorld(t, 5000)
+	w2 := streamWorld(t, 5000)
+	var pages1 []*Page
+	if err := w1.EachPage(func(p *Page) error { pages1 = append(pages1, p); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	err := w2.EachPage(func(p *Page) error {
+		if i >= len(pages1) {
+			t.Fatalf("second run emitted more than %d pages", len(pages1))
+		}
+		if p.URL != pages1[i].URL || p.HTML != pages1[i].HTML {
+			t.Fatalf("page %d differs between runs: %s vs %s", i, p.URL, pages1[i].URL)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(pages1) {
+		t.Fatalf("second run emitted %d pages, first %d", i, len(pages1))
+	}
+}
+
+func TestStreamFetchMatchesStream(t *testing.T) {
+	w := streamWorld(t, 5000)
+	// Sample every 97th page and check Fetch returns identical bytes.
+	n := 0
+	if err := w.EachPage(func(p *Page) error {
+		n++
+		if n%97 != 0 {
+			return nil
+		}
+		html, err := w.Fetch(p.URL)
+		if err != nil {
+			t.Fatalf("Fetch(%s): %v", p.URL, err)
+		}
+		if html != p.HTML {
+			t.Fatalf("Fetch(%s) differs from streamed page", p.URL)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Fetch("no-such-host.example/"); err == nil {
+		t.Fatal("Fetch of unknown host should fail")
+	}
+	seeds := w.SeedURLs()
+	if len(seeds) != len(w.Plans()) {
+		t.Fatalf("SeedURLs returned %d, want %d", len(seeds), len(w.Plans()))
+	}
+}

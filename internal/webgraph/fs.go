@@ -1,0 +1,98 @@
+package webgraph
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pageFS abstracts the filesystem operations the disk-backed page store
+// performs, mirroring the storeFS seam in internal/lrec: tests inject
+// faults — kill a write mid-frame, fail a syscall — and prove the reopen
+// contract instead of assuming it (see segstore_test.go). Production code
+// always uses osFS.
+type pageFS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// Open opens for reading (replay and random page reads).
+	Open(name string) (pageFile, error)
+	// OpenFile opens with the given flags (the append-mode segment handle).
+	OpenFile(name string, flag int, perm os.FileMode) (pageFile, error)
+	// Truncate cuts the named file to size (torn-tail repair on reopen).
+	Truncate(name string, size int64) error
+	// ReadDir lists a directory's file names, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself so segment creation is durable.
+	SyncDir(dir string) error
+}
+
+// pageFile is the subset of *os.File the segment store uses. ReaderAt is
+// what distinguishes it from lrec's storeFile: page reads are random-access
+// preads at offsets recorded in the in-memory index.
+type pageFile interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Open(name string) (pageFile, error) { return os.Open(name) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (pageFile, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// segName returns the file name of segment n ("pages-0003.seg").
+func segName(n int) string { return fmt.Sprintf("pages-%04d.seg", n) }
+
+// segNum parses a segment number out of a file name, or -1.
+func segNum(name string) int {
+	if !strings.HasPrefix(name, "pages-") || !strings.HasSuffix(name, ".seg") {
+		return -1
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "pages-"), ".seg")
+	n := 0
+	for _, r := range mid {
+		if r < '0' || r > '9' {
+			return -1
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+func segPath(dir string, n int) string { return filepath.Join(dir, segName(n)) }

@@ -1,0 +1,379 @@
+package webgraph
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"conceptweb/internal/webgen"
+)
+
+// faultFS injects write failures through the pageFS seam, mirroring the
+// storeFS fault harness in internal/lrec: a budget of bytes may persist,
+// then writes fail — persisting their prefix first, like a real crash or a
+// full disk mid-append.
+type faultFS struct {
+	real osFS
+
+	mu        sync.Mutex
+	remaining int64 // write bytes until the fault trips; <0 = unlimited
+	tripped   bool
+}
+
+func (f *faultFS) MkdirAll(p string, perm os.FileMode) error { return f.real.MkdirAll(p, perm) }
+func (f *faultFS) Open(n string) (pageFile, error)           { return f.real.Open(n) }
+func (f *faultFS) OpenFile(n string, flag int, perm os.FileMode) (pageFile, error) {
+	file, err := f.real.OpenFile(n, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{pageFile: file, fs: f}, nil
+}
+func (f *faultFS) Truncate(n string, s int64) error   { return f.real.Truncate(n, s) }
+func (f *faultFS) ReadDir(d string) ([]string, error) { return f.real.ReadDir(d) }
+func (f *faultFS) SyncDir(d string) error             { return f.real.SyncDir(d) }
+
+type faultFile struct {
+	pageFile
+	fs *faultFS
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.fs.remaining < 0 {
+		return w.pageFile.Write(p)
+	}
+	if w.fs.tripped || int64(len(p)) > w.fs.remaining {
+		n := 0
+		if !w.fs.tripped && w.fs.remaining > 0 {
+			n, _ = w.pageFile.Write(p[:w.fs.remaining])
+		}
+		w.fs.tripped = true
+		w.fs.remaining = 0
+		return n, errors.New("faultfs: disk full")
+	}
+	w.fs.remaining -= int64(len(p))
+	return w.pageFile.Write(p)
+}
+
+func testPage(i int) *Page {
+	url := fmt.Sprintf("host-%02d.example/p/%04d", i%7, i)
+	html := fmt.Sprintf("<html><head><title>page %d</title></head><body><h1>Page %d</h1>"+
+		`<p>body text %d</p><a href="/p/%04d">next</a></body></html>`, i, i, i*i, i+1)
+	return NewPage(url, html)
+}
+
+func openDisk(t *testing.T, dir string, opts DiskOptions) *Store {
+	t.Helper()
+	s, err := OpenDiskStore(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenDiskStore: %v", err)
+	}
+	return s
+}
+
+// TestDiskStoreMatchesMemory drives both backends through the identical
+// Put/Get/Delete/re-Put sequence over the full default world (2011 pages)
+// and asserts every observable — membership, ordering, page bytes, hashes,
+// outlinks, change detection — agrees. Small segments force mid-world rolls.
+func TestDiskStoreMatchesMemory(t *testing.T) {
+	world := webgen.Generate(webgen.DefaultConfig())
+	mem := NewStore()
+	disk := openDisk(t, t.TempDir(), DiskOptions{CachePages: 64, SegmentBytes: 1 << 20})
+	defer disk.Close()
+
+	for _, wp := range world.Pages() {
+		p := NewPage(wp.URL, wp.HTML)
+		cm := mem.Put(NewPage(wp.URL, wp.HTML))
+		cd := disk.Put(p)
+		if cm != cd {
+			t.Fatalf("Put(%s): mem changed=%v disk changed=%v", wp.URL, cm, cd)
+		}
+	}
+	if err := disk.Err(); err != nil {
+		t.Fatalf("disk store latched: %v", err)
+	}
+
+	compare := func(stage string) {
+		t.Helper()
+		if mem.Len() != disk.Len() {
+			t.Fatalf("%s: Len mem=%d disk=%d", stage, mem.Len(), disk.Len())
+		}
+		if !reflect.DeepEqual(mem.URLs(), disk.URLs()) {
+			t.Fatalf("%s: URLs diverge", stage)
+		}
+		if !reflect.DeepEqual(mem.Hosts(), disk.Hosts()) {
+			t.Fatalf("%s: Hosts diverge", stage)
+		}
+		for _, h := range mem.Hosts() {
+			if !reflect.DeepEqual(mem.HostPages(h), disk.HostPages(h)) {
+				t.Fatalf("%s: HostPages(%s) diverge", stage, h)
+			}
+		}
+		for _, u := range mem.URLs() {
+			mp, err1 := mem.Get(u)
+			dp, err2 := disk.Get(u)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: Get(%s): mem err=%v disk err=%v", stage, u, err1, err2)
+			}
+			if mp.HTML != dp.HTML || mp.Hash != dp.Hash ||
+				!reflect.DeepEqual(mp.Outlinks, dp.Outlinks) {
+				t.Fatalf("%s: page %s differs between backends", stage, u)
+			}
+		}
+	}
+	compare("after put")
+
+	// Delete a spread of pages from both; Has and membership must agree.
+	urls := mem.URLs()
+	var deleted []string
+	for i := 0; i < len(urls); i += 7 {
+		u := urls[i]
+		dm, dd := mem.Delete(u), disk.Delete(u)
+		if !dm || !dd {
+			t.Fatalf("Delete(%s): mem=%v disk=%v", u, dm, dd)
+		}
+		deleted = append(deleted, u)
+	}
+	for _, u := range deleted {
+		if mem.Has(u) || disk.Has(u) {
+			t.Fatalf("deleted %s still present", u)
+		}
+	}
+	compare("after delete")
+
+	// Resurrect one deleted page with identical bytes: both backends must
+	// report changed=true (the delete forgot the hash — the §7.3 gone-page
+	// resurrection contract the maintenance loop depends on).
+	res := deleted[0]
+	html, _ := world.Fetch(res)
+	if cm, cd := mem.Put(NewPage(res, html)), disk.Put(NewPage(res, html)); !cm || !cd {
+		t.Fatalf("resurrection Put(%s): mem changed=%v disk changed=%v", res, cm, cd)
+	}
+	// And an unchanged re-Put reports false on both.
+	if cm, cd := mem.Put(NewPage(res, html)), disk.Put(NewPage(res, html)); cm || cd {
+		t.Fatalf("no-op Put(%s): mem changed=%v disk changed=%v", res, cm, cd)
+	}
+	compare("after resurrection")
+}
+
+// TestDiskStoreReopen: closing and reopening a directory reconstructs the
+// same store from segment frames alone, including deletes and overwrites.
+func TestDiskStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openDisk(t, dir, DiskOptions{SegmentBytes: 4 << 10})
+	const n = 200
+	for i := 0; i < n; i++ {
+		s.Put(testPage(i))
+	}
+	s.Delete(testPage(3).URL)
+	s.Delete(testPage(99).URL)
+	over := testPage(42)
+	over.HTML += "<!-- v2 -->"
+	s.Put(NewPage(over.URL, over.HTML))
+	wantURLs := s.URLs()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	r := openDisk(t, dir, DiskOptions{})
+	defer r.Close()
+	rec := r.DiskRecovery()
+	if rec.TornTail {
+		t.Error("clean close reported a torn tail")
+	}
+	if rec.Segments < 2 {
+		t.Errorf("expected multiple segments with 4KiB rolls, got %d", rec.Segments)
+	}
+	if rec.Frames != n+3 { // n puts + 2 deletes + 1 overwrite
+		t.Errorf("replayed %d frames, want %d", rec.Frames, n+3)
+	}
+	if !reflect.DeepEqual(r.URLs(), wantURLs) {
+		t.Fatal("URLs diverge after reopen")
+	}
+	if r.Has(testPage(3).URL) || r.Has(testPage(99).URL) {
+		t.Error("deleted pages survived reopen")
+	}
+	p, err := r.Get(over.URL)
+	if err != nil || p.HTML != over.HTML {
+		t.Fatalf("overwritten page after reopen: %v", err)
+	}
+	// The reopened store must keep appending correctly.
+	extra := testPage(9999)
+	if !r.Put(extra) {
+		t.Fatal("Put after reopen reported unchanged")
+	}
+	if p, err := r.Get(extra.URL); err != nil || p.HTML != extra.HTML {
+		t.Fatalf("page appended after reopen: %v", err)
+	}
+}
+
+// TestDiskStoreTornTailRepair: garbage appended past the last valid frame —
+// a crash mid-append — is truncated away on reopen, keeping every complete
+// frame and reporting the repair.
+func TestDiskStoreTornTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	s := openDisk(t, dir, DiskOptions{})
+	const n = 25
+	for i := 0; i < n; i++ {
+		s.Put(testPage(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Tear the tail: a partial frame that looks plausible up front.
+	torn := append(encodeFrame(framePut, "torn.example/x", "<html>half")[:20], 0xff, 0x07)
+	f, err := os.OpenFile(filepath.Join(dir, segName(0)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := openDisk(t, dir, DiskOptions{})
+	defer r.Close()
+	rec := r.DiskRecovery()
+	if !rec.TornTail {
+		t.Fatal("torn tail not detected")
+	}
+	if rec.TruncatedBytes != int64(len(torn)) {
+		t.Errorf("TruncatedBytes = %d, want %d", rec.TruncatedBytes, len(torn))
+	}
+	if rec.Frames != n {
+		t.Errorf("replayed %d frames, want %d", rec.Frames, n)
+	}
+	if r.Len() != n {
+		t.Errorf("Len = %d after repair, want %d", r.Len(), n)
+	}
+	// Appends after the repair must land at the truncated offset, not after
+	// the (now removed) garbage.
+	if !r.Put(testPage(500)) {
+		t.Fatal("Put after repair reported unchanged")
+	}
+	if p, err := r.Get(testPage(500).URL); err != nil || p.HTML != testPage(500).HTML {
+		t.Fatalf("Get after post-repair append: %v", err)
+	}
+}
+
+// TestDiskStoreCrashMidWrite drives the same torn-tail contract through the
+// fs seam: the fault filesystem persists only a prefix of one frame (a crash
+// mid-write), and a fresh open of the directory repairs it.
+func TestDiskStoreCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultFS{remaining: -1}
+	s := openDisk(t, dir, DiskOptions{fs: ffs, CachePages: 2})
+	const n = 10
+	for i := 0; i < n; i++ {
+		s.Put(testPage(i))
+	}
+	// Allow half of the next frame to reach disk, then fail.
+	ffs.mu.Lock()
+	ffs.remaining = 30
+	ffs.mu.Unlock()
+
+	victim := testPage(n)
+	if s.Put(victim) {
+		t.Fatal("Put during crash reported changed")
+	}
+	if s.Err() == nil {
+		t.Fatal("write failure did not latch the store")
+	}
+	// Latched means read-only, not dead: existing pages still serve (the
+	// 2-page cache has long evicted page 1, so this is a real segment
+	// pread), and further writes are rejected.
+	if _, err := s.Get(testPage(1).URL); err != nil {
+		t.Fatalf("read after latch: %v", err)
+	}
+	if s.Put(testPage(n + 1)) {
+		t.Error("Put accepted after latch")
+	}
+	if s.Delete(testPage(2).URL) {
+		t.Error("Delete accepted after latch")
+	}
+	s.Close()
+
+	r := openDisk(t, dir, DiskOptions{})
+	defer r.Close()
+	rec := r.DiskRecovery()
+	if !rec.TornTail {
+		t.Fatal("mid-write crash not detected as torn tail")
+	}
+	if rec.TruncatedBytes != 30 {
+		t.Errorf("TruncatedBytes = %d, want 30", rec.TruncatedBytes)
+	}
+	if r.Len() != n {
+		t.Fatalf("Len = %d after crash recovery, want %d", r.Len(), n)
+	}
+	if r.Has(victim.URL) {
+		t.Error("half-written page resurrected")
+	}
+	for i := 0; i < n; i++ {
+		if p, err := r.Get(testPage(i).URL); err != nil || p.HTML != testPage(i).HTML {
+			t.Fatalf("page %d lost in crash recovery: %v", i, err)
+		}
+	}
+}
+
+// TestDiskStoreCorruptMiddleSegment: a bad frame anywhere before the final
+// segment's tail is real corruption, not a torn tail — Open must refuse.
+func TestDiskStoreCorruptMiddleSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := openDisk(t, dir, DiskOptions{SegmentBytes: 2 << 10})
+	for i := 0; i < 60; i++ {
+		s.Put(testPage(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg0 := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg0, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskStore(dir, DiskOptions{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over corrupt middle segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDiskStoreScanBounded: Scan sees every page in sorted order through the
+// LRU even when the cache is far smaller than the corpus.
+func TestDiskStoreScanBounded(t *testing.T) {
+	s := openDisk(t, t.TempDir(), DiskOptions{CachePages: 4, SegmentBytes: 8 << 10})
+	defer s.Close()
+	const n = 120
+	for i := 0; i < n; i++ {
+		s.Put(testPage(i))
+	}
+	var got []string
+	s.Scan(func(p *Page) bool {
+		got = append(got, p.URL)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("Scan visited %d pages, want %d", len(got), n)
+	}
+	if !sortedStrings(got) {
+		t.Error("Scan order not sorted")
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}

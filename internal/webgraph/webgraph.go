@@ -89,31 +89,44 @@ func NewPage(url, html string) *Page {
 // use. Pages themselves (and their parsed htmlx DOMs) are immutable once
 // stored and cache nothing lazily, so the build pipeline's workers may read
 // the same *Page — including walking its Doc — from many goroutines at once.
+//
+// A Store is a facade over one of two backends: the default in-memory map
+// (every page and its parsed DOM resident, the right choice for tests and
+// laptop-scale worlds) or the disk-backed segment store opened with
+// OpenDiskStore, which keeps only an offset index and a bounded LRU of
+// parsed pages resident — the corpus-scale backend (see segstore.go). The
+// backend is invisible to callers: Get/Put/Delete/Scan behave identically.
 type Store struct {
-	mu     sync.RWMutex
-	pages  map[string]*Page
-	byHost map[string][]string
+	b backend
 }
 
-// NewStore returns an empty page store.
+// backend is the storage contract behind the Store facade. Implementations
+// must be safe for concurrent use.
+type backend interface {
+	put(p *Page) (changed bool, err error)
+	delete(url string) bool
+	get(url string) (*Page, error)
+	has(url string) bool
+	count() int
+	urls() []string
+	hosts() []string
+	hostPages(host string) []string
+	flush() error
+	close() error
+	err() error
+}
+
+// NewStore returns an empty in-memory page store.
 func NewStore() *Store {
-	return &Store{pages: make(map[string]*Page), byHost: make(map[string][]string)}
+	return &Store{b: &memBackend{pages: make(map[string]*Page), byHost: make(map[string][]string)}}
 }
 
 // Put adds or replaces a page. It reports whether the content changed
-// (true for new pages and modified bodies).
+// (true for new pages and modified bodies). On a disk-backed store a write
+// failure latches the store (see Err) and Put reports false.
 func (s *Store) Put(p *Page) (changed bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old, ok := s.pages[p.URL]
-	if ok && old.Hash == p.Hash {
-		return false
-	}
-	if !ok {
-		s.byHost[p.Host] = append(s.byHost[p.Host], p.URL)
-	}
-	s.pages[p.URL] = p
-	return true
+	changed, _ = s.b.put(p)
+	return changed
 }
 
 // Delete removes the page at url and reports whether it was present.
@@ -121,7 +134,78 @@ func (s *Store) Put(p *Page) (changed bool) {
 // web; forgetting the old content hash is what lets a page that later
 // reappears with identical bytes register as changed in Put and rejoin
 // the index.
-func (s *Store) Delete(url string) bool {
+func (s *Store) Delete(url string) bool { return s.b.delete(url) }
+
+// Get returns the page at url.
+func (s *Store) Get(url string) (*Page, error) { return s.b.get(url) }
+
+// Has reports whether a page is stored at url. On a disk-backed store this
+// is an index lookup — no segment read, no parse — so membership checks
+// (link-graph pruning, maintenance scheduling) stay cheap at corpus scale.
+func (s *Store) Has(url string) bool { return s.b.has(url) }
+
+// Len returns the number of stored pages.
+func (s *Store) Len() int { return s.b.count() }
+
+// URLs returns all stored URLs, sorted.
+func (s *Store) URLs() []string { return s.b.urls() }
+
+// Hosts returns all hosts with at least one page, sorted.
+func (s *Store) Hosts() []string { return s.b.hosts() }
+
+// HostPages returns the URLs of a host's pages, sorted.
+func (s *Store) HostPages(host string) []string { return s.b.hostPages(host) }
+
+// Flush makes appended pages durable (fsync); a no-op for memory stores.
+func (s *Store) Flush() error { return s.b.flush() }
+
+// Close releases backend resources (segment file handles); a no-op for
+// memory stores. The store must not be used after Close.
+func (s *Store) Close() error { return s.b.close() }
+
+// Err returns the latched write error of a disk-backed store (nil while
+// healthy, and always nil for memory stores). After a write failure the
+// store keeps serving reads but rejects further puts, mirroring the lrec
+// degraded-latch contract.
+func (s *Store) Err() error { return s.b.err() }
+
+// Scan calls fn for each page in sorted-URL order; return false to stop.
+// On a disk-backed store each page is read (and parsed) through the LRU
+// cache, so a full scan holds at most the cache's worth of pages resident.
+func (s *Store) Scan(fn func(*Page) bool) {
+	for _, u := range s.URLs() {
+		p, err := s.Get(u)
+		if err != nil {
+			continue
+		}
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// memBackend is the default backend: every page resident in a map.
+type memBackend struct {
+	mu     sync.RWMutex
+	pages  map[string]*Page
+	byHost map[string][]string
+}
+
+func (s *memBackend) put(p *Page) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.pages[p.URL]
+	if ok && old.Hash == p.Hash {
+		return false, nil
+	}
+	if !ok {
+		s.byHost[p.Host] = append(s.byHost[p.Host], p.URL)
+	}
+	s.pages[p.URL] = p
+	return true, nil
+}
+
+func (s *memBackend) delete(url string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.pages[url]
@@ -144,8 +228,7 @@ func (s *Store) Delete(url string) bool {
 	return true
 }
 
-// Get returns the page at url.
-func (s *Store) Get(url string) (*Page, error) {
+func (s *memBackend) get(url string) (*Page, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	p, ok := s.pages[url]
@@ -155,15 +238,20 @@ func (s *Store) Get(url string) (*Page, error) {
 	return p, nil
 }
 
-// Len returns the number of stored pages.
-func (s *Store) Len() int {
+func (s *memBackend) has(url string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.pages[url]
+	return ok
+}
+
+func (s *memBackend) count() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.pages)
 }
 
-// URLs returns all stored URLs, sorted.
-func (s *Store) URLs() []string {
+func (s *memBackend) urls() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.pages))
@@ -174,8 +262,7 @@ func (s *Store) URLs() []string {
 	return out
 }
 
-// Hosts returns all hosts with at least one page, sorted.
-func (s *Store) Hosts() []string {
+func (s *memBackend) hosts() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.byHost))
@@ -186,8 +273,7 @@ func (s *Store) Hosts() []string {
 	return out
 }
 
-// HostPages returns the URLs of a host's pages, sorted.
-func (s *Store) HostPages(host string) []string {
+func (s *memBackend) hostPages(host string) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := append([]string(nil), s.byHost[host]...)
@@ -195,18 +281,9 @@ func (s *Store) HostPages(host string) []string {
 	return out
 }
 
-// Scan calls fn for each page in sorted-URL order; return false to stop.
-func (s *Store) Scan(fn func(*Page) bool) {
-	for _, u := range s.URLs() {
-		p, err := s.Get(u)
-		if err != nil {
-			continue
-		}
-		if !fn(p) {
-			return
-		}
-	}
-}
+func (s *memBackend) flush() error { return nil }
+func (s *memBackend) close() error { return nil }
+func (s *memBackend) err() error   { return nil }
 
 // Crawler performs a bounded-concurrency BFS crawl.
 type Crawler struct {
@@ -308,7 +385,7 @@ func BuildGraph(s *Store) *Graph {
 	g := &Graph{Out: make(map[string][]string), In: make(map[string][]string)}
 	s.Scan(func(p *Page) bool {
 		for _, l := range p.Outlinks {
-			if _, err := s.Get(l); err != nil {
+			if !s.Has(l) {
 				continue
 			}
 			if l == p.URL {
