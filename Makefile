@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench benchshards benchscale microbench profile crashtest servetest maintaintest loadtest fmt vet
+.PHONY: build test race bench benchshards benchscale scalecheck microbench profile crashtest servetest maintaintest loadtest fmt vet
 
 build:
 	$(GO) build ./...
@@ -65,13 +65,16 @@ benchshards:
 # benchscale measures the corpus-scale streamed build: heavy-tail worlds at
 # increasing page counts run through BuildStream with the disk-backed page
 # store, one process per size so every peak-RSS sample (VmHWM) is isolated.
-# Each run appends a JSON line via -stats-json; the lines are assembled into
-# BENCH_PR9.json — the scaling curve (pages vs wall vs peak RSS). Override
-# SCALE_SIZES / SCALE_RSS_CEILING for a quick smoke: CI runs a single
-# 20k-page world and fails the build if peak RSS crosses a fixed ceiling,
-# which is the bounded-memory property under regression test.
+# Each run appends a JSON line via -stats-json (including per-stage wall
+# times); the lines are assembled into $(SCALE_OUT) — the scaling curve
+# (pages vs wall vs per-stage ms vs peak RSS). Override SCALE_SIZES /
+# SCALE_RSS_CEILING / SCALE_OUT for a quick smoke: CI runs a single 20k-page
+# world into a scratch file (so the committed baseline curve is untouched)
+# and fails the build if peak RSS crosses a fixed ceiling, which is the
+# bounded-memory property under regression test.
 SCALE_SIZES ?= 20000 50000 100000
 SCALE_RSS_CEILING ?= 0
+SCALE_OUT ?= BENCH_PR10.json
 
 benchscale:
 	$(GO) build -o bin/wocbuild ./cmd/wocbuild
@@ -87,18 +90,36 @@ benchscale:
 	  echo ' "rss_ceiling_bytes": $(SCALE_RSS_CEILING),'; \
 	  echo ' "runs": ['; \
 	  sed '$$!s/$$/,/' benchscale-lines.json; \
-	  echo ']}'; } > BENCH_PR9.json; \
+	  echo ']}'; } > $(SCALE_OUT); \
 	rm -f benchscale-lines.json bin/wocbuild; rm -rf bin/benchscale-pages; \
-	cat BENCH_PR9.json
+	cat $(SCALE_OUT)
+
+# scalecheck compares a freshly measured scaling curve against the committed
+# baseline (BENCH_PR10.json): for each page count present in both, the ratio
+# of link+resolve wall time to the linear stages (ingest+extract+index) must
+# stay within a slack factor of the baseline's ratio. The stage-time ratio is
+# host-speed independent, so this catches the super-linear
+# matching/resolution regression class on any runner. Typical use after the
+# CI smoke:
+#   make benchscale SCALE_SIZES=20000 SCALE_OUT=bench-scale-smoke.json
+#   make scalecheck SCALE_CURVE=bench-scale-smoke.json
+SCALE_CURVE ?= bench-scale-smoke.json
+SCALE_BASELINE ?= BENCH_PR10.json
+
+scalecheck:
+	$(GO) run ./cmd/scalecheck -curve $(SCALE_CURVE) -baseline $(SCALE_BASELINE)
 
 # microbench runs the hot-path microbenchmarks with allocation stats:
-# tokenization, repeated-group discovery, and TF-IDF scoring. These are the
-# functions the extract/link stages spend their time in; -benchmem makes
-# allocation regressions visible next to the ns/op numbers.
+# tokenization, repeated-group discovery, TF-IDF scoring, §5.4 text matching,
+# and collective resolution. These are the functions the extract/link/resolve
+# stages spend their time in; -benchmem makes allocation regressions visible
+# next to the ns/op numbers. The match benchmarks include *Reference
+# variants running the retained naive scorers, so the archived output shows
+# the pruned/blocked speedup alongside the absolute numbers.
 microbench:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkTokenize|BenchmarkTokenizeInto|BenchmarkTopTerms|BenchmarkRepeatedGroups' \
-		-benchmem ./internal/textproc/ ./internal/extract/ | tee bench-micro.txt
+		-bench 'BenchmarkTokenize|BenchmarkTokenizeInto|BenchmarkTopTerms|BenchmarkRepeatedGroups|BenchmarkMatchTokens|BenchmarkResolve' \
+		-benchmem ./internal/textproc/ ./internal/extract/ ./internal/match/ | tee bench-micro.txt
 
 # loadtest smoke-drives a freshly built wocserve with wocload's
 # logsim-derived workload: two low QPS levels for a few seconds each, report

@@ -37,6 +37,7 @@ import (
 
 	"conceptweb/internal/core"
 	"conceptweb/internal/lrec"
+	"conceptweb/internal/obs"
 	"conceptweb/internal/webgen"
 	"conceptweb/internal/webgraph"
 )
@@ -186,7 +187,7 @@ func main() {
 		if *pageStoreDir != "" {
 			pageStore = "disk"
 		}
-		appendStatsJSON(*statsJSON, map[string]any{
+		rec := map[string]any{
 			"profile":        *profile,
 			"pages_planned":  worldPages,
 			"pages":          stats.PagesFetched,
@@ -198,11 +199,29 @@ func main() {
 			"workers":        stats.Workers,
 			"shards":         *shards,
 			"page_store":     pageStore,
-		})
+		}
+		if ms := stageMillis(stats.Trace); len(ms) > 0 {
+			rec["stage_ms"] = ms
+		}
+		appendStatsJSON(*statsJSON, rec)
 	}
 	if *rssCeiling > 0 && rss > *rssCeiling {
 		log.Fatalf("peak rss %d bytes exceeds ceiling %d bytes", rss, *rssCeiling)
 	}
+}
+
+// stageMillis flattens the build trace's top-level stages (crawl or ingest,
+// extract, resolve, link, index) into a name → wall-time-ms map for the
+// stats-json record, so the scaling curve shows where time goes per stage.
+func stageMillis(tr *obs.TraceReport) map[string]int64 {
+	if tr == nil {
+		return nil
+	}
+	ms := make(map[string]int64, len(tr.Children))
+	for _, c := range tr.Children {
+		ms[c.Name] = c.Duration.Milliseconds()
+	}
+	return ms
 }
 
 // persistRecords writes every record to a durable lrec store at dir.

@@ -186,6 +186,9 @@ type BuildStats struct {
 type Builder struct {
 	Fetcher webgraph.Fetcher
 	Cfg     Config
+
+	// assocSeen is associate's reused per-record dedupe set; see associate.
+	assocSeen map[string]bool
 }
 
 // Build crawls from seeds and constructs the web of concepts. Each pipeline
@@ -208,14 +211,14 @@ func (b *Builder) Build(seeds []string) (*WebOfConcepts, *BuildStats, error) {
 		woc.Graph = webgraph.BuildGraph(woc.Pages)
 	})
 
-	var cands []*extract.Candidate
+	cg := newConceptGroups(nil)
 	var analyses map[string]*extract.PageAnalysis
 	b.stage(ctx, "extract", func(context.Context) {
-		cands, analyses = b.extractAll(woc.Pages)
-		stats.Candidates = len(cands)
+		analyses = b.extractAll(woc.Pages, cg)
+		stats.Candidates = cg.total
 	})
 	b.stage(ctx, "resolve", func(context.Context) {
-		b.resolveAndStore(woc, cands, stats)
+		b.resolveAndStore(woc, cg, stats)
 	})
 	b.stage(ctx, "link", func(context.Context) {
 		b.linkText(woc, stats, analyses)
@@ -319,16 +322,19 @@ func pipelineCtx(name string) (context.Context, *obs.Span) {
 // host (its lazy views are goroutine-safe), so the per-page DOM passes run
 // once instead of once per domain. The analyses also return to the caller:
 // the link stage reuses their main-text token streams.
-func (b *Builder) extractAll(pages *webgraph.Store) ([]*extract.Candidate, map[string]*extract.PageAnalysis) {
-	return b.extractHosts(pages, nil)
+func (b *Builder) extractAll(pages *webgraph.Store, cg *conceptGroups) map[string]*extract.PageAnalysis {
+	return b.extractHosts(pages, nil, cg)
 }
 
 // extractHosts runs the extract stage over the given hosts (nil = every
-// host). The candidate stream preserves the full-build ordering — hosts
-// sorted, then the config's domain order, then site-page order — so a
-// host-restricted delta extraction emits candidates in the same relative
-// order a fresh build would, which the pre-merge value dedupe depends on.
-func (b *Builder) extractHosts(pages *webgraph.Store, only map[string]bool) ([]*extract.Candidate, map[string]*extract.PageAnalysis) {
+// host), folding each task's candidates into cg through the ordered fan-in:
+// candidates group per concept (pre-merged by synthesized ID) as tasks
+// complete instead of concatenating into one corpus-sized slice. The fold
+// preserves the full-build candidate ordering — hosts sorted, then the
+// config's domain order, then site-page order — so a host-restricted delta
+// extraction folds candidates in the same relative order a fresh build
+// would, which the pre-merge value dedupe depends on.
+func (b *Builder) extractHosts(pages *webgraph.Store, only map[string]bool, cg *conceptGroups) map[string]*extract.PageAnalysis {
 	hosts := pages.Hosts()
 	analyses := make(map[string]*extract.PageAnalysis)
 	type task struct {
@@ -352,15 +358,13 @@ func (b *Builder) extractHosts(pages *webgraph.Store, only map[string]bool) ([]*
 			tasks = append(tasks, task{sitePas, d})
 		}
 	}
-	results := make([][]*extract.Candidate, len(tasks))
-	parallelEach(len(tasks), b.workers(), func(i int) {
-		results[i] = b.extractSite(tasks[i].sitePas, tasks[i].domain)
-	})
-	var all []*extract.Candidate
-	for _, r := range results {
-		all = append(all, r...)
-	}
-	return all, analyses
+	w := b.workers()
+	parallelEachOrdered(len(tasks), w, 4*w,
+		func(i int) []*extract.Candidate {
+			return b.extractSite(tasks[i].sitePas, tasks[i].domain)
+		},
+		func(_ int, cands []*extract.Candidate) { cg.addAll(cands) })
+	return analyses
 }
 
 // extractSite is the body of one extract task: one domain's list extraction
@@ -430,41 +434,14 @@ func canonicalURL(u string) string {
 	return u
 }
 
-// resolveAndStore groups candidates per concept, resolves co-references, and
-// stores one merged record per resolved entity.
-func (b *Builder) resolveAndStore(woc *WebOfConcepts, cands []*extract.Candidate, stats *BuildStats) {
-	byConcept := make(map[string][]*extract.Candidate)
-	for _, c := range cands {
-		byConcept[c.Concept] = append(byConcept[c.Concept], c)
-	}
-	concepts := make([]string, 0, len(byConcept))
-	for c := range byConcept {
-		concepts = append(concepts, c)
-	}
-	sort.Strings(concepts)
-
-	for _, concept := range concepts {
-		group := byConcept[concept]
-		// Candidates with identical synthesized IDs merge trivially.
-		pre := make(map[string]*lrec.Record)
-		var order []string
-		for _, c := range group {
-			id := c.SynthesizeID()
-			seq := woc.Records.NextSeq()
-			rec := c.ToRecord(id, seq)
-			if exist, ok := pre[id]; ok {
-				exist.Merge(rec) //nolint:errcheck // same concept
-			} else {
-				pre[id] = rec
-				order = append(order, id)
-			}
-		}
-		recs := make([]*lrec.Record, 0, len(order))
-		sort.Strings(order)
-		for _, id := range order {
-			recs = append(recs, pre[id])
-		}
-
+// resolveAndStore resolves co-references within the collector's pre-merged
+// per-concept groups and stores one merged record per resolved entity. The
+// extract stage already grouped candidates as they streamed in; finish only
+// stamps final provenance seqs and hands over sorted groups, one concept
+// resident in resolve at a time.
+func (b *Builder) resolveAndStore(woc *WebOfConcepts, cg *conceptGroups, stats *BuildStats) {
+	for _, concept := range cg.concepts() {
+		recs := cg.take(concept, woc.Records)
 		// Stores go through PutBatch: versions are assigned serially in
 		// cluster order before the writes fan out one goroutine per store
 		// shard, so the store contents — version numbers included — are
@@ -489,9 +466,16 @@ func (b *Builder) resolveAndStore(woc *WebOfConcepts, cands []*extract.Candidate
 	}
 }
 
-// associate records page<->record associations from provenance.
+// associate records page<->record associations from provenance. It reuses
+// one per-builder seen set across calls (associate runs serially, from the
+// resolve apply loop) instead of allocating a map per record — the
+// allocation showed up on the 100k-page resolve-stage profile.
 func (b *Builder) associate(woc *WebOfConcepts, r *lrec.Record) {
-	seen := make(map[string]bool)
+	if b.assocSeen == nil {
+		b.assocSeen = make(map[string]bool)
+	}
+	seen := b.assocSeen
+	clear(seen)
 	for _, k := range r.Keys() {
 		for _, v := range r.All(k) {
 			u := v.Prov.SourceURL

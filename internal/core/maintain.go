@@ -156,8 +156,26 @@ func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, err
 
 	// Re-extract the affected hosts through the build's own extract stage
 	// (list extraction with site propagation plus detail extraction), and
-	// bring the document index up to date for the changed pages.
-	var cands []*extract.Candidate
+	// bring the document index up to date for the changed pages. Candidates
+	// fold into the per-concept collector as hosts finish, filtered at fold
+	// time to the affected set (retired IDs, changed pages' output, and IDs
+	// absent from the store — members that entity resolution had merged
+	// away). The store is not mutated between the supersede stage and the
+	// upsert below, so filtering during extraction sees the same store state
+	// the old post-extraction filter did.
+	changedSet := make(map[string]bool, len(changed))
+	for _, p := range changed {
+		changedSet[p.URL] = true
+	}
+	cg := newConceptGroups(func(c *extract.Candidate, id string) bool {
+		if _, wasRetired := retired[id]; wasRetired || changedSet[c.SourceURL] {
+			return true
+		}
+		// The candidate re-asserts an untouched record from an unchanged
+		// page: nothing to fold.
+		_, err := woc.Records.Get(id)
+		return err != nil
+	})
 	var analyses map[string]*extract.PageAnalysis
 	b.stage(ctx, "extract", func(context.Context) {
 		docs := make([]index.PreparedDoc, len(changed))
@@ -167,16 +185,12 @@ func (b *Builder) Refresh(woc *WebOfConcepts, urls []string) (*RefreshStats, err
 		for _, d := range docs {
 			woc.DocIndex.AddPrepared(d)
 		}
-		cands, analyses = b.extractHosts(woc.Pages, hosts)
+		analyses = b.extractHosts(woc.Pages, hosts, cg)
 	})
 
 	var linkDirty bool
 	b.stage(ctx, "upsert", func(context.Context) {
-		changedSet := make(map[string]bool, len(changed))
-		for _, p := range changed {
-			changedSet[p.URL] = true
-		}
-		linkDirty = b.applyCandidates(woc, cands, changedSet, retired, stats)
+		linkDirty = b.applyCandidates(woc, cg, retired, stats)
 	})
 
 	// Re-run semantic linking (§5.4). When no link-concept record changed,
@@ -307,15 +321,13 @@ func sourcedFrom(r *lrec.Record, url string) bool {
 	return false
 }
 
-// applyCandidates folds the delta extraction's candidate stream back into
-// the store, mirroring the build's resolveAndStore: candidates are filtered
-// to the affected set (retired IDs, changed pages' output, and IDs absent
-// from the store — members that entity resolution had merged away), pre-
-// merged by synthesized ID, clustered per concept by the same collective
-// matcher, and the cluster representatives upserted in sorted order. It
-// reports whether any record of a link concept was touched, which forces a
-// global relink pass.
-func (b *Builder) applyCandidates(woc *WebOfConcepts, cands []*extract.Candidate, changedSet map[string]bool, retired map[string]*lrec.Record, stats *RefreshStats) bool {
+// applyCandidates folds the delta extraction's collector back into the
+// store, mirroring the build's resolveAndStore: candidates were filtered to
+// the affected set and pre-merged by synthesized ID at fold time, and are
+// now clustered per concept by the same collective matcher, with the
+// cluster representatives upserted in sorted order. It reports whether any
+// record of a link concept was touched, which forces a global relink pass.
+func (b *Builder) applyCandidates(woc *WebOfConcepts, cg *conceptGroups, retired map[string]*lrec.Record, stats *RefreshStats) bool {
 	linkable := make(map[string]bool, len(b.Cfg.LinkConcepts))
 	for _, c := range b.Cfg.LinkConcepts {
 		linkable[c] = true
@@ -327,48 +339,8 @@ func (b *Builder) applyCandidates(woc *WebOfConcepts, cands []*extract.Candidate
 		}
 	}
 
-	byConcept := make(map[string][]*extract.Candidate)
-	for _, c := range cands {
-		id := c.SynthesizeID()
-		if _, wasRetired := retired[id]; !wasRetired && !changedSet[c.SourceURL] {
-			if _, err := woc.Records.Get(id); err == nil {
-				// The candidate re-asserts an untouched record from an
-				// unchanged page: nothing to fold.
-				continue
-			}
-		}
-		byConcept[c.Concept] = append(byConcept[c.Concept], c)
-	}
-	concepts := make([]string, 0, len(byConcept))
-	for c := range byConcept {
-		concepts = append(concepts, c)
-	}
-	sort.Strings(concepts)
-
-	for _, concept := range concepts {
-		group := byConcept[concept]
-		// Pre-merge identically to the build: candidates with the same
-		// synthesized ID merge in stream order, groups apply in sorted-ID
-		// order.
-		pre := make(map[string]*lrec.Record)
-		var order []string
-		for _, c := range group {
-			id := c.SynthesizeID()
-			seq := woc.Records.NextSeq()
-			rec := c.ToRecord(id, seq)
-			if exist, ok := pre[id]; ok {
-				exist.Merge(rec) //nolint:errcheck // same concept
-			} else {
-				pre[id] = rec
-				order = append(order, id)
-			}
-		}
-		sort.Strings(order)
-		recs := make([]*lrec.Record, 0, len(order))
-		for _, id := range order {
-			recs = append(recs, pre[id])
-		}
-
+	for _, concept := range cg.concepts() {
+		recs := cg.take(concept, woc.Records)
 		toStore := recs
 		if m := b.Cfg.Matchers[concept]; m != nil {
 			clusters := match.Resolve(recs, m, match.DefaultCollectiveOptions())

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 
 	"conceptweb/internal/extract"
 	"conceptweb/internal/index"
@@ -83,29 +82,34 @@ func (b *Builder) BuildStream(src PageSource) (*WebOfConcepts, *BuildStats, erro
 		return nil, nil, fmt.Errorf("core: ingest: %w", ingestErr)
 	}
 
-	var cands []*extract.Candidate
+	cg := newConceptGroups(nil)
 	b.stage(ctx, "extract", func(context.Context) {
 		hosts := woc.Pages.Hosts()
-		results := make([][]*extract.Candidate, len(hosts))
-		var done atomic.Int64
-		parallelEach(len(hosts), b.workers(), func(i int) {
-			results[i] = b.extractHostStreaming(woc.Pages, hosts[i])
-			if d := int(done.Add(1)); d%64 == 0 || d == len(hosts) {
-				b.progress("extract", d, len(hosts))
-			}
-		})
-		for _, r := range results {
-			cands = append(cands, r...)
-		}
-		stats.Candidates = len(cands)
+		w := b.workers()
+		// The ordered fan-in folds each host's candidates into the
+		// per-concept collector as soon as every earlier host has folded; at
+		// most 4·w host results are ever resident, and candidates that
+		// pre-merge into an already-folded record die immediately instead of
+		// riding a corpus-sized slice to the resolve stage.
+		parallelEachOrdered(len(hosts), w, 4*w,
+			func(i int) []*extract.Candidate {
+				return b.extractHostStreaming(woc.Pages, hosts[i])
+			},
+			func(i int, cands []*extract.Candidate) {
+				cg.addAll(cands)
+				if d := i + 1; d%64 == 0 || d == len(hosts) {
+					b.progress("extract", d, len(hosts))
+				}
+			})
+		stats.Candidates = cg.total
 	})
 
 	b.stage(ctx, "resolve", func(context.Context) {
 		b.progress("resolve", 0, stats.Candidates)
-		b.resolveAndStore(woc, cands, stats)
+		b.resolveAndStore(woc, cg, stats)
 		b.progress("resolve", stats.Candidates, stats.Candidates)
 	})
-	cands = nil
+	cg = nil
 
 	b.stage(ctx, "link", func(context.Context) {
 		b.progress("link", 0, 0)

@@ -304,6 +304,15 @@ func (s *Store) NextSeq() uint64 {
 	return s.seq.Add(1)
 }
 
+// AdvanceSeq atomically reserves n consecutive values of the logical clock
+// and returns the last one: the reserved range is [ret-n+1, ret]. Callers
+// that stamp a batch of provenance entries (the resolve stage's candidate
+// fold) reserve once instead of taking the atomic per value, and the counter
+// ends exactly where n NextSeq calls would have left it.
+func (s *Store) AdvanceSeq(n uint64) uint64 {
+	return s.seq.Add(n)
+}
+
 // validatePut checks the parts of Put that do not need any lock.
 func (s *Store) validatePut(r *Record) error {
 	if r.ID == "" {

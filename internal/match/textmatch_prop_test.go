@@ -1,0 +1,170 @@
+package match
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"conceptweb/internal/lrec"
+	"conceptweb/internal/textproc"
+)
+
+// The decomposed, pruned MatchTokens must be indistinguishable from the
+// naive reference scorer: same candidates, same bit-exact scores, same
+// order, same tie-breaks, at every k. These tests drive both over
+// randomized corpora and token streams.
+
+// propVocab returns a vocabulary of 3-character words: short enough that
+// Stem leaves them untouched, so query tokens equal model tokens.
+func propVocab(n int) []string {
+	v := make([]string, n)
+	for i := range v {
+		v[i] = fmt.Sprintf("w%02d", i)
+	}
+	return v
+}
+
+// randomTextCorpus builds a record corpus whose attribute values are drawn
+// from vocab. Roughly one record in eight duplicates the previous record's
+// content under a different ID, manufacturing exact score ties that exercise
+// the ID tie-break.
+func randomTextCorpus(rng *rand.Rand, vocab []string, n int) []*lrec.Record {
+	attrs := []string{"name", "street", "city", "menu", "cuisine"}
+	recs := make([]*lrec.Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := lrec.NewRecord(fmt.Sprintf("rec%03d", i), "restaurant")
+		if len(recs) > 0 && rng.Intn(8) == 0 {
+			prev := recs[len(recs)-1]
+			for _, k := range prev.Keys() {
+				for _, v := range prev.All(k) {
+					r.Add(k, lrec.AttrValue{Value: v.Value, Confidence: v.Confidence})
+				}
+			}
+			recs = append(recs, r)
+			continue
+		}
+		for _, key := range attrs {
+			if key != "name" && rng.Intn(3) == 0 {
+				continue
+			}
+			words := 1 + rng.Intn(4)
+			val := ""
+			for w := 0; w < words; w++ {
+				if w > 0 {
+					val += " "
+				}
+				val += vocab[rng.Intn(len(vocab))]
+			}
+			r.Add(key, lrec.AttrValue{Value: val, Confidence: 0.9})
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// randomQuery draws a token stream: mostly vocabulary words, some
+// out-of-vocabulary noise the informative filter must drop.
+func randomQuery(rng *rand.Rand, vocab []string, n int) []string {
+	q := make([]string, n)
+	for i := range q {
+		if rng.Intn(5) == 0 {
+			q[i] = fmt.Sprintf("zz%d", rng.Intn(50)) // not in any model
+		} else {
+			q[i] = vocab[rng.Intn(len(vocab))]
+		}
+	}
+	return q
+}
+
+func sameScored(t *testing.T, got, want []ScoredRecord, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Record.ID != want[i].Record.ID {
+			t.Fatalf("%s: result %d: got record %q, want %q",
+				ctx, i, got[i].Record.ID, want[i].Record.ID)
+		}
+		if math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+			t.Fatalf("%s: result %d (%s): got score %v (%x), want %v (%x)",
+				ctx, i, got[i].Record.ID,
+				got[i].Score, math.Float64bits(got[i].Score),
+				want[i].Score, math.Float64bits(want[i].Score))
+		}
+	}
+}
+
+// TestMatchTokensPrunedEqualsReference is the lossless-pruning property
+// test: across random corpora, queries, and ks, the sparse scorer's output
+// is bit-identical to the naive scorer's.
+func TestMatchTokensPrunedEqualsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocab := propVocab(60)
+	ks := []int{0, 1, 2, 3, 7, 1000}
+	for corpus := 0; corpus < 40; corpus++ {
+		recs := randomTextCorpus(rng, vocab, 20+rng.Intn(60))
+		tm := NewTextMatcher(recs)
+		for q := 0; q < 25; q++ {
+			query := randomQuery(rng, vocab, rng.Intn(40))
+			k := ks[rng.Intn(len(ks))]
+			got := tm.MatchTokens(query, k)
+			want := tm.matchTokensReference(query, k)
+			sameScored(t, got, want,
+				fmt.Sprintf("corpus %d query %d k=%d", corpus, q, k))
+		}
+	}
+}
+
+// TestBestTokensEqualsReference pins the minScore-pruned Best path: for any
+// threshold, BestTokens agrees with thresholding the reference's top-1.
+func TestBestTokensEqualsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := propVocab(50)
+	thresholds := []float64{math.Inf(-1), -1, 0, 0.1, 0.35, 1, 3, math.Inf(1)}
+	for corpus := 0; corpus < 25; corpus++ {
+		recs := randomTextCorpus(rng, vocab, 15+rng.Intn(50))
+		tm := NewTextMatcher(recs)
+		for q := 0; q < 20; q++ {
+			query := randomQuery(rng, vocab, rng.Intn(35))
+			for _, min := range thresholds {
+				gotRec, gotOK := tm.BestTokens(query, min)
+				top := tm.matchTokensReference(query, 1)
+				wantOK := len(top) > 0 && top[0].Score >= min
+				if gotOK != wantOK {
+					t.Fatalf("corpus %d query %d min=%v: ok=%v, want %v",
+						corpus, q, min, gotOK, wantOK)
+				}
+				if gotOK && gotRec.ID != top[0].Record.ID {
+					t.Fatalf("corpus %d query %d min=%v: got %q, want %q",
+						corpus, q, min, gotRec.ID, top[0].Record.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchPipelineEqualsReference runs the full Match path (tokenize →
+// stem → score) over free text, including repeated calls on one matcher to
+// exercise the pooled scratch state.
+func TestMatchPipelineEqualsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vocab := propVocab(40)
+	recs := randomTextCorpus(rng, vocab, 64)
+	tm := NewTextMatcher(recs)
+	for q := 0; q < 60; q++ {
+		n := 4 + rng.Intn(30)
+		text := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				text += " "
+			}
+			text += vocab[rng.Intn(len(vocab))]
+		}
+		got := tm.Match(text, 3)
+		toks := textproc.StemInPlace(textproc.RemoveStopwordsInPlace(textproc.Tokenize(text)))
+		want := tm.matchTokensReference(toks, 3)
+		sameScored(t, got, want, fmt.Sprintf("text query %d", q))
+	}
+}
